@@ -1,0 +1,336 @@
+//! IS — Integer Sort (bucket ranking) from the NAS benchmarks.
+//!
+//! IS ranks an unsorted sequence of keys with a bucket sort.  Each process
+//! counts its block of keys into a private bucket array, the private arrays
+//! are summed into a global one, and every process then reads the global
+//! array to rank its keys.
+//!
+//! * **TreadMarks**: a shared bucket array; each process acquires a lock,
+//!   adds its private counts, releases, and waits at a barrier; then all
+//!   processes read the shared array.  Because every process overwrites every
+//!   bucket, the diffs of successive writers overlap completely, which is the
+//!   paper's canonical example of *diff accumulation* (the amount of data
+//!   grows as `n*(n-1)*b` instead of PVM's `2*(n-1)*b`).
+//! * **PVM**: the processes form a chain — process 0 sends its buckets to
+//!   process 1, which adds its own and forwards, and so on; the last process
+//!   broadcasts the final sums.
+//!
+//! The paper runs a small key range (IS-Small, buckets fit in one page) and a
+//! large key range (IS-Large, buckets spread over many pages); the large
+//! range is where PVM wins by roughly a factor of two.
+
+use crate::runner::{block_range, run_pvm, run_treadmarks, AppRun, SeqRun};
+use msgpass::Pvm;
+use treadmarks::Tmk;
+
+/// Cost of counting one key into a bucket.
+pub const COST_COUNT: f64 = 0.045e-6;
+/// Cost of ranking one key against the summed buckets.
+pub const COST_RANK: f64 = 0.075e-6;
+/// Cost of adding one bucket entry during the sum phase.
+pub const COST_ADD: f64 = 0.03e-6;
+
+/// Problem parameters.
+#[derive(Debug, Clone)]
+pub struct IsParams {
+    /// Number of keys.
+    pub keys: usize,
+    /// Number of buckets (the key range).
+    pub buckets: usize,
+    /// Number of ranking iterations.
+    pub iters: usize,
+    /// RNG seed for key generation.
+    pub seed: u64,
+}
+
+impl IsParams {
+    /// Paper-scale IS-Small: 2^20 keys in the range 0..2^12.
+    pub fn paper_small() -> Self {
+        IsParams {
+            keys: 1 << 20,
+            buckets: 1 << 12,
+            iters: 9,
+            seed: 314159,
+        }
+    }
+
+    /// Paper-scale IS-Large: 2^20 keys in the range 0..2^17.
+    pub fn paper_large() -> Self {
+        IsParams {
+            buckets: 1 << 17,
+            ..Self::paper_small()
+        }
+    }
+
+    /// Scaled-down IS-Small.
+    pub fn scaled_small() -> Self {
+        IsParams {
+            keys: 1 << 17,
+            buckets: 1 << 12,
+            iters: 5,
+            seed: 314159,
+        }
+    }
+
+    /// Scaled-down IS-Large.
+    pub fn scaled_large() -> Self {
+        IsParams {
+            buckets: 1 << 16,
+            ..Self::scaled_small()
+        }
+    }
+
+    /// Tiny problem for functional tests.
+    pub fn tiny() -> Self {
+        IsParams {
+            keys: 1 << 10,
+            buckets: 1 << 8,
+            iters: 2,
+            seed: 314159,
+        }
+    }
+}
+
+/// Deterministic key for position `i` (same stream for every version).
+fn key_at(p: &IsParams, i: usize) -> usize {
+    let mut x = (i as u64).wrapping_add(p.seed).wrapping_mul(0x9E3779B97F4A7C15);
+    x ^= x >> 29;
+    x = x.wrapping_mul(0xBF58476D1CE4E5B9);
+    x ^= x >> 32;
+    (x as usize) % p.buckets
+}
+
+/// Count the keys of one block into a bucket array.
+fn count_block(p: &IsParams, range: std::ops::Range<usize>, buckets: &mut [i32]) {
+    for i in range {
+        buckets[key_at(p, i)] += 1;
+    }
+}
+
+/// Rank the keys of one block against the global bucket prefix sums and
+/// return this block's checksum contribution.
+fn rank_block(p: &IsParams, range: std::ops::Range<usize>, global: &[i32]) -> f64 {
+    // Exclusive prefix sums give each key its rank base.
+    let mut prefix = vec![0i64; p.buckets];
+    let mut acc = 0i64;
+    for b in 0..p.buckets {
+        prefix[b] = acc;
+        acc += global[b] as i64;
+    }
+    let mut sum = 0.0;
+    for i in range {
+        let k = key_at(p, i);
+        sum += (prefix[k] % 1000) as f64;
+    }
+    sum
+}
+
+/// Sequential reference implementation.
+pub fn sequential(p: &IsParams) -> SeqRun {
+    let mut time = 0.0;
+    let mut checksum = 0.0;
+    for _ in 0..p.iters {
+        let mut buckets = vec![0i32; p.buckets];
+        count_block(p, 0..p.keys, &mut buckets);
+        checksum = rank_block(p, 0..p.keys, &buckets);
+        time += p.keys as f64 * (COST_COUNT + COST_RANK) + p.buckets as f64 * COST_ADD;
+    }
+    SeqRun { checksum, time }
+}
+
+/// TreadMarks version.
+pub fn treadmarks_body(tmk: &Tmk, p: &IsParams) -> f64 {
+    let n = tmk.nprocs();
+    let me = tmk.id();
+    let my_keys = block_range(p.keys, n, me);
+    let shared = tmk.malloc(p.buckets * 4);
+    // A monotonically increasing writer counter shared with the buckets; the
+    // first writer of an iteration overwrites the previous iteration's values
+    // (no separate clearing phase), exactly the access pattern the paper
+    // describes as the source of diff accumulation in IS.
+    let counter = tmk.malloc(8);
+    tmk.barrier(0);
+
+    let mut checksum = 0.0;
+    let mut barrier = 1u32;
+    for _ in 0..p.iters {
+        // Count into a private array.
+        let mut private = vec![0i32; p.buckets];
+        count_block(p, my_keys.clone(), &mut private);
+        tmk.proc().compute(my_keys.len() as f64 * COST_COUNT);
+
+        // Add the private counts to the shared array under the lock; the
+        // first writer of the iteration overwrites instead of adding.
+        tmk.lock_acquire(0);
+        let done = tmk.read_i64(counter);
+        if done % n as i64 == 0 {
+            tmk.write_i32_slice(shared, &private);
+        } else {
+            let mut global = vec![0i32; p.buckets];
+            tmk.read_i32_slice(shared, &mut global);
+            for b in 0..p.buckets {
+                global[b] += private[b];
+            }
+            tmk.write_i32_slice(shared, &global);
+        }
+        tmk.write_i64(counter, done + 1);
+        tmk.proc().compute(p.buckets as f64 * COST_ADD);
+        tmk.lock_release(0);
+        tmk.barrier(barrier);
+        barrier += 1;
+
+        // Read the final sums and rank this block's keys.
+        let mut global = vec![0i32; p.buckets];
+        tmk.read_i32_slice(shared, &mut global);
+        checksum = rank_block(p, my_keys.clone(), &global);
+        tmk.proc().compute(my_keys.len() as f64 * COST_RANK);
+        tmk.barrier(barrier);
+        barrier += 1;
+    }
+    checksum
+}
+
+/// PVM version.
+pub fn pvm_body(pvm: &Pvm, p: &IsParams) -> f64 {
+    let n = pvm.nprocs();
+    let me = pvm.id();
+    let my_keys = block_range(p.keys, n, me);
+
+    let mut checksum = 0.0;
+    for iter in 0..p.iters {
+        let tag_chain = 100 + iter as u32;
+        let tag_final = 200 + iter as u32;
+
+        let mut private = vec![0i32; p.buckets];
+        count_block(p, my_keys.clone(), &mut private);
+        pvm.proc().compute(my_keys.len() as f64 * COST_COUNT);
+
+        // Chain sum: 0 -> 1 -> ... -> n-1, then the last broadcasts.
+        let global = if n == 1 {
+            private
+        } else if me == 0 {
+            let mut b = pvm.new_buffer();
+            b.pack_i32(&private);
+            pvm.send(1, tag_chain, b);
+            let mut m = pvm.recv(Some(n - 1), tag_final);
+            m.unpack_i32(p.buckets)
+        } else {
+            let mut m = pvm.recv(Some(me - 1), tag_chain);
+            let mut sums = m.unpack_i32(p.buckets);
+            for b in 0..p.buckets {
+                sums[b] += private[b];
+            }
+            pvm.proc().compute(p.buckets as f64 * COST_ADD);
+            if me == n - 1 {
+                let mut b = pvm.new_buffer();
+                b.pack_i32(&sums);
+                pvm.bcast(tag_final, b);
+                sums
+            } else {
+                let mut b = pvm.new_buffer();
+                b.pack_i32(&sums);
+                pvm.send(me + 1, tag_chain, b);
+                let mut m = pvm.recv(Some(n - 1), tag_final);
+                m.unpack_i32(p.buckets)
+            }
+        };
+
+        checksum = rank_block(p, my_keys.clone(), &global);
+        pvm.proc().compute(my_keys.len() as f64 * COST_RANK);
+    }
+    checksum
+}
+
+/// Run the TreadMarks version.
+pub fn treadmarks(nprocs: usize, p: &IsParams) -> AppRun {
+    let p = p.clone();
+    let heap = (p.buckets * 4 + (1 << 20)).next_power_of_two();
+    run_treadmarks(nprocs, heap, move |tmk| treadmarks_body(tmk, &p))
+}
+
+/// Run the PVM version.
+pub fn pvm(nprocs: usize, p: &IsParams) -> AppRun {
+    let p = p.clone();
+    run_pvm(nprocs, move |pvm| pvm_body(pvm, &p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn versions_agree_on_ranks() {
+        let p = IsParams::tiny();
+        let seq = sequential(&p);
+        for n in [1, 2, 4] {
+            let t = treadmarks(n, &p);
+            let m = pvm(n, &p);
+            assert_eq!(t.checksum, seq.checksum, "TMK n={n}");
+            assert_eq!(m.checksum, seq.checksum, "PVM n={n}");
+        }
+    }
+
+    #[test]
+    fn treadmarks_sends_far_more_messages_than_pvm() {
+        let p = IsParams::tiny();
+        let t = treadmarks(4, &p);
+        let m = pvm(4, &p);
+        assert!(
+            t.messages > 3 * m.messages,
+            "TMK {} msgs vs PVM {} msgs",
+            t.messages,
+            m.messages
+        );
+    }
+
+    #[test]
+    fn large_key_range_hurts_treadmarks_more() {
+        // The bucket array of IS-Large spans many pages, so every lock-
+        // protected update and every read triggers one diff request per
+        // page; the TMK/PVM time ratio degrades relative to IS-Small.
+        // Keys stay much more numerous than buckets, as in the paper.
+        let small = IsParams {
+            keys: 1 << 15,
+            buckets: 1 << 8,
+            iters: 2,
+            seed: 1,
+        };
+        let large = IsParams {
+            buckets: 1 << 13,
+            ..small.clone()
+        };
+        let ts = treadmarks(4, &small);
+        let ps = pvm(4, &small);
+        let tl = treadmarks(4, &large);
+        let pl = pvm(4, &large);
+        let ratio_small = ts.time / ps.time;
+        let ratio_large = tl.time / pl.time;
+        assert!(
+            ratio_large > 0.9 * ratio_small,
+            "small ratio {ratio_small}, large ratio {ratio_large}"
+        );
+        // The large key range must at least cost TreadMarks many more
+        // messages per iteration (one diff request per bucket page).
+        assert!(tl.messages > ts.messages);
+    }
+
+    #[test]
+    fn diff_accumulation_grows_treadmarks_data_with_nprocs() {
+        // In PVM the data per iteration is ~2*(n-1)*b; in TreadMarks it is
+        // ~n*(n-1)*b because of diff accumulation, so the TMK/PVM data ratio
+        // must grow with the number of processes.
+        let p = IsParams {
+            keys: 1 << 12,
+            buckets: 1 << 12,
+            iters: 2,
+            seed: 7,
+        };
+        let t2 = treadmarks(2, &p);
+        let p2 = pvm(2, &p);
+        let t6 = treadmarks(6, &p);
+        let p6 = pvm(6, &p);
+        let r2 = t2.kilobytes / p2.kilobytes;
+        let r6 = t6.kilobytes / p6.kilobytes;
+        assert!(r6 > r2, "data ratio at 2 procs {r2}, at 6 procs {r6}");
+    }
+}

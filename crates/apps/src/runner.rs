@@ -1,0 +1,212 @@
+//! Uniform driver used by all nine applications.
+//!
+//! The paper reports, for every application and input set, (a) the speedup
+//! relative to the sequential program for 1–8 processors, and (b) the number
+//! of messages and the amount of data sent during the 8-processor execution.
+//! The helpers here run an application body under either runtime system and
+//! collect exactly those quantities:
+//!
+//! * for the **TreadMarks** versions, messages are the transport datagrams
+//!   (the UDP messages of the real system) and data is the total payload
+//!   bytes, as counted by the `cluster` transport;
+//! * for the **PVM** versions, messages are the user-level sends and data is
+//!   the user data packed into them, as PVM itself counts.
+
+use cluster::{Cluster, ClusterConfig, Proc};
+use msgpass::Pvm;
+use serde::Serialize;
+use treadmarks::{Tmk, TmkStats};
+
+/// Which runtime system an application run used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum System {
+    /// TreadMarks-style distributed shared memory.
+    TreadMarks,
+    /// PVM-style message passing.
+    Pvm,
+}
+
+impl std::fmt::Display for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            System::TreadMarks => write!(f, "TreadMarks"),
+            System::Pvm => write!(f, "PVM"),
+        }
+    }
+}
+
+/// Result of a sequential (uninstrumented) run: the baseline of the speedup
+/// curves and of Table 1.
+#[derive(Debug, Clone, Serialize)]
+pub struct SeqRun {
+    /// Application checksum, used to validate the parallel versions.
+    pub checksum: f64,
+    /// Modeled sequential execution time, seconds.
+    pub time: f64,
+}
+
+/// Result of one parallel run of one application under one system.
+#[derive(Debug, Clone, Serialize)]
+pub struct AppRun {
+    /// Which system executed the run.
+    pub system: System,
+    /// Number of processes.
+    pub nprocs: usize,
+    /// Application checksum (must match the sequential run).
+    pub checksum: f64,
+    /// Parallel execution time: the latest virtual finish time.
+    pub time: f64,
+    /// Messages, counted per the paper's convention for this system.
+    pub messages: u64,
+    /// Kilobytes of data, counted per the paper's convention for this system.
+    pub kilobytes: f64,
+    /// Aggregated DSM runtime statistics (TreadMarks runs only).
+    #[serde(skip)]
+    pub tmk_stats: Option<TmkStats>,
+}
+
+impl AppRun {
+    /// Speedup relative to a sequential time.
+    pub fn speedup(&self, seq_time: f64) -> f64 {
+        seq_time / self.time
+    }
+}
+
+/// Run `body` on `nprocs` TreadMarks processes over the calibrated FDDI
+/// cluster and gather the paper's metrics.  The body returns the process's
+/// local checksum *contribution*; the contributions are summed into the
+/// run's checksum (so a gather that the paper's programs do not perform is
+/// not needed just for validation).
+pub fn run_treadmarks<F>(nprocs: usize, heap_bytes: usize, body: F) -> AppRun
+where
+    F: Fn(&Tmk) -> f64 + Send + Sync,
+{
+    let cfg = ClusterConfig::calibrated_fddi(nprocs);
+    let rep = Cluster::run(cfg, move |p| {
+        let tmk = Tmk::with_heap(p, heap_bytes);
+        let checksum = body(&tmk);
+        tmk.exit();
+        (checksum, tmk.stats())
+    });
+    let mut agg = TmkStats::default();
+    for (_, st) in &rep.results {
+        agg.merge(st);
+    }
+    AppRun {
+        system: System::TreadMarks,
+        nprocs,
+        checksum: rep.results.iter().map(|(c, _)| *c).sum(),
+        time: rep.parallel_time(),
+        messages: rep.total_datagrams(),
+        kilobytes: rep.total_kilobytes(),
+        tmk_stats: Some(agg),
+    }
+}
+
+/// Run `body` on `nprocs` PVM processes over the calibrated FDDI cluster and
+/// gather the paper's metrics.
+pub fn run_pvm<F>(nprocs: usize, body: F) -> AppRun
+where
+    F: Fn(&Pvm) -> f64 + Send + Sync,
+{
+    let cfg = ClusterConfig::calibrated_fddi(nprocs);
+    let rep = Cluster::run(cfg, move |p| {
+        let pvm = Pvm::new(p);
+        let checksum = body(&pvm);
+        (checksum, pvm.user_stats())
+    });
+    let user_messages: u64 = rep.results.iter().map(|(_, s)| s.messages).sum();
+    let user_bytes: u64 = rep.results.iter().map(|(_, s)| s.bytes).sum();
+    AppRun {
+        system: System::Pvm,
+        nprocs,
+        checksum: rep.results.iter().map(|(c, _)| *c).sum(),
+        time: rep.parallel_time(),
+        messages: user_messages,
+        kilobytes: user_bytes as f64 / 1024.0,
+        tmk_stats: None,
+    }
+}
+
+/// Partition `count` items into `nprocs` contiguous chunks and return the
+/// half-open range owned by `rank` — the block distribution every
+/// application in the study uses.
+pub fn block_range(count: usize, nprocs: usize, rank: usize) -> std::ops::Range<usize> {
+    let base = count / nprocs;
+    let extra = count % nprocs;
+    let start = rank * base + rank.min(extra);
+    let len = base + usize::from(rank < extra);
+    start..start + len
+}
+
+/// Convenience used by several compute models: charge `units * unit_cost`
+/// seconds of virtual computation to the process.
+pub fn charge(proc: &Proc, units: f64, unit_cost: f64) {
+    if units > 0.0 {
+        proc.compute(units * unit_cost);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_range_covers_everything_without_overlap() {
+        for &(count, nprocs) in &[(10usize, 3usize), (8, 8), (7, 8), (100, 6), (1, 1)] {
+            let mut covered = vec![false; count];
+            for r in 0..nprocs {
+                for i in block_range(count, nprocs, r) {
+                    assert!(!covered[i], "index {i} covered twice");
+                    covered[i] = true;
+                }
+            }
+            assert!(covered.into_iter().all(|c| c), "{count}/{nprocs} not covered");
+        }
+    }
+
+    #[test]
+    fn block_range_is_balanced() {
+        let sizes: Vec<usize> = (0..8).map(|r| block_range(100, 8, r).len()).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn treadmarks_runner_reports_messages() {
+        let run = run_treadmarks(2, 1 << 20, |tmk| {
+            let a = tmk.malloc(8);
+            if tmk.id() == 0 {
+                tmk.write_f64(a, 7.0);
+            }
+            tmk.barrier(0);
+            if tmk.id() == 0 {
+                tmk.read_f64(a)
+            } else {
+                0.0
+            }
+        });
+        assert_eq!(run.checksum, 7.0);
+        assert!(run.messages > 0);
+        assert!(run.time > 0.0);
+        assert!(run.tmk_stats.is_some());
+    }
+
+    #[test]
+    fn pvm_runner_reports_user_messages() {
+        let run = run_pvm(2, |pvm| {
+            if pvm.id() == 0 {
+                let mut b = pvm.new_buffer();
+                b.pack_f64(&[3.5]);
+                pvm.send(1, 1, b);
+                0.0
+            } else {
+                pvm.recv(Some(0), 1).unpack_f64(1)[0]
+            }
+        });
+        assert_eq!(run.checksum, 3.5);
+        assert_eq!(run.messages, 1);
+        assert!((run.kilobytes - 8.0 / 1024.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,59 @@
+//! Ablation: diff accumulation on migratory data.
+//!
+//! When several processes modify the same block under a lock in turn, a
+//! later acquirer receives *all* earlier diffs even when they overwrite one
+//! another — the paper's explanation for the IS-Large and TSP data volumes.
+//! This bench runs the migratory pattern at 2–8 processes; the ratio of
+//! TreadMarks bytes to the minimum useful bytes grows with the process
+//! count.
+
+use cluster::{Cluster, ClusterConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use treadmarks::Tmk;
+
+fn migratory(n: usize, block: usize) -> (f64, u64) {
+    let rep = Cluster::run(ClusterConfig::calibrated_fddi(n), move |p| {
+        let tmk = Tmk::new(p);
+        let addr = tmk.malloc(block);
+        tmk.barrier(0);
+        // Each process in turn completely overwrites the block.
+        for round in 0..n {
+            if tmk.id() == round {
+                tmk.lock_acquire(0);
+                let data = vec![round as i32 + 1; block / 4];
+                tmk.write_i32_slice(addr, &data);
+                tmk.lock_release(0);
+            }
+            tmk.barrier(1 + round as u32);
+        }
+        let mut out = vec![0i32; block / 4];
+        tmk.read_i32_slice(addr, &mut out);
+        tmk.exit();
+        out[0] as f64
+    });
+    (rep.parallel_time(), rep.total_bytes())
+}
+
+fn bench_accumulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("migratory_block_16k");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &n in &[2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| migratory(n, 16 * 1024))
+        });
+    }
+    group.finish();
+
+    // The accumulation effect itself: bytes grow super-linearly in n.
+    let (_, b2) = migratory(2, 16 * 1024);
+    let (_, b8) = migratory(8, 16 * 1024);
+    assert!(
+        b8 as f64 > 2.5 * b2 as f64,
+        "expected super-linear growth: {b2} bytes at 2 procs, {b8} at 8"
+    );
+}
+
+criterion_group!(benches, bench_accumulation);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Ablation: run-length diffs versus whole-page transfers.
+//!
+//! The multiple-writer protocol's diffs are what let TreadMarks send *less*
+//! data than PVM in SOR-Zero (most pages stay zero, so diffs are tiny).
+//! This bench measures diff creation and application for sparse and dense
+//! pages and compares the encoded size against a whole-page transfer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use treadmarks::Diff;
+
+const PAGE: usize = 4096;
+
+fn sparse_pair() -> (Vec<u8>, Vec<u8>) {
+    let twin = vec![0u8; PAGE];
+    let mut page = twin.clone();
+    for i in (0..64).map(|k| k * 61) {
+        page[i] = 1;
+    }
+    (twin, page)
+}
+
+fn dense_pair() -> (Vec<u8>, Vec<u8>) {
+    let twin = vec![0u8; PAGE];
+    let page: Vec<u8> = (0..PAGE).map(|i| (i % 251 + 1) as u8).collect();
+    (twin, page)
+}
+
+fn bench_diffs(c: &mut Criterion) {
+    let (stwin, spage) = sparse_pair();
+    let (dtwin, dpage) = dense_pair();
+
+    c.bench_function("diff_create_sparse_page", |b| {
+        b.iter(|| Diff::create(std::hint::black_box(&stwin), std::hint::black_box(&spage)))
+    });
+    c.bench_function("diff_create_dense_page", |b| {
+        b.iter(|| Diff::create(std::hint::black_box(&dtwin), std::hint::black_box(&dpage)))
+    });
+
+    let sparse = Diff::create(&stwin, &spage);
+    let dense = Diff::create(&dtwin, &dpage);
+    // The data-volume ablation: a sparse diff is far smaller than a page,
+    // a dense diff is slightly larger (run headers).
+    assert!(sparse.encoded_len() < PAGE / 4);
+    assert!(dense.encoded_len() >= PAGE);
+
+    c.bench_function("diff_apply_sparse_page", |b| {
+        let mut target = vec![0u8; PAGE];
+        b.iter(|| sparse.apply(std::hint::black_box(&mut target)))
+    });
+    c.bench_function("diff_apply_dense_page", |b| {
+        let mut target = vec![0u8; PAGE];
+        b.iter(|| dense.apply(std::hint::black_box(&mut target)))
+    });
+    c.bench_function("whole_page_copy_baseline", |b| {
+        let mut target = vec![0u8; PAGE];
+        b.iter(|| target.copy_from_slice(std::hint::black_box(&dpage)))
+    });
+}
+
+criterion_group!(benches, bench_diffs);
+criterion_main!(benches);

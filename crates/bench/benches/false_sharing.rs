@@ -1,0 +1,67 @@
+//! Ablation: false sharing — multiple writers of one page versus writers of
+//! page-aligned private regions.
+//!
+//! Water-288 suffers from false sharing because several processes' molecules
+//! share pages; Water-1728 suffers much less because each process's chunk
+//! spans many pages.  This bench isolates the effect: n processes write
+//! interleaved 64-byte slots of the same pages, versus each writing its own
+//! page-aligned region, and a reader then fetches everything.
+
+use cluster::{Cluster, ClusterConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use treadmarks::Tmk;
+
+fn shared_writes(n: usize, interleaved: bool) -> (f64, u64) {
+    let rep = Cluster::run(ClusterConfig::calibrated_fddi(n), move |p| {
+        let tmk = Tmk::new(p);
+        let slots = 64usize; // 64 slots of 64 bytes = one page per "group"
+        let total = slots * 64 * n;
+        let addr = tmk.malloc(total);
+        tmk.barrier(0);
+        for s in 0..slots {
+            let idx = if interleaved {
+                s * n + tmk.id()
+            } else {
+                tmk.id() * slots + s
+            };
+            let data = vec![tmk.id() as u8 + 1; 64];
+            tmk.write_bytes(addr + idx * 64, &data);
+        }
+        tmk.barrier(1);
+        // Everyone reads everything (the force read-back phase of Water).
+        let mut buf = vec![0u8; total];
+        tmk.read_bytes(addr, &mut buf);
+        tmk.barrier(2);
+        tmk.exit();
+        buf[0] as f64
+    });
+    (rep.parallel_time(), rep.total_messages())
+}
+
+fn bench_false_sharing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("false_sharing");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &n in &[2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("interleaved", n), &n, |b, &n| {
+            b.iter(|| shared_writes(n, true))
+        });
+        group.bench_with_input(BenchmarkId::new("page_aligned", n), &n, |b, &n| {
+            b.iter(|| shared_writes(n, false))
+        });
+    }
+    group.finish();
+
+    // The effect itself: interleaved (falsely shared) layout needs more
+    // messages than the page-aligned layout at 8 processes.
+    let (_, interleaved) = shared_writes(8, true);
+    let (_, aligned) = shared_writes(8, false);
+    assert!(
+        interleaved > aligned,
+        "false sharing should cost messages: {interleaved} vs {aligned}"
+    );
+}
+
+criterion_group!(benches, bench_false_sharing);
+criterion_main!(benches);

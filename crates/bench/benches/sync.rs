@@ -1,0 +1,64 @@
+//! Ablation: synchronization primitive costs.
+//!
+//! Barriers cost `2 * (n - 1)` messages with a centralised manager; an
+//! uncontended remote lock acquire costs up to three messages (request,
+//! forward, grant) while a repeated acquire by the last holder is free.
+//! These benches measure the simulated-cluster implementation of both.
+
+use cluster::{Cluster, ClusterConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use treadmarks::Tmk;
+
+fn barrier_round(n: usize, rounds: u32) -> f64 {
+    let rep = Cluster::run(ClusterConfig::calibrated_fddi(n), move |p| {
+        let tmk = Tmk::new(p);
+        for i in 0..rounds {
+            tmk.barrier(i);
+        }
+        tmk.exit();
+        p.clock()
+    });
+    rep.parallel_time()
+}
+
+fn lock_chain(n: usize, rounds: usize) -> f64 {
+    let rep = Cluster::run(ClusterConfig::calibrated_fddi(n), move |p| {
+        let tmk = Tmk::new(p);
+        tmk.barrier(0);
+        for _ in 0..rounds {
+            tmk.lock_acquire(0);
+            tmk.lock_release(0);
+        }
+        tmk.barrier(1);
+        tmk.exit();
+        p.clock()
+    });
+    rep.parallel_time()
+}
+
+fn bench_sync(c: &mut Criterion) {
+    let mut group = c.benchmark_group("barrier");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &n in &[2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| barrier_round(n, 4))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("lock_contention");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &n in &[2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| lock_chain(n, 4))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sync);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Ablation: transport cost model — per-message latency versus bandwidth and
+//! MTU fragmentation.
+//!
+//! The FFT transpose and the IS-Large bucket array both move large blocks;
+//! the number of datagrams (and therefore the per-message overhead) depends
+//! on the MTU.  This bench exercises the simulated transport at several
+//! message sizes.
+
+use bytes::Bytes;
+use cluster::{Cluster, ClusterConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn ping_pong(bytes: usize, rounds: usize) -> f64 {
+    let rep = Cluster::run(ClusterConfig::calibrated_fddi(2), move |p| {
+        let payload = Bytes::from(vec![0u8; bytes]);
+        for i in 0..rounds as u32 {
+            if p.id() == 0 {
+                p.send(1, i, payload.clone());
+                p.recv(Some(1), i);
+            } else {
+                p.recv(Some(0), i);
+                p.send(0, i, payload.clone());
+            }
+        }
+        p.clock()
+    });
+    rep.parallel_time()
+}
+
+fn bench_transport(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ping_pong");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &size in &[64usize, 4 * 1024, 64 * 1024, 1 << 20] {
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            b.iter(|| ping_pong(size, 4))
+        });
+    }
+    group.finish();
+
+    // Sanity ablation: virtual time grows with message size (bandwidth term)
+    // and small messages are latency-dominated.
+    let small = ping_pong(64, 4);
+    let large = ping_pong(1 << 20, 4);
+    assert!(large > small);
+}
+
+criterion_group!(benches, bench_transport);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! Regenerate the tables and figures of the paper.
+//!
+//! ```text
+//! cargo run -p bench --release --bin reproduce            # scaled preset, everything
+//! cargo run -p bench --release --bin reproduce -- --full  # paper-scale inputs
+//! cargo run -p bench --release --bin reproduce -- --table1
+//! cargo run -p bench --release --bin reproduce -- --table2
+//! cargo run -p bench --release --bin reproduce -- --figure water-288
+//! ```
+//!
+//! Output is plain text shaped like the paper's tables: Table 1 (sequential
+//! times and problem sizes), one speedup series per figure (TreadMarks and
+//! PVM at 1–8 processors), and Table 2 (messages and kilobytes at 8
+//! processors under each system).
+
+use apps::runner::System;
+use apps::Workload;
+use bench::{problem_size, run_parallel, run_sequential, Preset};
+
+fn workload_by_name(name: &str) -> Option<Workload> {
+    Workload::all()
+        .into_iter()
+        .find(|w| w.name().eq_ignore_ascii_case(name))
+}
+
+fn table1(preset: Preset) {
+    println!("\nTable 1: Sequential Time of Applications ({preset:?} preset)");
+    println!("{:<12} {:<34} {:>12}", "Program", "Problem Size", "Time (s)");
+    for w in Workload::all() {
+        let seq = run_sequential(w, preset);
+        println!(
+            "{:<12} {:<34} {:>12.2}",
+            w.name(),
+            problem_size(w, preset),
+            seq.time
+        );
+    }
+}
+
+fn figure(w: Workload, preset: Preset, max_procs: usize) {
+    let seq = run_sequential(w, preset);
+    println!(
+        "\nFigure {}: {} speedups (sequential time {:.2}s)",
+        w.figure(),
+        w.name(),
+        seq.time
+    );
+    println!("{:>6} {:>12} {:>12}", "procs", "TreadMarks", "PVM");
+    for n in 1..=max_procs {
+        let t = run_parallel(w, System::TreadMarks, n, preset);
+        let m = run_parallel(w, System::Pvm, n, preset);
+        assert!(
+            (t.checksum - m.checksum).abs() <= seq.checksum.abs() * 1e-6 + 1e-6,
+            "{}: checksum mismatch between systems at {n} processes",
+            w.name()
+        );
+        println!(
+            "{:>6} {:>12.2} {:>12.2}",
+            n,
+            t.speedup(seq.time),
+            m.speedup(seq.time)
+        );
+    }
+}
+
+fn table2(preset: Preset, procs: usize) {
+    println!("\nTable 2: Messages and Data at {procs} Processors ({preset:?} preset)");
+    println!(
+        "{:<12} {:>14} {:>14} {:>14} {:>14}",
+        "Program", "TMK msgs", "TMK KB", "PVM msgs", "PVM KB"
+    );
+    for w in Workload::all() {
+        let t = run_parallel(w, System::TreadMarks, procs, preset);
+        let m = run_parallel(w, System::Pvm, procs, preset);
+        println!(
+            "{:<12} {:>14} {:>14.0} {:>14} {:>14.0}",
+            w.name(),
+            t.messages,
+            t.kilobytes,
+            m.messages,
+            m.kilobytes
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let preset = if args.iter().any(|a| a == "--full") {
+        Preset::Paper
+    } else if args.iter().any(|a| a == "--tiny") {
+        Preset::Tiny
+    } else {
+        Preset::Scaled
+    };
+    let max_procs = 8;
+
+    let wants = |flag: &str| args.iter().any(|a| a == flag);
+    let figure_arg = args
+        .iter()
+        .position(|a| a == "--figure")
+        .and_then(|i| args.get(i + 1));
+
+    let run_all = !wants("--table1") && !wants("--table2") && figure_arg.is_none();
+
+    if wants("--table1") || run_all {
+        table1(preset);
+    }
+    if let Some(name) = figure_arg {
+        match workload_by_name(name) {
+            Some(w) => figure(w, preset, max_procs),
+            None => {
+                eprintln!("unknown workload '{name}'; known workloads:");
+                for w in Workload::all() {
+                    eprintln!("  {}", w.name());
+                }
+                std::process::exit(1);
+            }
+        }
+    } else if run_all {
+        for w in Workload::all() {
+            figure(w, preset, max_procs);
+        }
+    }
+    if wants("--table2") || run_all {
+        table2(preset, max_procs);
+    }
+}

@@ -1,0 +1,220 @@
+//! The reproduction harness: maps every table and figure of the paper onto
+//! the applications in the [`apps`] crate and runs them under both systems.
+//!
+//! The `reproduce` binary (`cargo run -p bench --release --bin reproduce`)
+//! regenerates Table 1 (sequential times), Figures 1–12 (speedup curves for
+//! 1–8 processors) and Table 2 (messages and kilobytes at 8 processors).
+//! The criterion benches in `benches/` measure the runtime primitives and
+//! the ablations listed in DESIGN.md §5.
+
+#![warn(missing_docs)]
+
+use apps::runner::{AppRun, SeqRun, System};
+use apps::{barnes, ep, fft3d, ilink, is, qsort, sor, tsp, water, Workload};
+
+/// Problem-size preset used by the harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Preset {
+    /// Tiny inputs used by tests of the harness itself.
+    Tiny,
+    /// Scaled-down inputs (default): the whole suite runs in minutes.
+    Scaled,
+    /// Paper-scale inputs.
+    Paper,
+}
+
+macro_rules! dispatch {
+    ($mod:ident, $params:expr, $sys:expr, $nprocs:expr) => {
+        match $sys {
+            System::TreadMarks => $mod::treadmarks($nprocs, &$params),
+            System::Pvm => $mod::pvm($nprocs, &$params),
+        }
+    };
+}
+
+/// Run the sequential reference for a workload under a preset.
+pub fn run_sequential(w: Workload, preset: Preset) -> SeqRun {
+    match w {
+        Workload::Ep => ep::sequential(&ep_params(preset)),
+        Workload::SorZero => sor::sequential(&sor_params(preset, true)),
+        Workload::SorNonzero => sor::sequential(&sor_params(preset, false)),
+        Workload::IsSmall => is::sequential(&is_params(preset, false)),
+        Workload::IsLarge => is::sequential(&is_params(preset, true)),
+        Workload::Tsp => tsp::sequential(&tsp_params(preset)),
+        Workload::Qsort => qsort::sequential(&qsort_params(preset)),
+        Workload::Water288 => water::sequential(&water_params(preset, false)),
+        Workload::Water1728 => water::sequential(&water_params(preset, true)),
+        Workload::BarnesHut => barnes::sequential(&barnes_params(preset)),
+        Workload::Fft3d => fft3d::sequential(&fft_params(preset)),
+        Workload::Ilink => ilink::sequential(&ilink_params(preset)),
+    }
+}
+
+/// Run a workload on `nprocs` processes under one of the two systems.
+pub fn run_parallel(w: Workload, sys: System, nprocs: usize, preset: Preset) -> AppRun {
+    match w {
+        Workload::Ep => dispatch!(ep, ep_params(preset), sys, nprocs),
+        Workload::SorZero => dispatch!(sor, sor_params(preset, true), sys, nprocs),
+        Workload::SorNonzero => dispatch!(sor, sor_params(preset, false), sys, nprocs),
+        Workload::IsSmall => dispatch!(is, is_params(preset, false), sys, nprocs),
+        Workload::IsLarge => dispatch!(is, is_params(preset, true), sys, nprocs),
+        Workload::Tsp => dispatch!(tsp, tsp_params(preset), sys, nprocs),
+        Workload::Qsort => dispatch!(qsort, qsort_params(preset), sys, nprocs),
+        Workload::Water288 => dispatch!(water, water_params(preset, false), sys, nprocs),
+        Workload::Water1728 => dispatch!(water, water_params(preset, true), sys, nprocs),
+        Workload::BarnesHut => dispatch!(barnes, barnes_params(preset), sys, nprocs),
+        Workload::Fft3d => dispatch!(fft3d, fft_params(preset), sys, nprocs),
+        Workload::Ilink => dispatch!(ilink, ilink_params(preset), sys, nprocs),
+    }
+}
+
+/// Problem-size description printed in the Table 1 reproduction.
+pub fn problem_size(w: Workload, preset: Preset) -> String {
+    match w {
+        Workload::Ep => format!("2^{} pairs", ep_params(preset).pairs.trailing_zeros()),
+        Workload::SorZero | Workload::SorNonzero => {
+            let p = sor_params(preset, true);
+            format!("{}x{} floats, {} iters", p.rows, p.cols, p.iters)
+        }
+        Workload::IsSmall | Workload::IsLarge => {
+            let p = is_params(preset, matches!(w, Workload::IsLarge));
+            format!(
+                "N=2^{}, Bmax=2^{}, {} iters",
+                p.keys.trailing_zeros(),
+                p.buckets.trailing_zeros(),
+                p.iters
+            )
+        }
+        Workload::Tsp => {
+            let p = tsp_params(preset);
+            format!("{} cities, threshold {}", p.cities, p.threshold)
+        }
+        Workload::Qsort => {
+            let p = qsort_params(preset);
+            format!("{}K integers", p.elems / 1024)
+        }
+        Workload::Water288 | Workload::Water1728 => {
+            let p = water_params(preset, matches!(w, Workload::Water1728));
+            format!("{} molecules, {} steps", p.molecules, p.steps)
+        }
+        Workload::BarnesHut => {
+            let p = barnes_params(preset);
+            format!("{} bodies, {} steps", p.bodies, p.steps)
+        }
+        Workload::Fft3d => {
+            let p = fft_params(preset);
+            format!("{}x{}x{}, {} iters", p.n1, p.n2, p.n3, p.iters)
+        }
+        Workload::Ilink => {
+            let p = ilink_params(preset);
+            format!("{} families, genarray {}", p.families, p.genarray)
+        }
+    }
+}
+
+fn ep_params(p: Preset) -> ep::EpParams {
+    match p {
+        Preset::Tiny => ep::EpParams::tiny(),
+        Preset::Scaled => ep::EpParams::scaled(),
+        Preset::Paper => ep::EpParams::paper(),
+    }
+}
+
+fn sor_params(p: Preset, zero: bool) -> sor::SorParams {
+    match (p, zero) {
+        (Preset::Tiny, z) => sor::SorParams::tiny(z),
+        (Preset::Scaled, true) => sor::SorParams::scaled_zero(),
+        (Preset::Scaled, false) => sor::SorParams::scaled_nonzero(),
+        (Preset::Paper, true) => sor::SorParams::paper_zero(),
+        (Preset::Paper, false) => sor::SorParams::paper_nonzero(),
+    }
+}
+
+fn is_params(p: Preset, large: bool) -> is::IsParams {
+    match (p, large) {
+        (Preset::Tiny, _) => is::IsParams::tiny(),
+        (Preset::Scaled, false) => is::IsParams::scaled_small(),
+        (Preset::Scaled, true) => is::IsParams::scaled_large(),
+        (Preset::Paper, false) => is::IsParams::paper_small(),
+        (Preset::Paper, true) => is::IsParams::paper_large(),
+    }
+}
+
+fn tsp_params(p: Preset) -> tsp::TspParams {
+    match p {
+        Preset::Tiny => tsp::TspParams::tiny(),
+        Preset::Scaled => tsp::TspParams::scaled(),
+        Preset::Paper => tsp::TspParams::paper(),
+    }
+}
+
+fn qsort_params(p: Preset) -> qsort::QsortParams {
+    match p {
+        Preset::Tiny => qsort::QsortParams::tiny(),
+        Preset::Scaled => qsort::QsortParams::scaled(),
+        Preset::Paper => qsort::QsortParams::paper(),
+    }
+}
+
+fn water_params(p: Preset, large: bool) -> water::WaterParams {
+    match (p, large) {
+        (Preset::Tiny, _) => water::WaterParams::tiny(),
+        (Preset::Scaled, false) => water::WaterParams::scaled_288(),
+        (Preset::Scaled, true) => water::WaterParams::scaled_1728(),
+        (Preset::Paper, false) => water::WaterParams::paper_288(),
+        (Preset::Paper, true) => water::WaterParams::paper_1728(),
+    }
+}
+
+fn barnes_params(p: Preset) -> barnes::BarnesParams {
+    match p {
+        Preset::Tiny => barnes::BarnesParams::tiny(),
+        Preset::Scaled => barnes::BarnesParams::scaled(),
+        Preset::Paper => barnes::BarnesParams::paper(),
+    }
+}
+
+fn fft_params(p: Preset) -> fft3d::FftParams {
+    match p {
+        Preset::Tiny => fft3d::FftParams::tiny(),
+        Preset::Scaled => fft3d::FftParams::scaled(),
+        Preset::Paper => fft3d::FftParams::paper(),
+    }
+}
+
+fn ilink_params(p: Preset) -> ilink::IlinkParams {
+    match p {
+        Preset::Tiny => ilink::IlinkParams::tiny(),
+        Preset::Scaled => ilink::IlinkParams::scaled(),
+        Preset::Paper => ilink::IlinkParams::paper(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_workload_has_a_sequential_runner() {
+        for w in Workload::all() {
+            let s = run_sequential(w, Preset::Tiny);
+            assert!(s.time > 0.0, "{} has zero sequential time", w.name());
+        }
+    }
+
+    #[test]
+    fn every_workload_runs_under_both_systems() {
+        for w in Workload::all() {
+            let t = run_parallel(w, System::TreadMarks, 2, Preset::Tiny);
+            let m = run_parallel(w, System::Pvm, 2, Preset::Tiny);
+            assert!(t.time > 0.0 && m.time > 0.0, "{} failed", w.name());
+        }
+    }
+
+    #[test]
+    fn problem_sizes_are_described() {
+        for w in Workload::all() {
+            assert!(!problem_size(w, Preset::Scaled).is_empty());
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Cluster configuration and communication cost model.
+//!
+//! The constants in [`ClusterConfig::calibrated_fddi`] approximate the
+//! testbed of the paper: 8 HP-735 workstations on a 100 Mbit/s FDDI ring,
+//! user-level UDP (TreadMarks) or direct TCP (PVM), 4 KB virtual memory
+//! pages.  DESIGN.md §6 documents the calibration.
+
+use serde::{Deserialize, Serialize};
+
+/// Virtual-memory page size of the simulated workstations (HP-735: 4 KB).
+pub const PAGE_SIZE: usize = 4096;
+
+/// Communication and timing model for a simulated cluster.
+///
+/// A logical message of `b` payload bytes sent from one process to another is
+/// charged as follows:
+///
+/// * the sender pays [`send_overhead`](Self::send_overhead) on its own clock;
+/// * the message is split into `ceil(b / mtu)` datagrams (at least one);
+/// * the wire occupancy is `datagrams * fragment_overhead + b / bandwidth`;
+///   when [`shared_medium`](Self::shared_medium) is enabled the occupancy is
+///   serialised over a single shared medium, modelling FDDI ring saturation;
+/// * the message arrives at the receiver `latency + occupancy` after it was
+///   put on the wire, and the receiver pays
+///   [`recv_overhead`](Self::recv_overhead) when it consumes it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of simulated processes (workstations).
+    pub nprocs: usize,
+    /// Fixed one-way software + wire latency per logical message, seconds.
+    pub latency: f64,
+    /// Additional fixed cost per datagram (fragment), seconds.
+    pub fragment_overhead: f64,
+    /// Effective bandwidth of the interconnect, bytes per second.
+    pub bandwidth: f64,
+    /// Maximum transfer unit: payload bytes per datagram.
+    pub mtu: usize,
+    /// CPU cost charged to the sender per logical send, seconds.
+    pub send_overhead: f64,
+    /// CPU cost charged to the receiver per consumed message, seconds.
+    pub recv_overhead: f64,
+    /// Whether wire occupancy is serialised over one shared medium
+    /// (models the FDDI ring; disable for an idealised full-bisection net).
+    pub shared_medium: bool,
+}
+
+impl ClusterConfig {
+    /// The calibrated model of the paper's testbed (see DESIGN.md §6):
+    /// 100 Mbit/s FDDI, ~400 µs small-message latency, 8 KB MTU,
+    /// ~10.5 MB/s effective bandwidth.
+    pub fn calibrated_fddi(nprocs: usize) -> Self {
+        ClusterConfig {
+            nprocs,
+            latency: 400e-6,
+            fragment_overhead: 150e-6,
+            bandwidth: 10.5e6,
+            mtu: 8 * 1024,
+            send_overhead: 80e-6,
+            recv_overhead: 80e-6,
+            shared_medium: true,
+        }
+    }
+
+    /// An idealised network with negligible cost.  Used by functional tests
+    /// that only care about answers, not about performance modelling.
+    pub fn ideal(nprocs: usize) -> Self {
+        ClusterConfig {
+            nprocs,
+            latency: 1e-9,
+            fragment_overhead: 0.0,
+            bandwidth: 1e12,
+            mtu: usize::MAX / 2,
+            send_overhead: 0.0,
+            recv_overhead: 0.0,
+            shared_medium: false,
+        }
+    }
+
+    /// Number of datagrams needed for a payload of `bytes` bytes.
+    pub fn datagrams_for(&self, bytes: usize) -> u64 {
+        if bytes == 0 {
+            1
+        } else {
+            ((bytes + self.mtu - 1) / self.mtu) as u64
+        }
+    }
+
+    /// Wire occupancy (seconds) of a payload of `bytes` bytes: per-fragment
+    /// overhead plus serialisation time at the configured bandwidth.
+    pub fn occupancy(&self, bytes: usize) -> f64 {
+        self.datagrams_for(bytes) as f64 * self.fragment_overhead + bytes as f64 / self.bandwidth
+    }
+
+    /// End-to-end one-way cost of a message that finds the medium idle.
+    pub fn one_way(&self, bytes: usize) -> f64 {
+        self.latency + self.occupancy(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fragment_counting() {
+        let cfg = ClusterConfig::calibrated_fddi(8);
+        assert_eq!(cfg.datagrams_for(0), 1);
+        assert_eq!(cfg.datagrams_for(1), 1);
+        assert_eq!(cfg.datagrams_for(8 * 1024), 1);
+        assert_eq!(cfg.datagrams_for(8 * 1024 + 1), 2);
+        assert_eq!(cfg.datagrams_for(64 * 1024), 8);
+    }
+
+    #[test]
+    fn occupancy_monotone_in_size() {
+        let cfg = ClusterConfig::calibrated_fddi(8);
+        let mut last = 0.0;
+        for b in [0usize, 64, 4096, 8192, 100_000, 1 << 20] {
+            let o = cfg.occupancy(b);
+            assert!(o >= last);
+            last = o;
+        }
+    }
+
+    #[test]
+    fn one_way_includes_latency() {
+        let cfg = ClusterConfig::calibrated_fddi(8);
+        assert!(cfg.one_way(0) >= cfg.latency);
+        // A 1 MB transfer is dominated by bandwidth, not latency.
+        let big = cfg.one_way(1 << 20);
+        assert!(big > (1 << 20) as f64 / cfg.bandwidth);
+        assert!(big < 2.0 * ((1 << 20) as f64 / cfg.bandwidth) + 1.0);
+    }
+
+    #[test]
+    fn ideal_network_is_cheap() {
+        let cfg = ClusterConfig::ideal(4);
+        assert!(cfg.one_way(1 << 20) < 1e-3);
+    }
+}

@@ -1,0 +1,172 @@
+//! A simulated network of workstations.
+//!
+//! The SC'95 study "Message Passing Versus Distributed Shared Memory on
+//! Networks of Workstations" executed its experiments on eight HP-735
+//! workstations connected by a 100 Mbit/s FDDI ring.  This crate provides the
+//! equivalent substrate for the reproduction: a [`Cluster`] spawns one OS
+//! thread per simulated *process* (workstation), and every process owns a
+//! [`Proc`] handle through which it
+//!
+//! * advances a **virtual clock** for computation via [`Proc::compute`], and
+//! * exchanges tagged byte messages via [`Proc::send`] / [`Proc::recv`],
+//!   which charge a calibrated communication cost (fixed per-datagram
+//!   latency, per-fragment overhead, per-byte bandwidth cost, and optional
+//!   shared-medium contention that models FDDI ring saturation).
+//!
+//! Both runtime systems of the study are built on top of this crate: the
+//! PVM-style message passing library (`msgpass`) and the TreadMarks-style
+//! software DSM (`treadmarks`).  All quantities the paper reports — virtual
+//! execution time, number of messages, and bytes transferred — are tracked
+//! per process in [`ProcStats`] and aggregated by [`Cluster::run`].
+//!
+//! # Example
+//!
+//! ```
+//! use cluster::{Cluster, ClusterConfig};
+//! use bytes::Bytes;
+//!
+//! let cfg = ClusterConfig::calibrated_fddi(2);
+//! let report = Cluster::run(cfg, |p| {
+//!     if p.id() == 0 {
+//!         p.compute(0.010); // 10 ms of modeled computation
+//!         p.send(1, 7, Bytes::from_static(b"hello"));
+//!         0usize
+//!     } else {
+//!         let m = p.recv(Some(0), 7);
+//!         m.payload.len()
+//!     }
+//! });
+//! assert_eq!(report.results[1], 5);
+//! assert!(report.stats[1].finish_time > 0.010);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod net;
+pub mod proc;
+pub mod stats;
+pub mod time;
+
+pub use config::ClusterConfig;
+pub use net::{Message, Tag};
+pub use proc::Proc;
+pub use stats::{ClusterReport, ProcStats};
+pub use time::VirtualClock;
+
+use std::sync::Arc;
+
+/// A simulated cluster of workstations.
+///
+/// `Cluster` is a thin front end: [`Cluster::run`] builds the shared
+/// [`net::NetworkCore`], spawns one thread per process, hands each thread a
+/// [`Proc`] handle, runs the user closure to completion on every process and
+/// returns the per-process results together with the per-process
+/// communication statistics.
+pub struct Cluster;
+
+impl Cluster {
+    /// Run `f` on `cfg.nprocs` simulated processes and collect the results.
+    ///
+    /// The closure receives the [`Proc`] handle of its process.  Processes
+    /// execute concurrently on real threads; all *reported* time is virtual
+    /// time maintained by the cluster, so results are independent of the
+    /// physical core count of the host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any process thread panics (the panic is propagated).
+    pub fn run<F, R>(cfg: ClusterConfig, f: F) -> ClusterReport<R>
+    where
+        F: Fn(&Proc) -> R + Send + Sync,
+        R: Send,
+    {
+        assert!(cfg.nprocs >= 1, "a cluster needs at least one process");
+        let core = Arc::new(net::NetworkCore::new(cfg.clone()));
+        let f = &f;
+        let results: Vec<(R, ProcStats)> = std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(cfg.nprocs);
+            for id in 0..cfg.nprocs {
+                let core = Arc::clone(&core);
+                handles.push(s.spawn(move || {
+                    let proc = Proc::new(id, core);
+                    let r = f(&proc);
+                    (r, proc.into_stats())
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("cluster process panicked"))
+                .collect()
+        });
+        let mut out_results = Vec::with_capacity(results.len());
+        let mut out_stats = Vec::with_capacity(results.len());
+        for (r, st) in results {
+            out_results.push(r);
+            out_stats.push(st);
+        }
+        ClusterReport {
+            results: out_results,
+            stats: out_stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    #[test]
+    fn single_process_runs() {
+        let cfg = ClusterConfig::calibrated_fddi(1);
+        let rep = Cluster::run(cfg, |p| {
+            p.compute(1.5);
+            p.clock()
+        });
+        assert_eq!(rep.results.len(), 1);
+        assert!((rep.results[0] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ping_pong_advances_both_clocks() {
+        let cfg = ClusterConfig::calibrated_fddi(2);
+        let rep = Cluster::run(cfg, |p| {
+            if p.id() == 0 {
+                p.send(1, 1, Bytes::from_static(&[1, 2, 3, 4]));
+                let m = p.recv(Some(1), 2);
+                assert_eq!(m.payload.as_ref(), &[9]);
+            } else {
+                let m = p.recv(Some(0), 1);
+                assert_eq!(m.payload.len(), 4);
+                p.send(0, 2, Bytes::from_static(&[9]));
+            }
+            p.clock()
+        });
+        // Both processes must have been charged at least two one-way latencies.
+        let min = 2.0 * rep.stats[0].config_latency;
+        assert!(rep.results[0] >= min, "{} < {}", rep.results[0], min);
+        assert!(rep.results[1] >= rep.stats[1].config_latency);
+        assert_eq!(rep.stats[0].datagrams_sent, 1);
+        assert_eq!(rep.stats[1].datagrams_sent, 1);
+    }
+
+    #[test]
+    fn broadcast_like_pattern_counts_messages() {
+        let n = 4;
+        let cfg = ClusterConfig::calibrated_fddi(n);
+        let rep = Cluster::run(cfg, |p| {
+            if p.id() == 0 {
+                for dst in 1..p.nprocs() {
+                    p.send(dst, 3, Bytes::from(vec![0u8; 100]));
+                }
+                0
+            } else {
+                p.recv(Some(0), 3).payload.len()
+            }
+        });
+        assert_eq!(rep.stats[0].datagrams_sent, (n - 1) as u64);
+        assert_eq!(rep.total_datagrams(), (n - 1) as u64);
+        assert_eq!(rep.total_bytes(), 100 * (n as u64 - 1));
+    }
+}

@@ -1,0 +1,195 @@
+//! The transport layer: tagged messages, per-process mailboxes, and the
+//! shared-medium cost model.
+//!
+//! Every logical message is fragmented into MTU-sized datagrams for cost and
+//! statistics purposes (the paper's TreadMarks numbers count UDP datagrams),
+//! but is delivered to the destination mailbox as a single unit — exactly the
+//! behaviour of a user-level reliable protocol on top of UDP, or of a TCP
+//! stream carrying one PVM message.
+
+use crate::config::ClusterConfig;
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+
+/// Message tags distinguish independent conversations between two processes.
+pub type Tag = u32;
+
+/// A delivered message.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Sending process rank.
+    pub src: usize,
+    /// Destination process rank.
+    pub dst: usize,
+    /// Application-chosen tag.
+    pub tag: Tag,
+    /// Payload bytes.
+    pub payload: Bytes,
+    /// Virtual time at which the message arrived at the destination.
+    pub arrival: f64,
+    /// Number of transport datagrams this message occupied on the wire.
+    pub datagrams: u64,
+}
+
+/// One process's incoming-message queue.
+#[derive(Default)]
+struct Mailbox {
+    queue: Mutex<VecDeque<Message>>,
+    avail: Condvar,
+}
+
+/// The shared state of the simulated network.
+pub struct NetworkCore {
+    cfg: ClusterConfig,
+    mailboxes: Vec<Mailbox>,
+    /// Virtual time until which the shared medium is busy (FDDI ring model).
+    medium_free_at: Mutex<f64>,
+}
+
+impl NetworkCore {
+    /// Create the network for `cfg.nprocs` processes.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        let mailboxes = (0..cfg.nprocs).map(|_| Mailbox::default()).collect();
+        NetworkCore {
+            cfg,
+            mailboxes,
+            medium_free_at: Mutex::new(0.0),
+        }
+    }
+
+    /// The configuration this network was built with.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Put a message on the wire at virtual time `depart` from `src` to
+    /// `dst`.  Returns `(arrival_time, datagrams)`.
+    ///
+    /// When the shared-medium model is enabled, transmission is serialised:
+    /// the message cannot start transmitting before the medium is free, which
+    /// is how broadcast storms (Barnes-Hut under PVM) saturate the network.
+    pub fn transmit(&self, src: usize, dst: usize, tag: Tag, payload: Bytes, depart: f64) -> (f64, u64) {
+        assert!(dst < self.cfg.nprocs, "send to nonexistent process {dst}");
+        let bytes = payload.len();
+        let datagrams = self.cfg.datagrams_for(bytes);
+        let occupancy = self.cfg.occupancy(bytes);
+        let start = if self.cfg.shared_medium {
+            let mut free_at = self.medium_free_at.lock();
+            let start = depart.max(*free_at);
+            *free_at = start + occupancy;
+            start
+        } else {
+            depart
+        };
+        let arrival = start + occupancy + self.cfg.latency;
+        let msg = Message {
+            src,
+            dst,
+            tag,
+            payload,
+            arrival,
+            datagrams,
+        };
+        let mb = &self.mailboxes[dst];
+        mb.queue.lock().push_back(msg);
+        mb.avail.notify_all();
+        (arrival, datagrams)
+    }
+
+    /// Blocking receive of the first queued message for `dst` that matches
+    /// `src` (if given) and `tag` (if given).
+    pub fn recv_match(&self, dst: usize, src: Option<usize>, tag: Option<Tag>) -> Message {
+        let mb = &self.mailboxes[dst];
+        let mut q = mb.queue.lock();
+        loop {
+            if let Some(pos) = Self::find(&q, src, tag) {
+                return q.remove(pos).expect("position just found");
+            }
+            mb.avail.wait(&mut q);
+        }
+    }
+
+    /// Non-blocking variant of [`recv_match`](Self::recv_match).
+    pub fn try_recv_match(&self, dst: usize, src: Option<usize>, tag: Option<Tag>) -> Option<Message> {
+        let mb = &self.mailboxes[dst];
+        let mut q = mb.queue.lock();
+        Self::find(&q, src, tag).and_then(|pos| q.remove(pos))
+    }
+
+    /// Number of messages currently queued for `dst`.
+    pub fn pending(&self, dst: usize) -> usize {
+        self.mailboxes[dst].queue.lock().len()
+    }
+
+    fn find(q: &VecDeque<Message>, src: Option<usize>, tag: Option<Tag>) -> Option<usize> {
+        q.iter().position(|m| {
+            src.map_or(true, |s| m.src == s) && tag.map_or(true, |t| m.tag == t)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core(n: usize) -> NetworkCore {
+        NetworkCore::new(ClusterConfig::calibrated_fddi(n))
+    }
+
+    #[test]
+    fn transmit_and_receive_in_fifo_order_per_tag() {
+        let net = core(2);
+        net.transmit(0, 1, 5, Bytes::from_static(b"a"), 0.0);
+        net.transmit(0, 1, 5, Bytes::from_static(b"b"), 0.0);
+        let m1 = net.recv_match(1, Some(0), Some(5));
+        let m2 = net.recv_match(1, Some(0), Some(5));
+        assert_eq!(m1.payload.as_ref(), b"a");
+        assert_eq!(m2.payload.as_ref(), b"b");
+    }
+
+    #[test]
+    fn tag_filtering_skips_other_tags() {
+        let net = core(2);
+        net.transmit(0, 1, 1, Bytes::from_static(b"one"), 0.0);
+        net.transmit(0, 1, 2, Bytes::from_static(b"two"), 0.0);
+        let m = net.recv_match(1, None, Some(2));
+        assert_eq!(m.payload.as_ref(), b"two");
+        assert_eq!(net.pending(1), 1);
+    }
+
+    #[test]
+    fn try_recv_returns_none_when_empty() {
+        let net = core(2);
+        assert!(net.try_recv_match(1, None, None).is_none());
+        net.transmit(0, 1, 9, Bytes::new(), 0.0);
+        assert!(net.try_recv_match(1, Some(0), Some(9)).is_some());
+        assert!(net.try_recv_match(1, Some(0), Some(9)).is_none());
+    }
+
+    #[test]
+    fn shared_medium_serialises_transmissions() {
+        let net = core(3);
+        let big = vec![0u8; 1 << 20];
+        let (a1, _) = net.transmit(0, 2, 1, Bytes::from(big.clone()), 0.0);
+        let (a2, _) = net.transmit(1, 2, 1, Bytes::from(big), 0.0);
+        // Both departed at t=0, but the second transfer had to wait for the
+        // medium, so it arrives roughly one occupancy later.
+        let occ = net.config().occupancy(1 << 20);
+        assert!(a2 >= a1 + 0.9 * occ, "a1={a1} a2={a2} occ={occ}");
+    }
+
+    #[test]
+    fn fragmentation_reported_in_message() {
+        let net = core(2);
+        let (_, frags) = net.transmit(0, 1, 1, Bytes::from(vec![0u8; 20_000]), 0.0);
+        assert_eq!(frags, 3); // 20000 / 8192 -> 3 datagrams
+    }
+
+    #[test]
+    #[should_panic]
+    fn sending_to_unknown_process_panics() {
+        let net = core(2);
+        net.transmit(0, 7, 0, Bytes::new(), 0.0);
+    }
+}

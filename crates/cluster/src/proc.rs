@@ -1,0 +1,220 @@
+//! The per-process handle used by application and runtime-system code.
+
+use crate::config::ClusterConfig;
+use crate::net::{Message, NetworkCore, Tag};
+use crate::stats::ProcStats;
+use crate::time::VirtualClock;
+use bytes::Bytes;
+use std::cell::RefCell;
+use std::sync::Arc;
+
+/// Handle to one simulated process (workstation).
+///
+/// A `Proc` is owned by the thread that simulates the process and is not
+/// shared across threads; all communication with other processes goes through
+/// the cluster's [`NetworkCore`].
+pub struct Proc {
+    id: usize,
+    core: Arc<NetworkCore>,
+    clock: VirtualClock,
+    stats: RefCell<ProcStats>,
+}
+
+impl Proc {
+    /// Create the handle for process `id` on the given network.
+    pub fn new(id: usize, core: Arc<NetworkCore>) -> Self {
+        let latency = core.config().latency;
+        let stats = ProcStats {
+            id,
+            config_latency: latency,
+            ..Default::default()
+        };
+        Proc {
+            id,
+            core,
+            clock: VirtualClock::new(),
+            stats: RefCell::new(stats),
+        }
+    }
+
+    /// Rank of this process, `0 .. nprocs`.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Number of processes in the cluster.
+    pub fn nprocs(&self) -> usize {
+        self.core.config().nprocs
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        self.core.config()
+    }
+
+    /// Current virtual time of this process, seconds.
+    pub fn clock(&self) -> f64 {
+        self.clock.now()
+    }
+
+    /// Charge `seconds` of local computation to this process's clock.
+    pub fn compute(&self, seconds: f64) {
+        self.clock.advance(seconds);
+        self.stats.borrow_mut().compute_time += seconds;
+    }
+
+    /// Non-blocking send of `payload` to process `dst` with tag `tag`.
+    ///
+    /// The sender is charged the configured per-send CPU overhead; the
+    /// message leaves at the sender's current virtual time.
+    pub fn send(&self, dst: usize, tag: Tag, payload: Bytes) {
+        let overhead = self.core.config().send_overhead;
+        self.clock.advance(overhead);
+        self.send_at(dst, tag, payload, self.clock.now());
+    }
+
+    /// Send `payload` with an explicit departure time.
+    ///
+    /// This models interrupt-style request service (as TreadMarks does with
+    /// SIGIO): a process can answer a request at the virtual time the request
+    /// arrived even if its main computation has already advanced further.
+    /// The send is still accounted to this process's statistics, and the
+    /// per-send CPU overhead is charged to its clock as "stolen cycles".
+    pub fn send_at(&self, dst: usize, tag: Tag, payload: Bytes, depart: f64) {
+        let bytes = payload.len() as u64;
+        let (_, datagrams) = self.core.transmit(self.id, dst, tag, payload, depart);
+        let mut st = self.stats.borrow_mut();
+        st.messages_sent += 1;
+        st.datagrams_sent += datagrams;
+        st.bytes_sent += bytes;
+    }
+
+    /// Blocking receive of a message matching `src` (any source if `None`)
+    /// and `tag`.  The caller's clock is synchronised to the arrival time of
+    /// the message and charged the per-receive overhead.
+    pub fn recv(&self, src: Option<usize>, tag: Tag) -> Message {
+        let m = self.core.recv_match(self.id, src, Some(tag));
+        self.consume(&m);
+        m
+    }
+
+    /// Blocking receive of *any* message addressed to this process.
+    ///
+    /// Runtime systems use this in their service loops: wait for whatever
+    /// comes next (a request to serve or the reply being waited for).
+    pub fn recv_any(&self) -> Message {
+        let m = self.core.recv_match(self.id, None, None);
+        self.consume(&m);
+        m
+    }
+
+    /// Non-blocking receive; returns `None` if no matching message is queued.
+    /// Does not advance the clock when nothing is available.
+    pub fn try_recv(&self, src: Option<usize>, tag: Tag) -> Option<Message> {
+        let m = self.core.try_recv_match(self.id, src, Some(tag))?;
+        self.consume(&m);
+        Some(m)
+    }
+
+    /// Number of messages currently queued for this process.
+    pub fn pending(&self) -> usize {
+        self.core.pending(self.id)
+    }
+
+    /// Finalise and return the statistics of this process.
+    pub fn into_stats(self) -> ProcStats {
+        let mut st = self.stats.into_inner();
+        st.finish_time = self.clock.now();
+        st
+    }
+
+    /// A snapshot of the statistics so far (finish time not yet set).
+    pub fn stats_snapshot(&self) -> ProcStats {
+        let mut st = self.stats.borrow().clone();
+        st.finish_time = self.clock.now();
+        st
+    }
+
+    fn consume(&self, m: &Message) {
+        let idle = self.clock.sync_to(m.arrival);
+        self.clock.advance(self.core.config().recv_overhead);
+        let mut st = self.stats.borrow_mut();
+        st.idle_time += idle;
+        st.messages_received += 1;
+        st.bytes_received += m.payload.len() as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cluster, ClusterConfig};
+
+    #[test]
+    fn compute_is_accounted() {
+        let rep = Cluster::run(ClusterConfig::ideal(1), |p| {
+            p.compute(0.25);
+            p.compute(0.75);
+        });
+        assert!((rep.stats[0].compute_time - 1.0).abs() < 1e-12);
+        assert!((rep.stats[0].finish_time - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recv_waits_for_sender_virtual_time() {
+        let rep = Cluster::run(ClusterConfig::calibrated_fddi(2), |p| {
+            if p.id() == 0 {
+                p.compute(1.0); // sender is busy for a full virtual second
+                p.send(1, 0, Bytes::from_static(b"x"));
+            } else {
+                let m = p.recv(Some(0), 0);
+                assert!(m.arrival > 1.0);
+            }
+            p.clock()
+        });
+        // The receiver did no computation but must still finish after t=1s.
+        assert!(rep.results[1] > 1.0);
+        assert!(rep.stats[1].idle_time > 0.9);
+    }
+
+    #[test]
+    fn send_at_allows_interrupt_style_replies() {
+        let rep = Cluster::run(ClusterConfig::calibrated_fddi(2), |p| {
+            if p.id() == 0 {
+                // Request arrives early ...
+                p.send(1, 1, Bytes::from_static(b"req"));
+                let reply = p.recv(Some(1), 2);
+                reply.arrival
+            } else {
+                p.compute(5.0); // ... while the server is busy computing.
+                let req = p.recv(Some(0), 1);
+                // Serve it at its arrival time, not at our current clock.
+                p.send_at(0, 2, Bytes::from_static(b"rsp"), req.arrival + 0.0001);
+                0.0
+            }
+        });
+        // The reply must NOT be delayed by the server's 5 s of computation.
+        assert!(rep.results[0] < 1.0, "reply arrival {}", rep.results[0]);
+    }
+
+    #[test]
+    fn try_recv_does_not_block() {
+        let rep = Cluster::run(ClusterConfig::ideal(1), |p| p.try_recv(None, 0).is_none());
+        assert!(rep.results[0]);
+    }
+
+    #[test]
+    fn stats_count_both_directions() {
+        let rep = Cluster::run(ClusterConfig::calibrated_fddi(2), |p| {
+            if p.id() == 0 {
+                p.send(1, 0, Bytes::from(vec![0u8; 1000]));
+            } else {
+                p.recv(Some(0), 0);
+            }
+        });
+        assert_eq!(rep.stats[0].messages_sent, 1);
+        assert_eq!(rep.stats[0].bytes_sent, 1000);
+        assert_eq!(rep.stats[1].messages_received, 1);
+        assert_eq!(rep.stats[1].bytes_received, 1000);
+    }
+}

@@ -1,0 +1,250 @@
+//! Shared-memory allocation and typed access.
+//!
+//! The real TreadMarks detects accesses to shared memory with the virtual
+//! memory hardware; this reproduction detects them in software at the same
+//! granularity (the 4 KB page): every accessor below checks the validity of
+//! the pages it touches, triggers the fault path (diff request / response /
+//! apply) for invalid pages, and creates twins on the first write of an
+//! interval.  See DESIGN.md §2 for why this substitution preserves the
+//! protocol behaviour the paper measures.
+//!
+//! Addresses are plain byte offsets into the shared heap, obtained from
+//! [`Tmk::malloc`].  As long as all processes perform the same allocation
+//! sequence (the SPMD convention used by every application in the study),
+//! all processes agree on the addresses.
+
+use crate::page::PageId;
+use crate::process::Tmk;
+use crate::proto::{decode_diff_response, encode_diff_request, TAG_DIFF_REQ, TAG_DIFF_RESP};
+use crate::{MEM_BANDWIDTH, PAGE_FAULT_COST};
+use cluster::config::PAGE_SIZE;
+
+/// An address in the shared heap (a byte offset).
+pub type SharedAddr = usize;
+
+impl<'a> Tmk<'a> {
+    /// Allocate `bytes` of shared memory (8-byte aligned) and return its
+    /// address.  Equivalent to `Tmk_malloc`.
+    pub fn malloc(&self, bytes: usize) -> SharedAddr {
+        self.st.borrow_mut().malloc(bytes, 8)
+    }
+
+    /// Allocate `bytes` of shared memory with an explicit alignment.
+    pub fn malloc_aligned(&self, bytes: usize, align: usize) -> SharedAddr {
+        self.st.borrow_mut().malloc(bytes, align)
+    }
+
+    // ------------------------------------------------------------ raw bytes
+
+    /// Read `out.len()` bytes of shared memory starting at `addr`.
+    pub fn read_bytes(&self, addr: SharedAddr, out: &mut [u8]) {
+        if out.is_empty() {
+            return;
+        }
+        self.ensure_valid(addr, out.len());
+        self.st.borrow_mut().read_bytes(addr, out);
+    }
+
+    /// Write `src` to shared memory starting at `addr`.
+    pub fn write_bytes(&self, addr: SharedAddr, src: &[u8]) {
+        if src.is_empty() {
+            return;
+        }
+        self.ensure_valid(addr, src.len());
+        let pages: Vec<PageId> = self.st.borrow().pages_spanning(addr, src.len()).collect();
+        for p in pages {
+            self.mark_dirty_charged(p);
+        }
+        self.st.borrow_mut().write_bytes(addr, src);
+    }
+
+    // --------------------------------------------------------- typed access
+
+    /// Read one `f64`.
+    pub fn read_f64(&self, addr: SharedAddr) -> f64 {
+        let mut b = [0u8; 8];
+        self.read_bytes(addr, &mut b);
+        f64::from_le_bytes(b)
+    }
+
+    /// Write one `f64`.
+    pub fn write_f64(&self, addr: SharedAddr, v: f64) {
+        self.write_bytes(addr, &v.to_le_bytes());
+    }
+
+    /// Read one `i64`.
+    pub fn read_i64(&self, addr: SharedAddr) -> i64 {
+        let mut b = [0u8; 8];
+        self.read_bytes(addr, &mut b);
+        i64::from_le_bytes(b)
+    }
+
+    /// Write one `i64`.
+    pub fn write_i64(&self, addr: SharedAddr, v: i64) {
+        self.write_bytes(addr, &v.to_le_bytes());
+    }
+
+    /// Read one `i32`.
+    pub fn read_i32(&self, addr: SharedAddr) -> i32 {
+        let mut b = [0u8; 4];
+        self.read_bytes(addr, &mut b);
+        i32::from_le_bytes(b)
+    }
+
+    /// Write one `i32`.
+    pub fn write_i32(&self, addr: SharedAddr, v: i32) {
+        self.write_bytes(addr, &v.to_le_bytes());
+    }
+
+    /// Read one `u32`.
+    pub fn read_u32(&self, addr: SharedAddr) -> u32 {
+        let mut b = [0u8; 4];
+        self.read_bytes(addr, &mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Write one `u32`.
+    pub fn write_u32(&self, addr: SharedAddr, v: u32) {
+        self.write_bytes(addr, &v.to_le_bytes());
+    }
+
+    /// Read one `f32`.
+    pub fn read_f32(&self, addr: SharedAddr) -> f32 {
+        let mut b = [0u8; 4];
+        self.read_bytes(addr, &mut b);
+        f32::from_le_bytes(b)
+    }
+
+    /// Write one `f32`.
+    pub fn write_f32(&self, addr: SharedAddr, v: f32) {
+        self.write_bytes(addr, &v.to_le_bytes());
+    }
+
+    /// Read a contiguous run of `out.len()` `f64` values starting at `addr`.
+    pub fn read_f64_slice(&self, addr: SharedAddr, out: &mut [f64]) {
+        if out.is_empty() {
+            return;
+        }
+        let mut raw = vec![0u8; out.len() * 8];
+        self.read_bytes(addr, &mut raw);
+        for (i, chunk) in raw.chunks_exact(8).enumerate() {
+            out[i] = f64::from_le_bytes(chunk.try_into().unwrap());
+        }
+    }
+
+    /// Write a contiguous run of `f64` values starting at `addr`.
+    pub fn write_f64_slice(&self, addr: SharedAddr, src: &[f64]) {
+        if src.is_empty() {
+            return;
+        }
+        let mut raw = Vec::with_capacity(src.len() * 8);
+        for v in src {
+            raw.extend_from_slice(&v.to_le_bytes());
+        }
+        self.write_bytes(addr, &raw);
+    }
+
+    /// Read a contiguous run of `f32` values starting at `addr`.
+    pub fn read_f32_slice(&self, addr: SharedAddr, out: &mut [f32]) {
+        if out.is_empty() {
+            return;
+        }
+        let mut raw = vec![0u8; out.len() * 4];
+        self.read_bytes(addr, &mut raw);
+        for (i, chunk) in raw.chunks_exact(4).enumerate() {
+            out[i] = f32::from_le_bytes(chunk.try_into().unwrap());
+        }
+    }
+
+    /// Write a contiguous run of `f32` values starting at `addr`.
+    pub fn write_f32_slice(&self, addr: SharedAddr, src: &[f32]) {
+        if src.is_empty() {
+            return;
+        }
+        let mut raw = Vec::with_capacity(src.len() * 4);
+        for v in src {
+            raw.extend_from_slice(&v.to_le_bytes());
+        }
+        self.write_bytes(addr, &raw);
+    }
+
+    /// Read a contiguous run of `i32` values starting at `addr`.
+    pub fn read_i32_slice(&self, addr: SharedAddr, out: &mut [i32]) {
+        if out.is_empty() {
+            return;
+        }
+        let mut raw = vec![0u8; out.len() * 4];
+        self.read_bytes(addr, &mut raw);
+        for (i, chunk) in raw.chunks_exact(4).enumerate() {
+            out[i] = i32::from_le_bytes(chunk.try_into().unwrap());
+        }
+    }
+
+    /// Write a contiguous run of `i32` values starting at `addr`.
+    pub fn write_i32_slice(&self, addr: SharedAddr, src: &[i32]) {
+        if src.is_empty() {
+            return;
+        }
+        let mut raw = Vec::with_capacity(src.len() * 4);
+        for v in src {
+            raw.extend_from_slice(&v.to_le_bytes());
+        }
+        self.write_bytes(addr, &raw);
+    }
+
+    // --------------------------------------------------------------- faults
+
+    /// Make every page overlapping `[addr, addr + len)` valid, fetching and
+    /// applying diffs for the invalid ones.
+    pub fn ensure_valid(&self, addr: SharedAddr, len: usize) {
+        let invalid = self.st.borrow().invalid_pages(addr, len);
+        for page in invalid {
+            self.fault_in(page);
+        }
+    }
+
+    /// Mark `page` dirty, charging the twin-copy cost if a twin is created.
+    fn mark_dirty_charged(&self, page: PageId) {
+        let twinned = self.st.borrow_mut().mark_dirty(page);
+        if twinned {
+            self.proc().compute(PAGE_SIZE as f64 / MEM_BANDWIDTH);
+        }
+    }
+
+    /// The access-fault path: request diffs for `page` from the minimal set
+    /// of writers, apply them in `hb1` order, and mark the page valid.
+    fn fault_in(&self, page: PageId) {
+        self.proc().compute(PAGE_FAULT_COST);
+        let (targets, applied_vc, my_vc) = {
+            let mut st = self.st.borrow_mut();
+            st.stats.page_faults += 1;
+            (
+                st.diff_request_targets(page),
+                st.page_applied_vc(page),
+                st.vc.clone(),
+            )
+        };
+        if targets.is_empty() {
+            // All pending notices were for intervals whose diffs we already
+            // hold (can happen after locally fetching for a neighbouring
+            // access); just apply nothing and revalidate.
+            self.st.borrow_mut().apply_wire_diffs(page, Vec::new());
+            return;
+        }
+        for &t in &targets {
+            let payload = encode_diff_request(page, self.id(), &applied_vc, &my_vc);
+            self.proc().send(t, TAG_DIFF_REQ, payload);
+            self.st.borrow_mut().stats.diff_requests_sent += 1;
+        }
+        let mut all = Vec::new();
+        for _ in 0..targets.len() {
+            let m = self.wait_reply(TAG_DIFF_RESP);
+            let (pid, diffs) = decode_diff_response(m.payload, self.nprocs());
+            assert_eq!(pid, page, "diff response for an unexpected page");
+            all.extend(diffs);
+        }
+        let bytes: usize = all.iter().map(|d| d.diff.encoded_len()).sum();
+        self.proc().compute(bytes as f64 / MEM_BANDWIDTH);
+        self.st.borrow_mut().apply_wire_diffs(page, all);
+    }
+}

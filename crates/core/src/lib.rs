@@ -1,0 +1,298 @@
+//! A TreadMarks-style software distributed shared memory system.
+//!
+//! This crate is the reproduction of the DSM side of the SC'95 study
+//! *"Message Passing Versus Distributed Shared Memory on Networks of
+//! Workstations"*.  It implements the TreadMarks design the paper describes:
+//!
+//! * **Lazy release consistency** — consistency information propagates only
+//!   at acquires; intervals and vector timestamps represent the `hb1`
+//!   partial order ([`vc`]).
+//! * **Multiple-writer protocol** — twins and run-length-encoded diffs allow
+//!   concurrent writers of one page ([`page`]).
+//! * **Invalidate protocol** — write notices piggybacked on lock grants and
+//!   barrier releases invalidate pages; access faults fetch diffs from the
+//!   minimal dominating set of writers, and responders return every diff the
+//!   requester lacks (*diff accumulation*).
+//! * **Synchronization** — locks with statically assigned managers and
+//!   last-requester forwarding (a release sends no message), and a
+//!   centralised barrier costing `2 * (nprocs - 1)` messages ([`process`]).
+//!
+//! The programming interface mirrors the TreadMarks API used by the paper's
+//! applications: `Tmk_malloc`, `Tmk_barrier`, `Tmk_lock_acquire`,
+//! `Tmk_lock_release`, and ordinary reads/writes of shared memory (here:
+//! typed accessors, because access detection is done in software at page
+//! granularity rather than with the VM hardware — see DESIGN.md §2).
+//!
+//! # Example
+//!
+//! ```
+//! use cluster::{Cluster, ClusterConfig};
+//! use treadmarks::Tmk;
+//!
+//! // Two processes increment a shared counter under a lock.
+//! let rep = Cluster::run(ClusterConfig::calibrated_fddi(2), |p| {
+//!     let tmk = Tmk::new(p);
+//!     let counter = tmk.malloc(8);
+//!     tmk.barrier(0);
+//!     for _ in 0..5 {
+//!         tmk.lock_acquire(0);
+//!         let v = tmk.read_i64(counter);
+//!         tmk.write_i64(counter, v + 1);
+//!         tmk.lock_release(0);
+//!     }
+//!     tmk.barrier(1);
+//!     let total = tmk.read_i64(counter);
+//!     tmk.exit();
+//!     total
+//! });
+//! assert!(rep.results.iter().all(|&v| v == 10));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod heap;
+pub mod page;
+pub mod process;
+pub mod proto;
+pub mod state;
+pub mod stats;
+pub mod vc;
+
+pub use heap::SharedAddr;
+pub use page::{Diff, DiffRun, PageId};
+pub use process::Tmk;
+pub use stats::TmkStats;
+pub use vc::VectorClock;
+
+/// Default size of the shared heap (bytes).
+pub const DEFAULT_HEAP_BYTES: usize = 64 << 20;
+
+/// Memory-copy bandwidth used to charge twin creation, diff creation and
+/// diff application (bytes per second), calibrated to an early-90s
+/// workstation memory system.
+pub const MEM_BANDWIDTH: f64 = 40.0e6;
+
+/// Fixed CPU cost of taking an access fault and entering the fault handler.
+pub const PAGE_FAULT_COST: f64 = 100e-6;
+
+/// CPU cost of fielding a protocol request (the SIGIO handler of the real
+/// system), charged to the serving process as stolen cycles.
+pub const REQUEST_SERVICE_COST: f64 = 50e-6;
+
+/// Local bookkeeping cost of a synchronization operation.
+pub const SYNC_OP_COST: f64 = 10e-6;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::{Cluster, ClusterConfig, ClusterReport};
+
+    fn run<R: Send>(n: usize, f: impl Fn(&Tmk) -> R + Send + Sync) -> ClusterReport<R> {
+        Cluster::run(ClusterConfig::calibrated_fddi(n), move |p| {
+            let tmk = Tmk::new(p);
+            let r = f(&tmk);
+            tmk.exit();
+            r
+        })
+    }
+
+    #[test]
+    fn single_process_needs_no_messages() {
+        let rep = run(1, |tmk| {
+            let a = tmk.malloc(1024);
+            tmk.barrier(0);
+            tmk.lock_acquire(3);
+            tmk.write_f64(a, 2.5);
+            tmk.lock_release(3);
+            tmk.barrier(1);
+            tmk.read_f64(a)
+        });
+        assert_eq!(rep.results[0], 2.5);
+        assert_eq!(rep.total_messages(), 0);
+    }
+
+    #[test]
+    fn initialisation_by_proc0_is_visible_after_barrier() {
+        let rep = run(4, |tmk| {
+            let a = tmk.malloc(4096);
+            if tmk.id() == 0 {
+                for i in 0..512 {
+                    tmk.write_f64(a + i * 8, i as f64);
+                }
+            }
+            tmk.barrier(0);
+            let mut sum = 0.0;
+            for i in 0..512 {
+                sum += tmk.read_f64(a + i * 8);
+            }
+            sum
+        });
+        let expect: f64 = (0..512).map(|i| i as f64).sum();
+        assert!(rep.results.iter().all(|&s| (s - expect).abs() < 1e-9));
+    }
+
+    #[test]
+    fn lock_protected_counter_is_sequentially_consistent() {
+        let n = 4;
+        let iters = 20;
+        let rep = run(n, move |tmk| {
+            let counter = tmk.malloc(8);
+            tmk.barrier(0);
+            for _ in 0..iters {
+                tmk.lock_acquire(0);
+                let v = tmk.read_i64(counter);
+                tmk.write_i64(counter, v + 1);
+                tmk.lock_release(0);
+            }
+            tmk.barrier(1);
+            tmk.read_i64(counter)
+        });
+        assert!(rep.results.iter().all(|&v| v == (n * iters) as i64));
+    }
+
+    #[test]
+    fn barrier_message_count_is_2_n_minus_1() {
+        let n = 8;
+        let rep = run(n, |tmk| {
+            tmk.barrier(0);
+        });
+        // One barrier: 2*(n-1) messages, plus the exit protocol's 2*(n-1).
+        assert_eq!(rep.total_messages(), 4 * (n as u64 - 1));
+    }
+
+    #[test]
+    fn reacquiring_an_uncontended_lock_is_local() {
+        let rep = run(2, |tmk| {
+            tmk.barrier(0);
+            if tmk.id() == 1 {
+                for _ in 0..10 {
+                    tmk.lock_acquire(1); // lock 1 is managed by process 1
+                    tmk.lock_release(1);
+                }
+            }
+            tmk.barrier(1);
+            tmk.stats()
+        });
+        assert_eq!(rep.results[1].local_lock_acquires, 10);
+        assert_eq!(rep.results[1].remote_lock_acquires, 0);
+    }
+
+    #[test]
+    fn migratory_data_under_a_lock_reaches_every_process() {
+        // Each process in turn overwrites the same shared block under a
+        // lock; later readers see the final values (diff accumulation path).
+        let n = 4;
+        let rep = run(n, move |tmk| {
+            let block = tmk.malloc(256);
+            tmk.barrier(0);
+            for round in 0..n {
+                if tmk.id() == round {
+                    tmk.lock_acquire(0);
+                    for i in 0..32 {
+                        tmk.write_i64(block + i * 8, (round * 100 + i) as i64);
+                    }
+                    tmk.lock_release(0);
+                }
+                tmk.barrier(1 + round as u32);
+            }
+            tmk.read_i64(block)
+        });
+        let last = ((n - 1) * 100) as i64;
+        assert!(rep.results.iter().all(|&v| v == last));
+    }
+
+    #[test]
+    fn false_sharing_two_writers_one_page() {
+        // Two processes write disjoint halves of the same page between
+        // barriers; both see a consistent merged page afterwards.
+        let rep = run(2, |tmk| {
+            let a = tmk.malloc(4096);
+            tmk.barrier(0);
+            let me = tmk.id();
+            let base = a + me * 2048;
+            for i in 0..256 {
+                tmk.write_i64(base + i * 8, (me * 1000 + i) as i64);
+            }
+            tmk.barrier(1);
+            let other = 1 - me;
+            let other_base = a + other * 2048;
+            let mut ok = true;
+            for i in 0..256 {
+                ok &= tmk.read_i64(other_base + i * 8) == (other * 1000 + i) as i64;
+            }
+            ok
+        });
+        assert!(rep.results.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn producer_consumer_chain_through_locks() {
+        let n = 4;
+        let rep = run(n, move |tmk| {
+            let slot = tmk.malloc(8);
+            tmk.barrier(0);
+            if tmk.id() == 0 {
+                tmk.lock_acquire(0);
+                tmk.write_i64(slot, 42);
+                tmk.lock_release(0);
+            }
+            tmk.barrier(1);
+            tmk.lock_acquire(0);
+            let v = tmk.read_i64(slot);
+            tmk.write_i64(slot, v + 1);
+            tmk.lock_release(0);
+            tmk.barrier(2);
+            tmk.read_i64(slot)
+        });
+        assert!(rep.results.iter().all(|&v| v == 42 + n as i64));
+    }
+
+    #[test]
+    fn large_array_transfer_requires_one_request_per_page() {
+        // One process writes a 64 KB block; the other reads it after a
+        // barrier.  The diffs cover 16 pages, so the reader sends 16 diff
+        // requests (page-based invalidate protocol).
+        let rep = run(2, |tmk| {
+            let a = tmk.malloc(64 * 1024);
+            if tmk.id() == 0 {
+                let data: Vec<i32> = (0..16 * 1024).collect();
+                tmk.write_i32_slice(a, &data);
+            }
+            tmk.barrier(0);
+            if tmk.id() == 1 {
+                let mut out = vec![0i32; 16 * 1024];
+                tmk.read_i32_slice(a, &mut out);
+                assert!(out.iter().enumerate().all(|(i, &v)| v == i as i32));
+            }
+            tmk.barrier(1);
+            tmk.stats()
+        });
+        assert_eq!(rep.results[1].diff_requests_sent, 16);
+        assert_eq!(rep.results[1].page_faults, 16);
+        assert_eq!(rep.results[0].diff_requests_served, 16);
+    }
+
+    #[test]
+    fn dsm_sends_more_messages_than_a_hand_coded_exchange_would() {
+        // The headline qualitative result of the paper: for the same data
+        // exchange, the DSM's separation of synchronization and data
+        // transfer plus its request/response protocol costs more messages.
+        let rep = run(4, |tmk| {
+            let a = tmk.malloc(8 * 1024);
+            if tmk.id() == 0 {
+                let data: Vec<f64> = (0..1024).map(|i| i as f64).collect();
+                tmk.write_f64_slice(a, &data);
+            }
+            tmk.barrier(0);
+            let mut out = vec![0.0; 1024];
+            tmk.read_f64_slice(a, &mut out);
+            tmk.barrier(1);
+            out[1023]
+        });
+        assert!(rep.results.iter().all(|&v| v == 1023.0));
+        // A PVM broadcast of the same block would be 3 user messages; the
+        // DSM needs barrier traffic plus 2 diff requests + responses per
+        // reader.
+        assert!(rep.total_messages() > 3);
+    }
+}

@@ -1,0 +1,202 @@
+//! Pages, twins, and run-length-encoded diffs — the multiple-writer protocol.
+//!
+//! TreadMarks allows two or more processors to modify their own copy of a
+//! shared page simultaneously.  Before the first write of an interval the
+//! writer saves a *twin* (a copy of the page); at the end of the interval the
+//! twin is compared to the current contents and the differences are encoded
+//! as a *diff*, a run-length encoding of the modified bytes.  Diffs from
+//! concurrent writers touch disjoint bytes (for correct programs) and are
+//! merged by applying them all, which is what eliminates most of the cost of
+//! false sharing relative to a single-writer protocol.
+
+use cluster::config::PAGE_SIZE;
+use serde::{Deserialize, Serialize};
+
+/// Index of a shared page within the shared address space.
+pub type PageId = u32;
+
+/// One modified run within a page.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiffRun {
+    /// Byte offset of the run within the page.
+    pub offset: u16,
+    /// The new bytes.
+    pub data: Vec<u8>,
+}
+
+/// A run-length encoding of the modifications made to one page during one
+/// interval, produced by comparing the page to its twin.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diff {
+    /// The modified runs, in increasing offset order, non-overlapping.
+    pub runs: Vec<DiffRun>,
+}
+
+impl Diff {
+    /// Compute the diff between `twin` (the pre-modification copy) and
+    /// `current` (the page as modified during the interval).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices are not both exactly one page long.
+    pub fn create(twin: &[u8], current: &[u8]) -> Diff {
+        assert_eq!(twin.len(), PAGE_SIZE, "twin must be one page");
+        assert_eq!(current.len(), PAGE_SIZE, "page must be one page");
+        let mut runs = Vec::new();
+        let mut i = 0usize;
+        while i < PAGE_SIZE {
+            if twin[i] != current[i] {
+                let start = i;
+                while i < PAGE_SIZE && twin[i] != current[i] {
+                    i += 1;
+                }
+                runs.push(DiffRun {
+                    offset: start as u16,
+                    data: current[start..i].to_vec(),
+                });
+            } else {
+                i += 1;
+            }
+        }
+        Diff { runs }
+    }
+
+    /// Apply this diff to `page`.
+    pub fn apply(&self, page: &mut [u8]) {
+        assert_eq!(page.len(), PAGE_SIZE, "page must be one page");
+        for run in &self.runs {
+            let start = run.offset as usize;
+            page[start..start + run.data.len()].copy_from_slice(&run.data);
+        }
+    }
+
+    /// True if the twin and the page were identical.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Number of modified bytes carried by the diff.
+    pub fn modified_bytes(&self) -> usize {
+        self.runs.iter().map(|r| r.data.len()).sum()
+    }
+
+    /// Size of the diff on the wire: per-run header (offset + length, 4 bytes)
+    /// plus the modified bytes, plus a small diff header.
+    pub fn encoded_len(&self) -> usize {
+        8 + self.runs.iter().map(|r| 4 + r.data.len()).sum::<usize>()
+    }
+}
+
+/// A freshly allocated, zero-filled page.
+pub fn new_page() -> Box<[u8]> {
+    vec![0u8; PAGE_SIZE].into_boxed_slice()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page_with(vals: &[(usize, u8)]) -> Box<[u8]> {
+        let mut p = new_page();
+        for &(i, v) in vals {
+            p[i] = v;
+        }
+        p
+    }
+
+    #[test]
+    fn identical_pages_give_empty_diff() {
+        let twin = new_page();
+        let page = new_page();
+        let d = Diff::create(&twin, &page);
+        assert!(d.is_empty());
+        assert_eq!(d.modified_bytes(), 0);
+    }
+
+    #[test]
+    fn single_run_is_detected() {
+        let twin = new_page();
+        let page = page_with(&[(100, 1), (101, 2), (102, 3)]);
+        let d = Diff::create(&twin, &page);
+        assert_eq!(d.runs.len(), 1);
+        assert_eq!(d.runs[0].offset, 100);
+        assert_eq!(d.runs[0].data, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn multiple_runs_are_separated_by_unchanged_bytes() {
+        let twin = new_page();
+        let page = page_with(&[(0, 9), (1, 9), (500, 7), (4095, 5)]);
+        let d = Diff::create(&twin, &page);
+        assert_eq!(d.runs.len(), 3);
+        assert_eq!(d.modified_bytes(), 4);
+    }
+
+    #[test]
+    fn apply_reconstructs_the_modified_page() {
+        let twin = page_with(&[(10, 42), (20, 43)]);
+        let mut page = twin.clone();
+        page[10] = 1;
+        page[3000] = 99;
+        let d = Diff::create(&twin, &page);
+        let mut other_copy = twin.clone();
+        d.apply(&mut other_copy);
+        assert_eq!(other_copy.as_ref(), page.as_ref());
+    }
+
+    #[test]
+    fn concurrent_disjoint_diffs_merge() {
+        // Two writers modify disjoint halves of the same page (false sharing).
+        let base = new_page();
+        let mut a = base.clone();
+        let mut b = base.clone();
+        for i in 0..2048 {
+            a[i] = 1;
+        }
+        for i in 2048..4096 {
+            b[i] = 2;
+        }
+        let da = Diff::create(&base, &a);
+        let db = Diff::create(&base, &b);
+        let mut merged = base.clone();
+        da.apply(&mut merged);
+        db.apply(&mut merged);
+        assert!(merged[..2048].iter().all(|&x| x == 1));
+        assert!(merged[2048..].iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn diff_of_mostly_zero_page_is_small() {
+        // This is why TreadMarks sends much less data than PVM in SOR-Zero:
+        // pages that stay zero produce (nearly) empty diffs.
+        let twin = new_page();
+        let mut page = new_page();
+        page[0] = 1; // only the boundary element changed
+        let d = Diff::create(&twin, &page);
+        assert!(d.encoded_len() < 32);
+        assert!(d.encoded_len() < PAGE_SIZE / 100);
+    }
+
+    #[test]
+    fn fully_rewritten_page_diff_is_page_sized() {
+        let twin = new_page();
+        let mut page = new_page();
+        for (i, b) in page.iter_mut().enumerate() {
+            *b = (i % 251 + 1) as u8;
+        }
+        let d = Diff::create(&twin, &page);
+        assert_eq!(d.runs.len(), 1);
+        assert!(d.encoded_len() >= PAGE_SIZE);
+    }
+
+    #[test]
+    fn reverting_to_twin_value_is_not_in_diff() {
+        let mut twin = new_page();
+        twin[7] = 7;
+        let mut page = twin.clone();
+        page[7] = 9;
+        page[7] = 7; // reverted before the interval closed
+        let d = Diff::create(&twin, &page);
+        assert!(d.is_empty());
+    }
+}

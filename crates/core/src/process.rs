@@ -1,0 +1,414 @@
+//! The TreadMarks process runtime: synchronization primitives, fault
+//! handling, and the request service loop.
+//!
+//! A [`Tmk`] handle wraps one [`cluster::Proc`] and drives the protocol state
+//! machine in [`crate::state::DsmState`].  The public interface mirrors the
+//! TreadMarks API used by the paper's applications:
+//!
+//! * `Tmk_malloc`      → [`Tmk::malloc`] (in `heap.rs`)
+//! * `Tmk_barrier(i)`  → [`Tmk::barrier`]
+//! * `Tmk_lock_acquire(i)` / `Tmk_lock_release(i)` → [`Tmk::lock_acquire`] /
+//!   [`Tmk::lock_release`]
+//! * shared reads and writes → the typed accessors in `heap.rs`
+//! * `Tmk_exit`        → [`Tmk::exit`]
+//!
+//! Requests from other processes (lock acquires to a manager or last holder,
+//! diff requests, barrier arrivals) are served whenever this process is
+//! blocked waiting for a reply, and replies to them depart at the virtual
+//! time the request arrived plus a small service cost — the interrupt-driven
+//! (SIGIO) request handling of the real system.
+
+use crate::proto::*;
+use crate::state::DsmState;
+use crate::stats::TmkStats;
+use crate::vc::VectorClock;
+use crate::{DEFAULT_HEAP_BYTES, MEM_BANDWIDTH, REQUEST_SERVICE_COST, SYNC_OP_COST};
+use cluster::{Message, Proc};
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+
+/// A TreadMarks endpoint bound to one simulated process.
+pub struct Tmk<'a> {
+    proc: &'a Proc,
+    pub(crate) st: RefCell<DsmState>,
+    /// Next barrier episode number on this process.
+    barrier_epoch: Cell<u32>,
+    /// Barrier-manager state: arrivals per episode (source, source clock).
+    arrivals: RefCell<HashMap<u32, Vec<(usize, VectorClock)>>>,
+    /// Virtual time at which each lock was last released here (prevents a
+    /// grant from appearing to depart while the lock was still held).
+    lock_release_time: RefCell<HashMap<u32, f64>>,
+    /// Exit-protocol counter at process 0.
+    done_count: Cell<usize>,
+}
+
+impl<'a> Tmk<'a> {
+    /// Create a DSM endpoint with the default shared heap size.
+    pub fn new(proc: &'a Proc) -> Self {
+        Self::with_heap(proc, DEFAULT_HEAP_BYTES)
+    }
+
+    /// Create a DSM endpoint with a shared heap of `heap_bytes` bytes.
+    pub fn with_heap(proc: &'a Proc, heap_bytes: usize) -> Self {
+        Tmk {
+            proc,
+            st: RefCell::new(DsmState::new(proc.id(), proc.nprocs(), heap_bytes)),
+            barrier_epoch: Cell::new(0),
+            arrivals: RefCell::new(HashMap::new()),
+            lock_release_time: RefCell::new(HashMap::new()),
+            done_count: Cell::new(0),
+        }
+    }
+
+    /// Rank of this process.
+    pub fn id(&self) -> usize {
+        self.proc.id()
+    }
+
+    /// Number of processes sharing the memory.
+    pub fn nprocs(&self) -> usize {
+        self.proc.nprocs()
+    }
+
+    /// The underlying cluster process handle.
+    pub fn proc(&self) -> &Proc {
+        self.proc
+    }
+
+    /// Runtime statistics accumulated so far.
+    pub fn stats(&self) -> TmkStats {
+        self.st.borrow().stats.clone()
+    }
+
+    // ----------------------------------------------------------------- locks
+
+    /// Acquire lock `id`, blocking until it is granted.
+    ///
+    /// If this process already holds the lock token (it was the last holder
+    /// and nobody has requested the lock since), the acquire is local and
+    /// sends no messages.  Otherwise a request is sent to the lock's manager,
+    /// which forwards it to the last requester; the grant piggybacks the
+    /// write notices of all intervals this process has not yet seen, and the
+    /// corresponding pages are invalidated.
+    pub fn lock_acquire(&self, id: u32) {
+        self.proc.compute(SYNC_OP_COST);
+        let manager = {
+            let mut st = self.st.borrow_mut();
+            let ls = st.lock_state_mut(id);
+            if ls.have_token {
+                ls.in_cs = true;
+                st.stats.local_lock_acquires += 1;
+                return;
+            }
+            st.stats.remote_lock_acquires += 1;
+            st.lock_manager(id)
+        };
+        let my_vc = self.st.borrow().vc.clone();
+        let payload = encode_lock_request(id, self.id(), &my_vc);
+        if manager == self.id() {
+            // We are the manager but do not hold the token: forward straight
+            // to the last requester without a message to ourselves.
+            let prev = {
+                let mut st = self.st.borrow_mut();
+                let ms = st.lock_manager_state_mut(id);
+                let prev = ms.last_requester;
+                ms.last_requester = self.id();
+                prev
+            };
+            assert_ne!(prev, self.id(), "manager without token must know a holder");
+            self.proc.send(prev, TAG_LOCK_FWD, payload);
+        } else {
+            self.proc.send(manager, TAG_LOCK_ACQ, payload);
+        }
+        let reply = self.wait_reply(TAG_LOCK_GRANT);
+        let (lock, granter_vc, records) = decode_lock_grant(reply.payload, self.nprocs());
+        assert_eq!(lock, id, "grant for the wrong lock");
+        {
+            let mut st = self.st.borrow_mut();
+            st.apply_interval_records(&records);
+            debug_assert!(st.vc.dominates(&granter_vc));
+            let ls = st.lock_state_mut(id);
+            ls.have_token = true;
+            ls.in_cs = true;
+        }
+    }
+
+    /// Release lock `id`.
+    ///
+    /// The release itself sends no messages; if another process's request has
+    /// been forwarded here in the meantime, the token (and the write notices
+    /// the requester lacks) are handed over now.
+    pub fn lock_release(&self, id: u32) {
+        self.proc.compute(SYNC_OP_COST);
+        self.close_interval_charged();
+        let pending = {
+            let mut st = self.st.borrow_mut();
+            st.stats.lock_releases += 1;
+            let ls = st.lock_state_mut(id);
+            assert!(ls.in_cs, "releasing lock {id} that is not held");
+            ls.in_cs = false;
+            ls.pending.pop_front()
+        };
+        self.lock_release_time
+            .borrow_mut()
+            .insert(id, self.proc.clock());
+        if let Some((requester, req_vc)) = pending {
+            self.grant_lock(id, requester, &req_vc, self.proc.clock());
+        }
+    }
+
+    // -------------------------------------------------------------- barriers
+
+    /// Wait until every process has arrived at this barrier.
+    ///
+    /// Barriers have a centralised manager (process 0); arrival messages
+    /// carry the write notices the manager lacks, and the release messages
+    /// carry the notices each departing process lacks, for a total of
+    /// `2 * (nprocs - 1)` messages per barrier.
+    pub fn barrier(&self, _index: u32) {
+        self.proc.compute(SYNC_OP_COST);
+        let epoch = self.barrier_epoch.get();
+        self.barrier_epoch.set(epoch + 1);
+        self.close_interval_charged();
+        {
+            self.st.borrow_mut().stats.barriers += 1;
+        }
+        let n = self.nprocs();
+        if n == 1 {
+            let mut st = self.st.borrow_mut();
+            let vc = st.vc.clone();
+            st.last_barrier_vc = vc;
+            return;
+        }
+        if self.id() == 0 {
+            // Manager: collect the other processes' arrivals (serving any
+            // other requests that show up while waiting), then release.
+            loop {
+                let got = self
+                    .arrivals
+                    .borrow()
+                    .get(&epoch)
+                    .map_or(0, |v| v.len());
+                if got == n - 1 {
+                    break;
+                }
+                let m = self.proc.recv_any();
+                self.dispatch(m);
+            }
+            let arrived = self.arrivals.borrow_mut().remove(&epoch).unwrap();
+            for (src, src_vc) in arrived {
+                self.proc.compute(SYNC_OP_COST);
+                let payload = {
+                    let st = self.st.borrow();
+                    let records = st.records_not_covered_by(&src_vc);
+                    encode_barrier(epoch, &st.vc, &records)
+                };
+                self.proc.send(src, TAG_BARRIER_RELEASE, payload);
+            }
+            let mut st = self.st.borrow_mut();
+            let vc = st.vc.clone();
+            st.last_barrier_vc = vc;
+        } else {
+            let payload = {
+                let st = self.st.borrow();
+                let records = st.records_not_covered_by(&st.last_barrier_vc);
+                encode_barrier(epoch, &st.vc, &records)
+            };
+            self.proc.send(0, TAG_BARRIER_ARRIVE, payload);
+            let reply = self.wait_reply(TAG_BARRIER_RELEASE);
+            let (got_epoch, merged_vc, records) = decode_barrier(reply.payload, n);
+            assert_eq!(got_epoch, epoch, "barrier release for the wrong episode");
+            let mut st = self.st.borrow_mut();
+            st.apply_interval_records(&records);
+            st.vc.merge(&merged_vc);
+            let vc = st.vc.clone();
+            st.last_barrier_vc = vc;
+        }
+    }
+
+    // ----------------------------------------------------------- termination
+
+    /// Quiesce the runtime: every process keeps serving requests until all
+    /// processes have finished their work.  Shared memory must not be
+    /// accessed after `exit`.
+    pub fn exit(&self) {
+        let n = self.nprocs();
+        if n == 1 {
+            return;
+        }
+        if self.id() == 0 {
+            while self.done_count.get() < n - 1 {
+                let m = self.proc.recv_any();
+                self.dispatch(m);
+            }
+            for dst in 1..n {
+                self.proc.send(dst, TAG_TERMINATE, bytes::Bytes::new());
+            }
+        } else {
+            self.proc.send(0, TAG_DONE, bytes::Bytes::new());
+            loop {
+                let m = self.proc.recv_any();
+                if m.tag == TAG_TERMINATE {
+                    break;
+                }
+                self.dispatch(m);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------- internals
+
+    /// Close the current interval (if any page is dirty) and charge the CPU
+    /// cost of creating its diffs.
+    pub(crate) fn close_interval_charged(&self) {
+        let record = self.st.borrow_mut().close_interval();
+        if let Some(rec) = record {
+            // Creating a diff scans the page and its twin.
+            let cost = rec.pages.len() as f64 * 2.0 * cluster::config::PAGE_SIZE as f64
+                / MEM_BANDWIDTH;
+            self.proc.compute(cost);
+        }
+    }
+
+    /// Block until a message with `want_tag` arrives, serving every protocol
+    /// request that shows up in the meantime.
+    pub(crate) fn wait_reply(&self, want_tag: u32) -> Message {
+        loop {
+            let m = self.proc.recv_any();
+            if m.tag == want_tag {
+                return m;
+            }
+            if is_request_tag(m.tag) {
+                self.handle_request(m);
+            } else {
+                panic!(
+                    "process {} got unexpected tag {} while waiting for {}",
+                    self.id(),
+                    m.tag,
+                    want_tag
+                );
+            }
+        }
+    }
+
+    /// Handle a message that may be either a request or a stray reply.
+    fn dispatch(&self, m: Message) {
+        if is_request_tag(m.tag) {
+            self.handle_request(m);
+        } else {
+            panic!(
+                "process {} got unexpected non-request tag {}",
+                self.id(),
+                m.tag
+            );
+        }
+    }
+
+    /// Serve one protocol request.  Replies depart at the request's arrival
+    /// time plus the service cost (interrupt-style service); the CPU cost is
+    /// charged to this process as stolen cycles.
+    pub(crate) fn handle_request(&self, m: Message) {
+        let n = self.nprocs();
+        match m.tag {
+            TAG_LOCK_ACQ => {
+                self.proc.compute(REQUEST_SERVICE_COST);
+                let (lock, requester, req_vc) = decode_lock_request(m.payload.clone(), n);
+                let prev = {
+                    let mut st = self.st.borrow_mut();
+                    let ms = st.lock_manager_state_mut(lock);
+                    let prev = ms.last_requester;
+                    ms.last_requester = requester;
+                    prev
+                };
+                if prev == self.id() {
+                    self.handle_forwarded(lock, requester, req_vc, m.arrival);
+                } else {
+                    assert_ne!(prev, requester, "requester cannot be the last holder");
+                    self.proc
+                        .send_at(prev, TAG_LOCK_FWD, m.payload, m.arrival + REQUEST_SERVICE_COST);
+                }
+            }
+            TAG_LOCK_FWD => {
+                self.proc.compute(REQUEST_SERVICE_COST);
+                let (lock, requester, req_vc) = decode_lock_request(m.payload, n);
+                self.handle_forwarded(lock, requester, req_vc, m.arrival);
+            }
+            TAG_DIFF_REQ => {
+                self.proc.compute(REQUEST_SERVICE_COST);
+                let (page, requester, applied_vc, global_vc) = decode_diff_request(m.payload, n);
+                let (payload, bytes) = {
+                    let mut st = self.st.borrow_mut();
+                    st.stats.diff_requests_served += 1;
+                    let diffs = st.diffs_for_request(page, requester, &applied_vc, &global_vc);
+                    let bytes: usize = diffs.iter().map(|d| d.diff.encoded_len()).sum();
+                    (encode_diff_response(page, &diffs), bytes)
+                };
+                // Copying the diffs into the response steals cycles here.
+                self.proc.compute(bytes as f64 / MEM_BANDWIDTH);
+                self.proc.send_at(
+                    requester,
+                    TAG_DIFF_RESP,
+                    payload,
+                    m.arrival + REQUEST_SERVICE_COST,
+                );
+            }
+            TAG_BARRIER_ARRIVE => {
+                assert_eq!(self.id(), 0, "only process 0 manages barriers");
+                self.proc.compute(REQUEST_SERVICE_COST);
+                let (epoch, src_vc, records) = decode_barrier(m.payload, n);
+                self.st.borrow_mut().apply_interval_records(&records);
+                self.arrivals
+                    .borrow_mut()
+                    .entry(epoch)
+                    .or_default()
+                    .push((m.src, src_vc));
+            }
+            TAG_DONE => {
+                assert_eq!(self.id(), 0, "only process 0 collects DONE messages");
+                self.done_count.set(self.done_count.get() + 1);
+            }
+            other => panic!("not a request tag: {other}"),
+        }
+    }
+
+    /// Handle a (possibly forwarded) lock acquire directed at this process.
+    fn handle_forwarded(&self, lock: u32, requester: usize, req_vc: VectorClock, arrival: f64) {
+        assert_ne!(requester, self.id(), "a process never forwards to itself");
+        let can_grant = {
+            let mut st = self.st.borrow_mut();
+            let ls = st.lock_state_mut(lock);
+            if ls.have_token && !ls.in_cs {
+                true
+            } else {
+                ls.pending.push_back((requester, req_vc.clone()));
+                false
+            }
+        };
+        if can_grant {
+            let released_at = self
+                .lock_release_time
+                .borrow()
+                .get(&lock)
+                .copied()
+                .unwrap_or(0.0);
+            let depart = (arrival + REQUEST_SERVICE_COST).max(released_at);
+            self.grant_lock(lock, requester, &req_vc, depart);
+        }
+    }
+
+    /// Hand the lock token to `requester`, piggybacking the write notices of
+    /// every interval the requester has not seen.
+    fn grant_lock(&self, lock: u32, requester: usize, req_vc: &VectorClock, depart: f64) {
+        self.close_interval_charged();
+        let payload = {
+            let mut st = self.st.borrow_mut();
+            let records = st.records_not_covered_by(req_vc);
+            let vc = st.vc.clone();
+            let ls = st.lock_state_mut(lock);
+            assert!(ls.have_token && !ls.in_cs, "granting a lock we cannot give");
+            ls.have_token = false;
+            encode_lock_grant(lock, &vc, &records)
+        };
+        self.proc.send_at(requester, TAG_LOCK_GRANT, payload, depart);
+    }
+}

@@ -1,0 +1,365 @@
+//! Wire protocol of the DSM runtime: message tags, interval records (write
+//! notices), and their encodings.
+//!
+//! Message sizes matter for the reproduction: Table 2 of the paper counts the
+//! UDP messages and the total amount of data TreadMarks sends, so every
+//! protocol message here is encoded into real bytes whose length is what the
+//! simulated network charges and counts.
+
+use crate::page::{Diff, DiffRun, PageId};
+use crate::vc::VectorClock;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Lock acquire request, requester → lock manager.
+pub const TAG_LOCK_ACQ: u32 = 100;
+/// Forwarded acquire request, manager → last requester.
+pub const TAG_LOCK_FWD: u32 = 101;
+/// Lock grant (with piggybacked write notices), last releaser → requester.
+pub const TAG_LOCK_GRANT: u32 = 102;
+/// Barrier arrival (with write notices), client → barrier manager.
+pub const TAG_BARRIER_ARRIVE: u32 = 103;
+/// Barrier release (with write notices), manager → client.
+pub const TAG_BARRIER_RELEASE: u32 = 104;
+/// Diff request, faulting process → a writer of the page.
+pub const TAG_DIFF_REQ: u32 = 105;
+/// Diff response carrying one or more diffs of the requested page.
+pub const TAG_DIFF_RESP: u32 = 106;
+/// Termination protocol: worker → process 0, "I am done".
+pub const TAG_DONE: u32 = 107;
+/// Termination protocol: process 0 → worker, "everyone is done, stop serving".
+pub const TAG_TERMINATE: u32 = 108;
+
+/// True if `tag` is a request that must be served by the runtime's service
+/// loop even while the process is blocked waiting for something else.
+pub fn is_request_tag(tag: u32) -> bool {
+    matches!(
+        tag,
+        TAG_LOCK_ACQ | TAG_LOCK_FWD | TAG_BARRIER_ARRIVE | TAG_DIFF_REQ | TAG_DONE
+    )
+}
+
+/// A write-notice record: one closed interval of one process, listing the
+/// pages that process modified during the interval, together with the
+/// interval's vector timestamp.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntervalRecord {
+    /// Process that created the interval.
+    pub creator: usize,
+    /// 1-based sequence number of the interval on its creator.
+    pub seq: u32,
+    /// Vector timestamp of the interval.
+    pub vc: VectorClock,
+    /// Pages modified during the interval (the write notices).
+    pub pages: Vec<PageId>,
+}
+
+fn put_vc(buf: &mut BytesMut, vc: &VectorClock) {
+    for &e in vc.entries() {
+        buf.put_u32_le(e);
+    }
+}
+
+fn get_vc(buf: &mut Bytes, nprocs: usize) -> VectorClock {
+    let entries = (0..nprocs).map(|_| buf.get_u32_le()).collect();
+    VectorClock::from_entries(entries)
+}
+
+fn put_record(buf: &mut BytesMut, r: &IntervalRecord) {
+    buf.put_u32_le(r.creator as u32);
+    buf.put_u32_le(r.seq);
+    put_vc(buf, &r.vc);
+    buf.put_u32_le(r.pages.len() as u32);
+    for &p in &r.pages {
+        buf.put_u32_le(p);
+    }
+}
+
+fn get_record(buf: &mut Bytes, nprocs: usize) -> IntervalRecord {
+    let creator = buf.get_u32_le() as usize;
+    let seq = buf.get_u32_le();
+    let vc = get_vc(buf, nprocs);
+    let npages = buf.get_u32_le() as usize;
+    let pages = (0..npages).map(|_| buf.get_u32_le()).collect();
+    IntervalRecord {
+        creator,
+        seq,
+        vc,
+        pages,
+    }
+}
+
+/// Encode a list of interval records preceded by their count.
+pub fn put_records(buf: &mut BytesMut, records: &[IntervalRecord]) {
+    buf.put_u32_le(records.len() as u32);
+    for r in records {
+        put_record(buf, r);
+    }
+}
+
+/// Decode a list of interval records.
+pub fn get_records(buf: &mut Bytes, nprocs: usize) -> Vec<IntervalRecord> {
+    let n = buf.get_u32_le() as usize;
+    (0..n).map(|_| get_record(buf, nprocs)).collect()
+}
+
+/// Lock acquire / forwarded acquire: `(lock_id, requester, requester_vc)`.
+pub fn encode_lock_request(lock_id: u32, requester: usize, vc: &VectorClock) -> Bytes {
+    let mut b = BytesMut::with_capacity(12 + 4 * vc.len());
+    b.put_u32_le(lock_id);
+    b.put_u32_le(requester as u32);
+    put_vc(&mut b, vc);
+    b.freeze()
+}
+
+/// Decode a lock acquire / forwarded acquire.
+pub fn decode_lock_request(mut payload: Bytes, nprocs: usize) -> (u32, usize, VectorClock) {
+    let lock_id = payload.get_u32_le();
+    let requester = payload.get_u32_le() as usize;
+    let vc = get_vc(&mut payload, nprocs);
+    (lock_id, requester, vc)
+}
+
+/// Lock grant: `(lock_id, granter_vc, write notices the requester lacks)`.
+pub fn encode_lock_grant(lock_id: u32, vc: &VectorClock, records: &[IntervalRecord]) -> Bytes {
+    let mut b = BytesMut::new();
+    b.put_u32_le(lock_id);
+    put_vc(&mut b, vc);
+    put_records(&mut b, records);
+    b.freeze()
+}
+
+/// Decode a lock grant.
+pub fn decode_lock_grant(mut payload: Bytes, nprocs: usize) -> (u32, VectorClock, Vec<IntervalRecord>) {
+    let lock_id = payload.get_u32_le();
+    let vc = get_vc(&mut payload, nprocs);
+    let records = get_records(&mut payload, nprocs);
+    (lock_id, vc, records)
+}
+
+/// Barrier arrival / release: `(epoch, vc, records)`.
+pub fn encode_barrier(epoch: u32, vc: &VectorClock, records: &[IntervalRecord]) -> Bytes {
+    let mut b = BytesMut::new();
+    b.put_u32_le(epoch);
+    put_vc(&mut b, vc);
+    put_records(&mut b, records);
+    b.freeze()
+}
+
+/// Decode a barrier arrival / release.
+pub fn decode_barrier(mut payload: Bytes, nprocs: usize) -> (u32, VectorClock, Vec<IntervalRecord>) {
+    let epoch = payload.get_u32_le();
+    let vc = get_vc(&mut payload, nprocs);
+    let records = get_records(&mut payload, nprocs);
+    (epoch, vc, records)
+}
+
+/// Diff request: `(page, requester, applied_vc, global_vc)`.
+///
+/// `applied_vc` says which intervals' modifications the requester has already
+/// incorporated into its copy of the page; `global_vc` says which intervals
+/// the requester knows about at all.  The responder returns every diff it
+/// holds for the page whose interval lies between the two.
+pub fn encode_diff_request(
+    page: PageId,
+    requester: usize,
+    applied_vc: &VectorClock,
+    global_vc: &VectorClock,
+) -> Bytes {
+    let mut b = BytesMut::with_capacity(12 + 8 * applied_vc.len());
+    b.put_u32_le(page);
+    b.put_u32_le(requester as u32);
+    put_vc(&mut b, applied_vc);
+    put_vc(&mut b, global_vc);
+    b.freeze()
+}
+
+/// Decode a diff request into `(page, requester, applied_vc, global_vc)`.
+pub fn decode_diff_request(
+    mut payload: Bytes,
+    nprocs: usize,
+) -> (PageId, usize, VectorClock, VectorClock) {
+    let page = payload.get_u32_le();
+    let requester = payload.get_u32_le() as usize;
+    let applied = get_vc(&mut payload, nprocs);
+    let global = get_vc(&mut payload, nprocs);
+    (page, requester, applied, global)
+}
+
+/// One diff travelling in a diff response: who created it, in which interval,
+/// and the runs themselves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireDiff {
+    /// Creator process of the diff.
+    pub creator: usize,
+    /// Interval sequence number of the diff on its creator.
+    pub seq: u32,
+    /// Vector timestamp of the creating interval (used to order application).
+    pub vc: VectorClock,
+    /// The diff itself.
+    pub diff: Diff,
+}
+
+/// Diff response: `(page, diffs)`.
+pub fn encode_diff_response(page: PageId, diffs: &[WireDiff]) -> Bytes {
+    let mut b = BytesMut::new();
+    b.put_u32_le(page);
+    b.put_u32_le(diffs.len() as u32);
+    for wd in diffs {
+        b.put_u32_le(wd.creator as u32);
+        b.put_u32_le(wd.seq);
+        put_vc(&mut b, &wd.vc);
+        b.put_u32_le(wd.diff.runs.len() as u32);
+        for run in &wd.diff.runs {
+            b.put_u16_le(run.offset);
+            b.put_u16_le(run.data.len() as u16);
+            b.put_slice(&run.data);
+        }
+    }
+    b.freeze()
+}
+
+/// Decode a diff response.
+pub fn decode_diff_response(mut payload: Bytes, nprocs: usize) -> (PageId, Vec<WireDiff>) {
+    let page = payload.get_u32_le();
+    let n = payload.get_u32_le() as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let creator = payload.get_u32_le() as usize;
+        let seq = payload.get_u32_le();
+        let vc = get_vc(&mut payload, nprocs);
+        let nruns = payload.get_u32_le() as usize;
+        let mut runs = Vec::with_capacity(nruns);
+        for _ in 0..nruns {
+            let offset = payload.get_u16_le();
+            let len = payload.get_u16_le() as usize;
+            let mut data = vec![0u8; len];
+            payload.copy_to_slice(&mut data);
+            runs.push(DiffRun { offset, data });
+        }
+        out.push(WireDiff {
+            creator,
+            seq,
+            vc,
+            diff: Diff { runs },
+        });
+    }
+    (page, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::new_page;
+
+    fn vc(v: &[u32]) -> VectorClock {
+        VectorClock::from_entries(v.to_vec())
+    }
+
+    #[test]
+    fn lock_request_round_trip() {
+        let payload = encode_lock_request(7, 3, &vc(&[1, 2, 3, 4]));
+        let (lock, req, v) = decode_lock_request(payload, 4);
+        assert_eq!(lock, 7);
+        assert_eq!(req, 3);
+        assert_eq!(v.entries(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn lock_grant_round_trip_with_records() {
+        let records = vec![
+            IntervalRecord {
+                creator: 1,
+                seq: 5,
+                vc: vc(&[0, 5]),
+                pages: vec![10, 11, 12],
+            },
+            IntervalRecord {
+                creator: 0,
+                seq: 2,
+                vc: vc(&[2, 0]),
+                pages: vec![],
+            },
+        ];
+        let payload = encode_lock_grant(3, &vc(&[2, 5]), &records);
+        let (lock, v, recs) = decode_lock_grant(payload, 2);
+        assert_eq!(lock, 3);
+        assert_eq!(v.entries(), &[2, 5]);
+        assert_eq!(recs, records);
+    }
+
+    #[test]
+    fn barrier_round_trip() {
+        let records = vec![IntervalRecord {
+            creator: 2,
+            seq: 1,
+            vc: vc(&[0, 0, 1]),
+            pages: vec![42],
+        }];
+        let payload = encode_barrier(9, &vc(&[1, 1, 1]), &records);
+        let (epoch, v, recs) = decode_barrier(payload, 3);
+        assert_eq!(epoch, 9);
+        assert_eq!(v.entries(), &[1, 1, 1]);
+        assert_eq!(recs, records);
+    }
+
+    #[test]
+    fn diff_request_round_trip() {
+        let applied = vc(&[1, 0, 0, 0, 0, 0, 0, 0]);
+        let global = vc(&[9, 8, 7, 6, 5, 4, 3, 2]);
+        let payload = encode_diff_request(77, 5, &applied, &global);
+        let (page, req, a, g) = decode_diff_request(payload, 8);
+        assert_eq!(page, 77);
+        assert_eq!(req, 5);
+        assert_eq!(a, applied);
+        assert_eq!(g.get(0), 9);
+    }
+
+    #[test]
+    fn diff_response_round_trip() {
+        let twin = new_page();
+        let mut page = new_page();
+        page[100] = 1;
+        page[2000] = 2;
+        let d = Diff::create(&twin, &page);
+        let wire = vec![WireDiff {
+            creator: 4,
+            seq: 3,
+            vc: vc(&[0, 0, 0, 0, 3]),
+            diff: d.clone(),
+        }];
+        let payload = encode_diff_response(12, &wire);
+        let (pid, diffs) = decode_diff_response(payload, 5);
+        assert_eq!(pid, 12);
+        assert_eq!(diffs.len(), 1);
+        assert_eq!(diffs[0].diff, d);
+        assert_eq!(diffs[0].creator, 4);
+    }
+
+    #[test]
+    fn request_tags_are_classified() {
+        assert!(is_request_tag(TAG_LOCK_ACQ));
+        assert!(is_request_tag(TAG_DIFF_REQ));
+        assert!(is_request_tag(TAG_BARRIER_ARRIVE));
+        assert!(!is_request_tag(TAG_LOCK_GRANT));
+        assert!(!is_request_tag(TAG_BARRIER_RELEASE));
+        assert!(!is_request_tag(TAG_DIFF_RESP));
+        assert!(!is_request_tag(TAG_TERMINATE));
+    }
+
+    #[test]
+    fn message_sizes_scale_with_content() {
+        // A grant with no notices is small; one with many notices is larger.
+        let small = encode_lock_grant(0, &vc(&[0; 8]), &[]);
+        let many: Vec<IntervalRecord> = (0..20)
+            .map(|i| IntervalRecord {
+                creator: i % 8,
+                seq: i as u32,
+                vc: vc(&[i as u32; 8]),
+                pages: (0..10).collect(),
+            })
+            .collect();
+        let big = encode_lock_grant(0, &vc(&[0; 8]), &many);
+        assert!(small.len() < 64);
+        assert!(big.len() > 20 * (8 + 4 * 8 + 4 * 10));
+    }
+}

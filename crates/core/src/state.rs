@@ -1,0 +1,749 @@
+//! The network-free protocol state machine of one DSM process.
+//!
+//! `DsmState` owns everything a TreadMarks process knows: its vector clock,
+//! its copies of shared pages (with twins and pending write notices), the
+//! interval records and diffs it has created or fetched, and its lock state.
+//! The [`crate::Tmk`] wrapper in `process.rs` drives this state machine and
+//! performs the actual message exchanges; keeping the state machine free of
+//! networking makes the consistency logic unit-testable in isolation.
+
+use crate::page::{new_page, Diff, PageId};
+use crate::proto::{IntervalRecord, WireDiff};
+use crate::stats::TmkStats;
+use crate::vc::VectorClock;
+use cluster::config::PAGE_SIZE;
+use std::collections::{HashMap, VecDeque};
+
+/// A pending write notice: an interval known to have modified a page, whose
+/// diff has not yet been fetched and applied locally.
+#[derive(Debug, Clone)]
+pub struct Notice {
+    /// Creator of the interval.
+    pub creator: usize,
+    /// Interval sequence number on the creator.
+    pub seq: u32,
+    /// Vector timestamp of the interval.
+    pub vc: VectorClock,
+}
+
+/// Local state of one shared page.
+#[derive(Debug, Default)]
+pub struct PageSlot {
+    /// The page contents; allocated lazily, logically zero-filled before that.
+    pub data: Option<Box<[u8]>>,
+    /// The twin saved before the first write of the current interval.
+    pub twin: Option<Box<[u8]>>,
+    /// Whether the local copy is up to date.  All copies start valid (zero).
+    pub valid: bool,
+    /// Whether the page has been written during the current interval.
+    pub dirty: bool,
+    /// Write notices received for this page whose diffs are still missing.
+    pub notices: Vec<Notice>,
+    /// Per-creator sequence number of the latest interval whose modifications
+    /// to this page are incorporated in the local copy (either created here
+    /// or fetched and applied).  `None` means "nothing yet" (all zero).
+    pub applied: Option<VectorClock>,
+}
+
+/// Per-lock state kept by every process that has interacted with the lock.
+#[derive(Debug)]
+pub struct LockState {
+    /// Whether this process currently holds the lock token.
+    pub have_token: bool,
+    /// Whether this process is inside the critical section.
+    pub in_cs: bool,
+    /// Forwarded acquire requests waiting for this process to release.
+    pub pending: VecDeque<(usize, VectorClock)>,
+}
+
+/// State kept by a lock's statically assigned manager.
+#[derive(Debug)]
+pub struct LockManagerState {
+    /// The process that most recently requested the lock.
+    pub last_requester: usize,
+}
+
+/// The complete protocol state of one DSM process.
+pub struct DsmState {
+    /// This process's rank.
+    pub me: usize,
+    /// Number of processes.
+    pub nprocs: usize,
+    /// This process's vector clock (entry `me` = number of closed intervals).
+    pub vc: VectorClock,
+    /// The merged clock distributed at the last barrier release.
+    pub last_barrier_vc: VectorClock,
+    /// All interval records known, indexed `[creator][seq - 1]`.
+    intervals: Vec<Vec<IntervalRecord>>,
+    /// Diffs held locally (created or fetched), keyed by (page, creator, seq).
+    diffs: HashMap<(PageId, usize, u32), (VectorClock, Diff)>,
+    /// Shared pages.
+    pages: Vec<PageSlot>,
+    /// Pages written during the current (open) interval.
+    dirty_pages: Vec<PageId>,
+    /// Bump allocator cursor for the shared heap.
+    heap_next: usize,
+    /// Size of the shared heap in bytes.
+    heap_bytes: usize,
+    /// Per-lock token state.
+    locks: HashMap<u32, LockState>,
+    /// Manager-side lock state for locks this process manages.
+    lock_managers: HashMap<u32, LockManagerState>,
+    /// Runtime statistics.
+    pub stats: TmkStats,
+}
+
+impl DsmState {
+    /// Fresh state for process `me` of `nprocs`, with a shared heap of
+    /// `heap_bytes` bytes.
+    pub fn new(me: usize, nprocs: usize, heap_bytes: usize) -> Self {
+        let npages = (heap_bytes + PAGE_SIZE - 1) / PAGE_SIZE;
+        let mut pages = Vec::with_capacity(npages);
+        for _ in 0..npages {
+            pages.push(PageSlot {
+                valid: true,
+                ..Default::default()
+            });
+        }
+        DsmState {
+            me,
+            nprocs,
+            vc: VectorClock::new(nprocs),
+            last_barrier_vc: VectorClock::new(nprocs),
+            intervals: vec![Vec::new(); nprocs],
+            diffs: HashMap::new(),
+            pages,
+            dirty_pages: Vec::new(),
+            heap_next: 0,
+            heap_bytes: npages * PAGE_SIZE,
+            locks: HashMap::new(),
+            lock_managers: HashMap::new(),
+            stats: TmkStats::default(),
+        }
+    }
+
+    // ---------------------------------------------------------------- heap
+
+    /// Allocate `bytes` of shared memory with the given alignment and return
+    /// its address.  The allocator is a deterministic bump allocator: as long
+    /// as every process performs the same sequence of allocations (the SPMD
+    /// convention of the applications in this study), every process obtains
+    /// the same addresses.  Allocations are *not* page aligned, so distinct
+    /// objects can share a page — which is exactly how false sharing arises
+    /// in the applications of the paper.
+    pub fn malloc(&mut self, bytes: usize, align: usize) -> usize {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let addr = (self.heap_next + align - 1) & !(align - 1);
+        assert!(
+            addr + bytes <= self.heap_bytes,
+            "shared heap exhausted: need {bytes} bytes at {addr}, heap is {} bytes",
+            self.heap_bytes
+        );
+        self.heap_next = addr + bytes;
+        addr
+    }
+
+    /// Total size of the shared heap in bytes.
+    pub fn heap_size(&self) -> usize {
+        self.heap_bytes
+    }
+
+    /// Page containing `addr`.
+    pub fn page_of(&self, addr: usize) -> PageId {
+        (addr / PAGE_SIZE) as PageId
+    }
+
+    /// The pages spanned by the byte range `[addr, addr + len)`.
+    pub fn pages_spanning(&self, addr: usize, len: usize) -> std::ops::RangeInclusive<PageId> {
+        assert!(len > 0, "zero-length shared access");
+        assert!(
+            addr + len <= self.heap_bytes,
+            "shared access [{addr}, {}) outside the heap",
+            addr + len
+        );
+        self.page_of(addr)..=self.page_of(addr + len - 1)
+    }
+
+    /// Pages in the given range that are currently invalid and need diffs.
+    pub fn invalid_pages(&self, addr: usize, len: usize) -> Vec<PageId> {
+        self.pages_spanning(addr, len)
+            .filter(|&p| !self.pages[p as usize].valid)
+            .collect()
+    }
+
+    /// Read `out.len()` bytes starting at `addr`.  All spanned pages must be
+    /// valid (the caller resolves faults first).
+    pub fn read_bytes(&mut self, addr: usize, out: &mut [u8]) {
+        let len = out.len();
+        let pages = self.pages_spanning(addr, len);
+        debug_assert!(pages.clone().all(|p| self.pages[p as usize].valid));
+        let mut done = 0usize;
+        let mut cur = addr;
+        while done < len {
+            let page = self.page_of(cur);
+            let off = cur % PAGE_SIZE;
+            let take = (PAGE_SIZE - off).min(len - done);
+            let slot = &self.pages[page as usize];
+            match &slot.data {
+                Some(data) => out[done..done + take].copy_from_slice(&data[off..off + take]),
+                None => out[done..done + take].fill(0),
+            }
+            done += take;
+            cur += take;
+        }
+    }
+
+    /// Write `src` starting at `addr`.  All spanned pages must be valid and
+    /// already marked dirty (twinned) by the caller.
+    pub fn write_bytes(&mut self, addr: usize, src: &[u8]) {
+        let len = src.len();
+        let _ = self.pages_spanning(addr, len);
+        let mut done = 0usize;
+        let mut cur = addr;
+        while done < len {
+            let page = self.page_of(cur);
+            let off = cur % PAGE_SIZE;
+            let take = (PAGE_SIZE - off).min(len - done);
+            let slot = &mut self.pages[page as usize];
+            debug_assert!(slot.valid && slot.dirty);
+            let data = slot.data.get_or_insert_with(new_page);
+            data[off..off + take].copy_from_slice(&src[done..done + take]);
+            done += take;
+            cur += take;
+        }
+    }
+
+    /// Mark `page` as written in the current interval, creating its twin on
+    /// the first write (the multiple-writer protocol's write trap).
+    /// Returns `true` if a twin was created by this call.
+    pub fn mark_dirty(&mut self, page: PageId) -> bool {
+        let slot = &mut self.pages[page as usize];
+        assert!(slot.valid, "writing an invalid page without a fault");
+        if slot.dirty {
+            return false;
+        }
+        let data = slot.data.get_or_insert_with(new_page);
+        slot.twin = Some(data.clone());
+        slot.dirty = true;
+        self.dirty_pages.push(page);
+        self.stats.twins_created += 1;
+        true
+    }
+
+    /// Whether `page` is currently valid.
+    pub fn is_valid(&self, page: PageId) -> bool {
+        self.pages[page as usize].valid
+    }
+
+    /// Whether `page` is dirty in the current interval.
+    pub fn is_dirty(&self, page: PageId) -> bool {
+        self.pages[page as usize].dirty
+    }
+
+    /// The pending write notices of `page`.
+    pub fn notices_of(&self, page: PageId) -> &[Notice] {
+        &self.pages[page as usize].notices
+    }
+
+    // ----------------------------------------------------------- intervals
+
+    /// Close the current interval if any page was written during it.
+    ///
+    /// Diffs are created *eagerly* here (real TreadMarks creates them lazily
+    /// when first requested); this keeps uncommitted writes of a later
+    /// interval out of earlier diffs while producing identical message and
+    /// data counts.  Returns the new interval record, or `None` if nothing
+    /// was written.
+    pub fn close_interval(&mut self) -> Option<IntervalRecord> {
+        if self.dirty_pages.is_empty() {
+            return None;
+        }
+        let seq = self.vc.increment(self.me);
+        let vc = self.vc.clone();
+        let mut pages = std::mem::take(&mut self.dirty_pages);
+        pages.sort_unstable();
+        pages.dedup();
+        for &page in &pages {
+            let slot = &mut self.pages[page as usize];
+            let twin = slot.twin.take().expect("dirty page must have a twin");
+            let data = slot.data.as_ref().expect("dirty page must have data");
+            let diff = Diff::create(&twin, data);
+            self.stats.diffs_created += 1;
+            self.stats.diff_bytes_created += diff.encoded_len() as u64;
+            self.diffs.insert((page, self.me, seq), (vc.clone(), diff));
+            slot.dirty = false;
+        }
+        // The local copy of each dirty page now incorporates this interval.
+        let nprocs = self.nprocs;
+        let me = self.me;
+        for &page in &pages {
+            let slot = &mut self.pages[page as usize];
+            let applied = slot
+                .applied
+                .get_or_insert_with(|| VectorClock::new(nprocs));
+            applied.set(me, seq);
+        }
+        let record = IntervalRecord {
+            creator: self.me,
+            seq,
+            vc,
+            pages,
+        };
+        debug_assert_eq!(self.intervals[self.me].len() as u32, seq - 1);
+        self.intervals[self.me].push(record.clone());
+        Some(record)
+    }
+
+    /// Incorporate a write-notice record received from another process:
+    /// record the interval and invalidate the pages it modified.
+    /// Records already covered by the local clock are ignored.
+    pub fn apply_interval_record(&mut self, rec: &IntervalRecord) {
+        if rec.creator == self.me || self.vc.covers(rec.creator, rec.seq) {
+            return;
+        }
+        debug_assert_eq!(
+            self.intervals[rec.creator].len() as u32,
+            rec.seq - 1,
+            "interval records of one creator must arrive contiguously"
+        );
+        self.vc.set(rec.creator, rec.seq);
+        self.intervals[rec.creator].push(rec.clone());
+        self.stats.write_notices_received += rec.pages.len() as u64;
+        for &page in &rec.pages {
+            let slot = &mut self.pages[page as usize];
+            slot.valid = false;
+            slot.notices.push(Notice {
+                creator: rec.creator,
+                seq: rec.seq,
+                vc: rec.vc.clone(),
+            });
+        }
+    }
+
+    /// Incorporate a batch of records, in an order consistent with `hb1`.
+    pub fn apply_interval_records(&mut self, records: &[IntervalRecord]) {
+        let mut sorted: Vec<&IntervalRecord> = records.iter().collect();
+        sorted.sort_by_key(|r| (r.creator, r.seq));
+        for r in sorted {
+            self.apply_interval_record(r);
+        }
+    }
+
+    /// All interval records known locally that are not covered by `other`.
+    /// This is what a releaser piggybacks on a lock grant and what the
+    /// barrier manager sends in each release message.
+    pub fn records_not_covered_by(&self, other: &VectorClock) -> Vec<IntervalRecord> {
+        let mut out = Vec::new();
+        for creator in 0..self.nprocs {
+            let known = self.vc.get(creator);
+            let have = other.get(creator);
+            for seq in (have + 1)..=known {
+                out.push(self.intervals[creator][(seq - 1) as usize].clone());
+            }
+        }
+        out
+    }
+
+    // ---------------------------------------------------------------- diffs
+
+    /// The set of processes to send diff requests to for `page`: the writers
+    /// named in the pending notices whose most recent interval (for this
+    /// page) is not dominated by another such writer's most recent interval.
+    /// A processor that modified a page in an interval holds all diffs of the
+    /// intervals that precede it, so asking only the maximal writers is
+    /// sufficient — this is the optimisation described in Section 2.2.2.
+    pub fn diff_request_targets(&self, page: PageId) -> Vec<usize> {
+        let notices = &self.pages[page as usize].notices;
+        // Latest pending interval per writer.
+        let mut latest: HashMap<usize, &Notice> = HashMap::new();
+        for n in notices {
+            match latest.get(&n.creator) {
+                Some(cur) if cur.seq >= n.seq => {}
+                _ => {
+                    latest.insert(n.creator, n);
+                }
+            }
+        }
+        let writers: Vec<&Notice> = latest.values().copied().collect();
+        let mut targets = Vec::new();
+        for w in &writers {
+            let dominated = writers.iter().any(|o| {
+                !(o.creator == w.creator && o.seq == w.seq)
+                    && o.vc.dominates(&w.vc)
+                    && o.vc != w.vc
+            });
+            if !dominated && w.creator != self.me {
+                targets.push(w.creator);
+            }
+        }
+        targets.sort_unstable();
+        targets.dedup();
+        targets
+    }
+
+    /// Serve a diff request: every diff held locally for `page` whose
+    /// interval (a) the requester knows about (it is covered by the
+    /// requester's *global* clock, i.e. it happens-before the acquire that
+    /// triggered the fault) and (b) the requester has not yet applied to its
+    /// copy of the page.  This is where *diff accumulation* happens — the
+    /// response includes diffs created by other processes that this process
+    /// has previously fetched, even when later diffs completely overwrite
+    /// them.
+    pub fn diffs_for_request(
+        &self,
+        page: PageId,
+        requester: usize,
+        applied_vc: &VectorClock,
+        global_vc: &VectorClock,
+    ) -> Vec<WireDiff> {
+        let mut out: Vec<WireDiff> = self
+            .diffs
+            .iter()
+            .filter(|((p, creator, seq), _)| {
+                *p == page
+                    && *creator != requester
+                    && *seq > applied_vc.get(*creator)
+                    && global_vc.covers(*creator, *seq)
+            })
+            .map(|((_, creator, seq), (vc, diff))| WireDiff {
+                creator: *creator,
+                seq: *seq,
+                vc: vc.clone(),
+                diff: diff.clone(),
+            })
+            .collect();
+        out.sort_by_key(|d| (d.vc.sum(), d.creator, d.seq));
+        out
+    }
+
+    /// The per-page applied clock sent in a diff request for `page`.
+    pub fn page_applied_vc(&self, page: PageId) -> VectorClock {
+        self.pages[page as usize]
+            .applied
+            .clone()
+            .unwrap_or_else(|| VectorClock::new(self.nprocs))
+    }
+
+    /// Apply fetched diffs to `page` (in `hb1` order), store them so they can
+    /// be served to other processes later, and mark the page valid.
+    pub fn apply_wire_diffs(&mut self, page: PageId, mut diffs: Vec<WireDiff>) {
+        diffs.sort_by_key(|d| (d.vc.sum(), d.creator, d.seq));
+        {
+            let slot = &mut self.pages[page as usize];
+            let data = slot.data.get_or_insert_with(new_page);
+            for wd in &diffs {
+                wd.diff.apply(data);
+                // Keep a concurrent writer's twin in sync so its own diff
+                // stays minimal (does not duplicate the incoming changes).
+                if let Some(twin) = slot.twin.as_mut() {
+                    wd.diff.apply(twin);
+                }
+            }
+        }
+        let nprocs = self.nprocs;
+        {
+            let slot = &mut self.pages[page as usize];
+            let applied = slot
+                .applied
+                .get_or_insert_with(|| VectorClock::new(nprocs));
+            for wd in &diffs {
+                if wd.seq > applied.get(wd.creator) {
+                    applied.set(wd.creator, wd.seq);
+                }
+            }
+        }
+        for wd in diffs {
+            self.stats.diffs_applied += 1;
+            self.stats.diff_bytes_received += wd.diff.encoded_len() as u64;
+            self.diffs
+                .entry((page, wd.creator, wd.seq))
+                .or_insert((wd.vc, wd.diff));
+        }
+        let slot = &mut self.pages[page as usize];
+        slot.notices.clear();
+        slot.valid = true;
+    }
+
+    /// Number of diffs currently held for `page` (for tests and ablations).
+    pub fn diffs_held_for(&self, page: PageId) -> usize {
+        self.diffs.keys().filter(|(p, _, _)| *p == page).count()
+    }
+
+    // ---------------------------------------------------------------- locks
+
+    /// The statically assigned manager of lock `id`.
+    pub fn lock_manager(&self, id: u32) -> usize {
+        id as usize % self.nprocs
+    }
+
+    /// Mutable per-lock token state (created on first use; the manager starts
+    /// with the token).
+    pub fn lock_state_mut(&mut self, id: u32) -> &mut LockState {
+        let me = self.me;
+        let manager = self.lock_manager(id);
+        self.locks.entry(id).or_insert_with(|| LockState {
+            have_token: manager == me,
+            in_cs: false,
+            pending: VecDeque::new(),
+        })
+    }
+
+    /// Manager-side record of the last requester of lock `id`.
+    pub fn lock_manager_state_mut(&mut self, id: u32) -> &mut LockManagerState {
+        let manager = self.lock_manager(id);
+        assert_eq!(manager, self.me, "not the manager of lock {id}");
+        self.lock_managers.entry(id).or_insert(LockManagerState {
+            last_requester: manager,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(me: usize, n: usize) -> DsmState {
+        DsmState::new(me, n, 1 << 20)
+    }
+
+    #[test]
+    fn malloc_is_deterministic_and_aligned() {
+        let mut a = state(0, 2);
+        let mut b = state(1, 2);
+        let a1 = a.malloc(100, 8);
+        let a2 = a.malloc(64, 8);
+        assert_eq!(a1, b.malloc(100, 8));
+        assert_eq!(a2, b.malloc(64, 8));
+        assert_eq!(a2 % 8, 0);
+        assert!(a2 >= a1 + 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn malloc_past_heap_end_panics() {
+        let mut s = state(0, 1);
+        s.malloc(2 << 20, 8);
+    }
+
+    #[test]
+    fn read_of_untouched_memory_is_zero() {
+        let mut s = state(0, 2);
+        let addr = s.malloc(64, 8);
+        let mut out = [1u8; 64];
+        s.read_bytes(addr, &mut out);
+        assert!(out.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn write_then_read_round_trips_across_page_boundary() {
+        let mut s = state(0, 2);
+        let addr = PAGE_SIZE - 10; // straddles pages 0 and 1
+        for p in s.pages_spanning(addr, 20) {
+            s.mark_dirty(p);
+        }
+        let src: Vec<u8> = (0..20u8).collect();
+        s.write_bytes(addr, &src);
+        let mut out = [0u8; 20];
+        s.read_bytes(addr, &mut out);
+        assert_eq!(&out[..], &src[..]);
+    }
+
+    #[test]
+    fn close_interval_creates_diffs_and_advances_clock() {
+        let mut s = state(0, 2);
+        let addr = s.malloc(16, 8);
+        s.mark_dirty(s.page_of(addr));
+        s.write_bytes(addr, &[1; 16]);
+        let rec = s.close_interval().expect("interval must close");
+        assert_eq!(rec.creator, 0);
+        assert_eq!(rec.seq, 1);
+        assert_eq!(rec.pages, vec![s.page_of(addr)]);
+        assert_eq!(s.vc.get(0), 1);
+        assert_eq!(s.diffs_held_for(s.page_of(addr)), 1);
+        // No dirty pages -> no new interval.
+        assert!(s.close_interval().is_none());
+    }
+
+    #[test]
+    fn interval_record_invalidates_pages_at_receiver() {
+        let mut writer = state(0, 2);
+        let mut reader = state(1, 2);
+        let addr = writer.malloc(16, 8);
+        let _ = reader.malloc(16, 8);
+        writer.mark_dirty(writer.page_of(addr));
+        writer.write_bytes(addr, &[7; 16]);
+        let rec = writer.close_interval().unwrap();
+
+        assert!(reader.is_valid(reader.page_of(addr)));
+        reader.apply_interval_record(&rec);
+        assert!(!reader.is_valid(reader.page_of(addr)));
+        assert_eq!(reader.vc.get(0), 1);
+        // Applying the same record twice is a no-op.
+        reader.apply_interval_record(&rec);
+        assert_eq!(reader.notices_of(reader.page_of(addr)).len(), 1);
+    }
+
+    #[test]
+    fn diff_fetch_round_trip_updates_reader_copy() {
+        let mut writer = state(0, 2);
+        let mut reader = state(1, 2);
+        let addr = writer.malloc(1024, 8);
+        let _ = reader.malloc(1024, 8);
+        let page = writer.page_of(addr);
+        writer.mark_dirty(page);
+        writer.write_bytes(addr, &[42u8; 1024]);
+        let rec = writer.close_interval().unwrap();
+        reader.apply_interval_record(&rec);
+
+        assert_eq!(reader.diff_request_targets(page), vec![0]);
+        let diffs = writer.diffs_for_request(page, 1, &reader.page_applied_vc(page), &reader.vc_snapshot_for_test());
+        assert_eq!(diffs.len(), 1);
+        reader.apply_wire_diffs(page, diffs);
+        assert!(reader.is_valid(page));
+        let mut out = [0u8; 1024];
+        reader.read_bytes(addr, &mut out);
+        assert!(out.iter().all(|&b| b == 42));
+    }
+
+    #[test]
+    fn diff_accumulation_returns_overlapping_old_diffs() {
+        // Process 0 writes the page in interval 1; process 1 fetches, then
+        // overwrites the same bytes in its own interval; process 0 fetches
+        // back.  A later requester who has seen neither interval receives
+        // BOTH diffs from process 1 even though the second completely
+        // overwrites the first — the diff accumulation phenomenon.
+        let mut p0 = state(0, 3);
+        let mut p1 = state(1, 3);
+        let mut p2 = state(2, 3);
+        let addr = p0.malloc(512, 8);
+        let _ = p1.malloc(512, 8);
+        let _ = p2.malloc(512, 8);
+        let page = p0.page_of(addr);
+
+        p0.mark_dirty(page);
+        p0.write_bytes(addr, &[1u8; 512]);
+        let rec0 = p0.close_interval().unwrap();
+
+        p1.apply_interval_record(&rec0);
+        let diffs = p0.diffs_for_request(page, 1, &p1.page_applied_vc(page), &p1.vc_snapshot_for_test());
+        p1.apply_wire_diffs(page, diffs);
+        p1.mark_dirty(page);
+        p1.write_bytes(addr, &[2u8; 512]);
+        let rec1 = p1.close_interval().unwrap();
+
+        p2.apply_interval_record(&rec0);
+        p2.apply_interval_record(&rec1);
+        // p1's interval dominates p0's, so p2 asks only p1...
+        assert_eq!(p2.diff_request_targets(page), vec![1]);
+        // ...but p1 answers with both diffs (accumulation).
+        let diffs = p1.diffs_for_request(page, 2, &p2.page_applied_vc(page), &p2.vc_snapshot_for_test());
+        assert_eq!(diffs.len(), 2);
+        p2.apply_wire_diffs(page, diffs);
+        let mut out = [0u8; 512];
+        p2.read_bytes(addr, &mut out);
+        assert!(out.iter().all(|&b| b == 2));
+    }
+
+    #[test]
+    fn concurrent_writers_require_requests_to_both() {
+        // False sharing: two processes write disjoint halves of one page in
+        // concurrent intervals; a third must request diffs from both.
+        let mut p0 = state(0, 3);
+        let mut p1 = state(1, 3);
+        let mut p2 = state(2, 3);
+        for s in [&mut p0, &mut p1, &mut p2] {
+            let _ = s.malloc(PAGE_SIZE, 8);
+        }
+        let page = 0;
+        p0.mark_dirty(page);
+        p0.write_bytes(0, &[1u8; 100]);
+        let rec0 = p0.close_interval().unwrap();
+        p1.mark_dirty(page);
+        p1.write_bytes(2000, &[2u8; 100]);
+        let rec1 = p1.close_interval().unwrap();
+
+        p2.apply_interval_records(&[rec0, rec1]);
+        let mut targets = p2.diff_request_targets(page);
+        targets.sort_unstable();
+        assert_eq!(targets, vec![0, 1]);
+
+        let d0 = p0.diffs_for_request(page, 2, &p2.page_applied_vc(page), &p2.vc_snapshot_for_test());
+        let d1 = p1.diffs_for_request(page, 2, &p2.page_applied_vc(page), &p2.vc_snapshot_for_test());
+        p2.apply_wire_diffs(page, d0.into_iter().chain(d1).collect());
+        let mut out = [0u8; 100];
+        p2.read_bytes(0, &mut out);
+        assert!(out.iter().all(|&b| b == 1));
+        p2.read_bytes(2000, &mut out);
+        assert!(out.iter().all(|&b| b == 2));
+    }
+
+    #[test]
+    fn records_not_covered_by_returns_exactly_the_gap() {
+        let mut s = state(0, 2);
+        let addr = s.malloc(8, 8);
+        for _ in 0..3 {
+            s.mark_dirty(s.page_of(addr));
+            s.write_bytes(addr, &[9; 8]);
+            s.close_interval();
+        }
+        let mut other = VectorClock::new(2);
+        other.set(0, 1);
+        let recs = s.records_not_covered_by(&other);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].seq, 2);
+        assert_eq!(recs[1].seq, 3);
+    }
+
+    #[test]
+    fn lock_manager_assignment_is_round_robin() {
+        let s = state(0, 4);
+        assert_eq!(s.lock_manager(0), 0);
+        assert_eq!(s.lock_manager(5), 1);
+        assert_eq!(s.lock_manager(7), 3);
+    }
+
+    #[test]
+    fn manager_starts_with_the_token() {
+        let mut s0 = state(0, 2);
+        let mut s1 = state(1, 2);
+        assert!(s0.lock_state_mut(0).have_token);
+        assert!(!s1.lock_state_mut(0).have_token);
+        assert!(s1.lock_state_mut(1).have_token);
+    }
+
+    #[test]
+    fn twin_kept_in_sync_with_incoming_diffs() {
+        // A concurrent writer applies an incoming diff to both the page and
+        // its twin, so its own later diff does not duplicate those bytes.
+        let mut p0 = state(0, 2);
+        let mut p1 = state(1, 2);
+        let _ = p0.malloc(PAGE_SIZE, 8);
+        let _ = p1.malloc(PAGE_SIZE, 8);
+        let page = 0;
+        p0.mark_dirty(page);
+        p0.write_bytes(0, &[5u8; 64]);
+        let rec0 = p0.close_interval().unwrap();
+
+        p1.mark_dirty(page);
+        p1.write_bytes(1000, &[6u8; 64]);
+        // Now p1 learns about p0's interval and fetches its diff while still
+        // having its own uncommitted writes.
+        p1.apply_interval_record(&rec0);
+        let diffs = p0.diffs_for_request(page, 1, &p1.page_applied_vc(page), &p1.vc_snapshot_for_test());
+        p1.apply_wire_diffs(page, diffs);
+        let rec1 = p1.close_interval().unwrap();
+        assert_eq!(rec1.pages, vec![0]);
+        let d = p1.diffs_for_request(0, 0, &rec0.vc, &p1.vc_snapshot_for_test());
+        assert_eq!(d.len(), 1);
+        // p1's diff covers only its own 64 modified bytes, not p0's.
+        assert_eq!(d[0].diff.modified_bytes(), 64);
+    }
+}
+
+#[cfg(test)]
+impl DsmState {
+    /// Test helper exposing a clone of the vector clock.
+    pub fn vc_snapshot_for_test(&self) -> VectorClock {
+        self.vc.clone()
+    }
+}

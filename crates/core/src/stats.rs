@@ -1,0 +1,85 @@
+//! Runtime statistics of a DSM process.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters describing what the TreadMarks runtime did on one process.
+///
+/// These are the quantities the paper's analysis sections reason about:
+/// synchronization operations, page faults, diff requests, and the amount of
+/// diff data moved.  (Message and byte totals are tracked by the `cluster`
+/// transport; these counters explain *why* those messages were sent.)
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TmkStats {
+    /// Lock acquires satisfied locally because the token was already here.
+    pub local_lock_acquires: u64,
+    /// Lock acquires that required messages to the manager / last holder.
+    pub remote_lock_acquires: u64,
+    /// Lock releases.
+    pub lock_releases: u64,
+    /// Barrier episodes.
+    pub barriers: u64,
+    /// Access faults on invalid pages.
+    pub page_faults: u64,
+    /// Diff request messages sent while handling faults.
+    pub diff_requests_sent: u64,
+    /// Diff requests served for other processes.
+    pub diff_requests_served: u64,
+    /// Twins created (first write to a page in an interval).
+    pub twins_created: u64,
+    /// Diffs created at interval close.
+    pub diffs_created: u64,
+    /// Encoded bytes of the diffs created locally.
+    pub diff_bytes_created: u64,
+    /// Diffs received and applied.
+    pub diffs_applied: u64,
+    /// Encoded bytes of the diffs received.
+    pub diff_bytes_received: u64,
+    /// Write notices received from other processes.
+    pub write_notices_received: u64,
+}
+
+impl TmkStats {
+    /// Merge the counters of another process into this one (for cluster-wide
+    /// aggregation in the benchmark harness).
+    pub fn merge(&mut self, other: &TmkStats) {
+        self.local_lock_acquires += other.local_lock_acquires;
+        self.remote_lock_acquires += other.remote_lock_acquires;
+        self.lock_releases += other.lock_releases;
+        self.barriers += other.barriers;
+        self.page_faults += other.page_faults;
+        self.diff_requests_sent += other.diff_requests_sent;
+        self.diff_requests_served += other.diff_requests_served;
+        self.twins_created += other.twins_created;
+        self.diffs_created += other.diffs_created;
+        self.diff_bytes_created += other.diff_bytes_created;
+        self.diffs_applied += other.diffs_applied;
+        self.diff_bytes_received += other.diff_bytes_received;
+        self.write_notices_received += other.write_notices_received;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_every_field() {
+        let mut a = TmkStats {
+            page_faults: 2,
+            diff_requests_sent: 3,
+            barriers: 1,
+            ..Default::default()
+        };
+        let b = TmkStats {
+            page_faults: 5,
+            diffs_created: 7,
+            barriers: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.page_faults, 7);
+        assert_eq!(a.diff_requests_sent, 3);
+        assert_eq!(a.diffs_created, 7);
+        assert_eq!(a.barriers, 2);
+    }
+}

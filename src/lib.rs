@@ -1,0 +1,38 @@
+//! `netws` — reproduction of *"Message Passing Versus Distributed Shared
+//! Memory on Networks of Workstations"* (Lu, Dwarkadas, Cox, Zwaenepoel,
+//! SC'95).
+//!
+//! This facade crate re-exports the workspace components so that examples and
+//! integration tests can use a single dependency:
+//!
+//! * [`cluster`] — the simulated network-of-workstations substrate,
+//! * [`msgpass`] — the PVM-style message passing library,
+//! * [`treadmarks`] — the TreadMarks-style software DSM (lazy release
+//!   consistency, multiple-writer protocol),
+//! * [`apps`] — the nine applications of the study, in both paradigms.
+//!
+//! See README.md for a tour and DESIGN.md / EXPERIMENTS.md for the
+//! reproduction methodology and results.
+
+pub use apps;
+pub use cluster;
+pub use msgpass;
+pub use treadmarks;
+
+/// The two parallel-programming paradigms compared by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Paradigm {
+    /// Explicit message passing (PVM-style).
+    MessagePassing,
+    /// Software distributed shared memory (TreadMarks-style).
+    SharedMemory,
+}
+
+impl std::fmt::Display for Paradigm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Paradigm::MessagePassing => write!(f, "PVM"),
+            Paradigm::SharedMemory => write!(f, "TreadMarks"),
+        }
+    }
+}

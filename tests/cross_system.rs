@@ -1,0 +1,146 @@
+//! Cross-crate integration tests: every application produces the same answer
+//! under the sequential, TreadMarks and PVM implementations, and the
+//! qualitative communication relationships the paper reports hold.
+
+use netws::apps::runner::System;
+use netws::apps::Workload;
+
+fn seq(w: Workload) -> netws::apps::SeqRun {
+    bench_harness::run_sequential(w, bench_harness::Preset::Tiny)
+}
+
+fn run(w: Workload, sys: System, n: usize) -> netws::apps::AppRun {
+    bench_harness::run_parallel(w, sys, n, bench_harness::Preset::Tiny)
+}
+
+// The bench crate is not a dependency of the root package (it is a harness),
+// so re-derive the tiny-preset dispatch locally for the integration tests.
+mod bench_harness {
+    pub use apps_dispatch::*;
+
+    mod apps_dispatch {
+        use netws::apps::runner::{AppRun, SeqRun, System};
+        use netws::apps::*;
+
+        #[derive(Clone, Copy)]
+        pub enum Preset {
+            Tiny,
+        }
+
+        pub fn run_sequential(w: Workload, _p: Preset) -> SeqRun {
+            match w {
+                Workload::Ep => ep::sequential(&ep::EpParams::tiny()),
+                Workload::SorZero => sor::sequential(&sor::SorParams::tiny(true)),
+                Workload::SorNonzero => sor::sequential(&sor::SorParams::tiny(false)),
+                Workload::IsSmall | Workload::IsLarge => is::sequential(&is::IsParams::tiny()),
+                Workload::Tsp => tsp::sequential(&tsp::TspParams::tiny()),
+                Workload::Qsort => qsort::sequential(&qsort::QsortParams::tiny()),
+                Workload::Water288 | Workload::Water1728 => {
+                    water::sequential(&water::WaterParams::tiny())
+                }
+                Workload::BarnesHut => barnes::sequential(&barnes::BarnesParams::tiny()),
+                Workload::Fft3d => fft3d::sequential(&fft3d::FftParams::tiny()),
+                Workload::Ilink => ilink::sequential(&ilink::IlinkParams::tiny()),
+            }
+        }
+
+        pub fn run_parallel(w: Workload, sys: System, n: usize, _p: Preset) -> AppRun {
+            macro_rules! go {
+                ($m:ident, $params:expr) => {
+                    match sys {
+                        System::TreadMarks => $m::treadmarks(n, &$params),
+                        System::Pvm => $m::pvm(n, &$params),
+                    }
+                };
+            }
+            match w {
+                Workload::Ep => go!(ep, ep::EpParams::tiny()),
+                Workload::SorZero => go!(sor, sor::SorParams::tiny(true)),
+                Workload::SorNonzero => go!(sor, sor::SorParams::tiny(false)),
+                Workload::IsSmall | Workload::IsLarge => go!(is, is::IsParams::tiny()),
+                Workload::Tsp => go!(tsp, tsp::TspParams::tiny()),
+                Workload::Qsort => go!(qsort, qsort::QsortParams::tiny()),
+                Workload::Water288 | Workload::Water1728 => {
+                    go!(water, water::WaterParams::tiny())
+                }
+                Workload::BarnesHut => go!(barnes, barnes::BarnesParams::tiny()),
+                Workload::Fft3d => go!(fft3d, fft3d::FftParams::tiny()),
+                Workload::Ilink => go!(ilink, ilink::IlinkParams::tiny()),
+            }
+        }
+    }
+}
+
+#[test]
+fn every_application_agrees_across_paradigms_at_three_processes() {
+    for w in Workload::all() {
+        let s = seq(w);
+        let t = run(w, System::TreadMarks, 3);
+        let m = run(w, System::Pvm, 3);
+        let tol = s.checksum.abs() * 1e-6 + 1e-6;
+        assert!(
+            (t.checksum - s.checksum).abs() < tol,
+            "{}: TreadMarks {} vs sequential {}",
+            w.name(),
+            t.checksum,
+            s.checksum
+        );
+        assert!(
+            (m.checksum - s.checksum).abs() < tol,
+            "{}: PVM {} vs sequential {}",
+            w.name(),
+            m.checksum,
+            s.checksum
+        );
+    }
+}
+
+#[test]
+fn single_process_runs_match_the_sequential_answer() {
+    for w in [Workload::Ep, Workload::IsSmall, Workload::Qsort, Workload::Fft3d] {
+        let s = seq(w);
+        let t = run(w, System::TreadMarks, 1);
+        let tol = s.checksum.abs() * 1e-9 + 1e-9;
+        assert!((t.checksum - s.checksum).abs() < tol, "{}", w.name());
+        // A single DSM process exchanges no messages at all.
+        assert_eq!(t.messages, 0, "{}", w.name());
+    }
+}
+
+#[test]
+fn treadmarks_always_sends_at_least_as_many_messages_as_pvm() {
+    // The paper's across-the-board observation: the separation of
+    // synchronization and data transfer plus the request/response protocol
+    // means the DSM never sends fewer messages than hand-written message
+    // passing.
+    for w in Workload::all() {
+        let t = run(w, System::TreadMarks, 4);
+        let m = run(w, System::Pvm, 4);
+        assert!(
+            t.messages >= m.messages,
+            "{}: TreadMarks {} msgs < PVM {} msgs",
+            w.name(),
+            t.messages,
+            m.messages
+        );
+    }
+}
+
+#[test]
+fn parallel_time_never_beats_the_work_bound() {
+    // Virtual parallel time can never be smaller than the sequential work
+    // divided by the process count (no superlinear artefacts in the model).
+    for w in [Workload::Ep, Workload::SorNonzero, Workload::Ilink] {
+        let s = seq(w);
+        for n in [2usize, 4] {
+            let t = run(w, System::TreadMarks, n);
+            assert!(
+                t.time * (n as f64) * 1.02 >= s.time * 0.95,
+                "{} at {n} procs: {} * {n} < {}",
+                w.name(),
+                t.time,
+                s.time
+            );
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Integration and property-based tests of the DSM's consistency guarantees,
+//! exercised through the public API across the cluster substrate.
+
+use netws::cluster::{Cluster, ClusterConfig};
+use netws::treadmarks::Tmk;
+use proptest::prelude::*;
+
+/// Lock-protected read-modify-write sequences from every process must behave
+/// as if executed atomically (lazy release consistency with proper locking
+/// gives sequentially consistent results for data-race-free programs).
+#[test]
+fn lock_protected_counters_are_exact_at_eight_processes() {
+    let n = 8;
+    let iters = 10;
+    let rep = Cluster::run(ClusterConfig::calibrated_fddi(n), move |p| {
+        let tmk = Tmk::new(p);
+        let counters = tmk.malloc(4 * 8);
+        tmk.barrier(0);
+        for i in 0..iters {
+            let lock = (i % 4) as u32;
+            tmk.lock_acquire(lock);
+            let addr = counters + (lock as usize) * 8;
+            let v = tmk.read_i64(addr);
+            tmk.write_i64(addr, v + 1);
+            tmk.lock_release(lock);
+        }
+        tmk.barrier(1);
+        let total: i64 = (0..4).map(|k| tmk.read_i64(counters + k * 8)).sum();
+        tmk.exit();
+        total
+    });
+    assert!(rep.results.iter().all(|&t| t == (n * iters) as i64));
+}
+
+/// Barrier-separated phases: values written before a barrier are visible to
+/// every process after it, for arbitrary write patterns.
+fn barrier_visibility(nprocs: usize, writes: Vec<(u8, u16)>) -> bool {
+    let writes = std::sync::Arc::new(writes);
+    let rep = Cluster::run(ClusterConfig::calibrated_fddi(nprocs), {
+        let writes = writes.clone();
+        move |p| {
+            let tmk = Tmk::with_heap(p, 1 << 20);
+            let region = tmk.malloc(64 * 1024);
+            tmk.barrier(0);
+            // Each process writes the subset of slots assigned to it.
+            for (k, &(owner, slot)) in writes.iter().enumerate() {
+                if owner as usize % p.nprocs() == p.id() {
+                    tmk.write_i64(region + (slot as usize) * 8, (k + 1) as i64);
+                }
+            }
+            tmk.barrier(1);
+            // Every process observes the last write to every slot.
+            let mut ok = true;
+            for (k, &(_, slot)) in writes.iter().enumerate() {
+                let expect_latest = writes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, w)| w.1 == slot)
+                    .map(|(i, _)| i + 1)
+                    .max()
+                    .unwrap();
+                let got = tmk.read_i64(region + (slot as usize) * 8);
+                // Slots written by several owners in the same interval are
+                // data races; restrict the check to single-writer slots.
+                let writers: std::collections::HashSet<usize> = writes
+                    .iter()
+                    .filter(|w| w.1 == slot)
+                    .map(|w| w.0 as usize % p.nprocs())
+                    .collect();
+                if writers.len() == 1 && got != expect_latest as i64 {
+                    let _ = k;
+                    ok = false;
+                }
+            }
+            tmk.exit();
+            ok
+        }
+    });
+    rep.results.into_iter().all(|ok| ok)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Property: for race-free write patterns, every process sees every
+    /// write after the next barrier, for 2-5 processes and arbitrary slots.
+    #[test]
+    fn prop_barrier_makes_single_writer_slots_visible(
+        nprocs in 2usize..5,
+        writes in prop::collection::vec((0u8..8, 0u16..512), 1..24),
+    ) {
+        prop_assert!(barrier_visibility(nprocs, writes));
+    }
+
+    /// Property: the virtual time of a run never decreases when the same
+    /// program sends strictly more data.
+    #[test]
+    fn prop_bigger_transfers_cost_more_time(size_kb in 1usize..64) {
+        let small = transfer_time(size_kb * 1024);
+        let large = transfer_time(size_kb * 1024 * 4);
+        prop_assert!(large >= small);
+    }
+}
+
+fn transfer_time(bytes: usize) -> f64 {
+    let rep = Cluster::run(ClusterConfig::calibrated_fddi(2), move |p| {
+        let tmk = Tmk::with_heap(p, 4 << 20);
+        let a = tmk.malloc(bytes);
+        if tmk.id() == 0 {
+            tmk.write_bytes(a, &vec![7u8; bytes]);
+        }
+        tmk.barrier(0);
+        if tmk.id() == 1 {
+            let mut buf = vec![0u8; bytes];
+            tmk.read_bytes(a, &mut buf);
+            assert!(buf.iter().all(|&b| b == 7));
+        }
+        tmk.barrier(1);
+        tmk.exit();
+    });
+    rep.parallel_time()
+}
