@@ -14,9 +14,9 @@
 //!   is needed.  At 8 processes these simultaneous broadcasts saturate the
 //!   network, which is why PVM's own speedup is poor here.
 
-use crate::runner::{block_range, run_pvm, run_treadmarks, AppRun, SeqRun};
+use crate::runner::{block_range, run_pvm, run_treadmarks_with, AppRun, SeqRun};
 use msgpass::Pvm;
-use treadmarks::Tmk;
+use treadmarks::{ProtocolKind, Tmk};
 
 /// Cost per body-cell or body-body interaction evaluated during the force
 /// computation.
@@ -213,6 +213,8 @@ fn finalize(node: &mut Node) {
     } = node
     {
         if *mass > 0.0 {
+            #[allow(clippy::needless_range_loop)]
+            // indexing is clearer for the coordinate/matrix access
             for c in 0..3 {
                 com[c] /= *mass;
             }
@@ -276,6 +278,8 @@ fn step_bodies(bodies: &mut [Body], range: std::ops::Range<usize>, tree: &Node) 
     for i in range {
         let (acc, c) = force_on(tree, &bodies[i].pos);
         interactions += c;
+        #[allow(clippy::needless_range_loop)]
+        // indexing is clearer for the coordinate/matrix access
         for k in 0..3 {
             bodies[i].vel[k] += DT * acc[k];
             bodies[i].pos[k] += DT * bodies[i].vel[k];
@@ -329,7 +333,7 @@ pub fn treadmarks_body(tmk: &Tmk, p: &BarnesParams) -> f64 {
     let bodies_addr = tmk.malloc(n * BODY_F64 * 8);
     if tmk.id() == 0 {
         let init = p.initial();
-        let flat: Vec<f64> = init.iter().flat_map(|b| pack_body(b)).collect();
+        let flat: Vec<f64> = init.iter().flat_map(pack_body).collect();
         tmk.write_f64_slice(bodies_addr, &flat);
     }
     tmk.barrier(0);
@@ -349,10 +353,7 @@ pub fn treadmarks_body(tmk: &Tmk, p: &BarnesParams) -> f64 {
         // Force computation + update of my own bodies.
         let interactions = step_bodies(&mut bodies, mine.clone(), &tree);
         tmk.proc().compute(interactions as f64 * COST_INTERACTION);
-        let flat_mine: Vec<f64> = bodies[mine.clone()]
-            .iter()
-            .flat_map(|b| pack_body(b))
-            .collect();
+        let flat_mine: Vec<f64> = bodies[mine.clone()].iter().flat_map(pack_body).collect();
         tmk.write_f64_slice(bodies_addr + mine.start * BODY_F64 * 8, &flat_mine);
         tmk.barrier(barrier);
         barrier += 1;
@@ -382,10 +383,7 @@ pub fn pvm_body(pvm: &Pvm, p: &BarnesParams) -> f64 {
         if nprocs > 1 {
             let tag = 300 + step as u32;
             let mut b = pvm.new_buffer();
-            let flat: Vec<f64> = bodies[mine.clone()]
-                .iter()
-                .flat_map(|body| pack_body(body))
-                .collect();
+            let flat: Vec<f64> = bodies[mine.clone()].iter().flat_map(pack_body).collect();
             b.pack_f64(&flat);
             pvm.bcast(tag, b);
             for _ in 0..nprocs - 1 {
@@ -402,11 +400,16 @@ pub fn pvm_body(pvm: &Pvm, p: &BarnesParams) -> f64 {
     checksum(&bodies[mine])
 }
 
-/// Run the TreadMarks version.
+/// Run the TreadMarks version under the default (LRC) protocol.
 pub fn treadmarks(nprocs: usize, p: &BarnesParams) -> AppRun {
+    treadmarks_with(nprocs, p, ProtocolKind::Lrc)
+}
+
+/// Run the TreadMarks version under the given coherence protocol.
+pub fn treadmarks_with(nprocs: usize, p: &BarnesParams, protocol: ProtocolKind) -> AppRun {
     let p = p.clone();
     let heap = (p.bodies * BODY_F64 * 8 + (1 << 20)).next_power_of_two();
-    run_treadmarks(nprocs, heap, move |tmk| treadmarks_body(tmk, &p))
+    run_treadmarks_with(nprocs, heap, protocol, move |tmk| treadmarks_body(tmk, &p))
 }
 
 /// Run the PVM version.

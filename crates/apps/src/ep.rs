@@ -11,9 +11,9 @@
 //! Because the communication is negligible relative to the computation, both
 //! systems achieve near-linear speedup (Figure 1 of the paper).
 
-use crate::runner::{block_range, run_pvm, run_treadmarks, AppRun, SeqRun};
+use crate::runner::{block_range, run_pvm, run_treadmarks_with, AppRun, SeqRun};
 use msgpass::Pvm;
-use treadmarks::Tmk;
+use treadmarks::{ProtocolKind, Tmk};
 
 /// Number of annuli tabulated (as in NAS EP).
 pub const BINS: usize = 10;
@@ -69,7 +69,9 @@ struct Lcg {
 impl Lcg {
     fn new(seed: u64) -> Self {
         Lcg {
-            state: seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407),
+            state: seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407),
         }
     }
 
@@ -158,6 +160,7 @@ pub fn treadmarks_body(tmk: &Tmk, p: &EpParams) -> f64 {
     let (bins, cost) = local_bins(p, tmk.id(), tmk.nprocs());
     tmk.proc().compute(cost);
     tmk.lock_acquire(0);
+    #[allow(clippy::needless_range_loop)] // indexing is clearer for the coordinate/matrix access
     for i in 0..BINS {
         let v = tmk.read_i64(shared + i * 8);
         tmk.write_i64(shared + i * 8, v + bins[i]);
@@ -178,10 +181,17 @@ pub fn treadmarks_body(tmk: &Tmk, p: &EpParams) -> f64 {
     }
 }
 
-/// Run the TreadMarks version on `nprocs` processes.
+/// Run the TreadMarks version under the default (LRC) protocol.
 pub fn treadmarks(nprocs: usize, p: &EpParams) -> AppRun {
+    treadmarks_with(nprocs, p, ProtocolKind::Lrc)
+}
+
+/// Run the TreadMarks version under the given coherence protocol.
+pub fn treadmarks_with(nprocs: usize, p: &EpParams, protocol: ProtocolKind) -> AppRun {
     let p = p.clone();
-    run_treadmarks(nprocs, 1 << 20, move |tmk| treadmarks_body(tmk, &p))
+    run_treadmarks_with(nprocs, 1 << 20, protocol, move |tmk| {
+        treadmarks_body(tmk, &p)
+    })
 }
 
 /// PVM version: private tabulation; process 0 receives every other process's
@@ -249,8 +259,16 @@ mod tests {
         let seq = sequential(&p);
         let t = treadmarks(8, &p);
         let m = pvm(8, &p);
-        assert!(t.speedup(seq.time) > 5.5, "TMK speedup {}", t.speedup(seq.time));
-        assert!(m.speedup(seq.time) > 6.5, "PVM speedup {}", m.speedup(seq.time));
+        assert!(
+            t.speedup(seq.time) > 5.5,
+            "TMK speedup {}",
+            t.speedup(seq.time)
+        );
+        assert!(
+            m.speedup(seq.time) > 6.5,
+            "PVM speedup {}",
+            m.speedup(seq.time)
+        );
     }
 
     #[test]

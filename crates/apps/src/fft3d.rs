@@ -16,9 +16,9 @@
 //!   message, `n * (n - 1)` messages per transpose.  The paper notes this
 //!   index arithmetic made the PVM version considerably harder to write.
 
-use crate::runner::{block_range, run_pvm, run_treadmarks, AppRun, SeqRun};
+use crate::runner::{block_range, run_pvm, run_treadmarks_with, AppRun, SeqRun};
 use msgpass::Pvm;
-use treadmarks::Tmk;
+use treadmarks::{ProtocolKind, Tmk};
 
 /// Cost per complex point per 1-D FFT butterfly level.
 pub const COST_FFT: f64 = 0.09e-6;
@@ -102,7 +102,7 @@ fn fft1d(data: &mut [f64]) {
     // Bit-reversal permutation.
     let bits = n.trailing_zeros();
     for i in 0..n {
-        let j = (i.reverse_bits() >> (usize::BITS - bits)) as usize;
+        let j = i.reverse_bits() >> (usize::BITS - bits);
         if j > i {
             data.swap(2 * i, 2 * j);
             data.swap(2 * i + 1, 2 * j + 1);
@@ -347,7 +347,8 @@ pub fn pvm_body(pvm: &Pvm, p: &FftParams) -> f64 {
                     for y in 0..cur.n2 {
                         for z in dst_z.clone() {
                             let src = ((lx * cur.n2 + y) * cur.n3 + z) * 2;
-                            let d = (((z - my_z.start) * cur.n2 + y) * cur.n1 + my_x.start + lx) * 2;
+                            let d =
+                                (((z - my_z.start) * cur.n2 + y) * cur.n1 + my_x.start + lx) * 2;
                             dst_slab[d] = slab[src];
                             dst_slab[d + 1] = slab[src + 1];
                         }
@@ -395,11 +396,16 @@ pub fn pvm_body(pvm: &Pvm, p: &FftParams) -> f64 {
     checksum
 }
 
-/// Run the TreadMarks version.
+/// Run the TreadMarks version under the default (LRC) protocol.
 pub fn treadmarks(nprocs: usize, p: &FftParams) -> AppRun {
+    treadmarks_with(nprocs, p, ProtocolKind::Lrc)
+}
+
+/// Run the TreadMarks version under the given coherence protocol.
+pub fn treadmarks_with(nprocs: usize, p: &FftParams, protocol: ProtocolKind) -> AppRun {
     let p = p.clone();
     let heap = (p.elems() * 32 + (1 << 20)).next_power_of_two();
-    run_treadmarks(nprocs, heap, move |tmk| treadmarks_body(tmk, &p))
+    run_treadmarks_with(nprocs, heap, protocol, move |tmk| treadmarks_body(tmk, &p))
 }
 
 /// Run the PVM version.
@@ -433,8 +439,18 @@ mod tests {
             let t = treadmarks(n, &p);
             let m = pvm(n, &p);
             let tol = seq.checksum.abs() * 1e-9;
-            assert!((t.checksum - seq.checksum).abs() < tol, "TMK n={n}: {} vs {}", t.checksum, seq.checksum);
-            assert!((m.checksum - seq.checksum).abs() < tol, "PVM n={n}: {} vs {}", m.checksum, seq.checksum);
+            assert!(
+                (t.checksum - seq.checksum).abs() < tol,
+                "TMK n={n}: {} vs {}",
+                t.checksum,
+                seq.checksum
+            );
+            assert!(
+                (m.checksum - seq.checksum).abs() < tol,
+                "PVM n={n}: {} vs {}",
+                m.checksum,
+                seq.checksum
+            );
         }
     }
 

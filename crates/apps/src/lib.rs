@@ -19,7 +19,7 @@
 //! [`runner::SeqRun`], and `treadmarks` / `pvm` drivers returning a
 //! [`runner::AppRun`] with the time, message and data metrics the paper's
 //! tables and figures report.  Computation is charged through a calibrated
-//! work model (see DESIGN.md §2 and §6) so that speedups are deterministic
+//! work model (see README.md §Design notes) so that speedups are deterministic
 //! and independent of the host machine.
 
 #![warn(missing_docs)]

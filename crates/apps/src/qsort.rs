@@ -13,9 +13,9 @@
 //!   work queue; subarray contents travel to a slave and back with every
 //!   task.
 
-use crate::runner::{run_pvm, run_treadmarks, AppRun, SeqRun};
+use crate::runner::{run_pvm, run_treadmarks_with, AppRun, SeqRun};
 use msgpass::Pvm;
-use treadmarks::Tmk;
+use treadmarks::{ProtocolKind, Tmk};
 
 /// Cost per element moved during a partition step.
 pub const COST_PART: f64 = 0.12e-6;
@@ -251,26 +251,31 @@ pub fn pvm_body(pvm: &Pvm, p: &QsortParams) -> f64 {
         // once everything has drained), so idle slaves never busy-poll.
         let mut waiting: Vec<usize> = Vec::new();
 
-        let mut process_result = |m: &mut msgpass::RecvBuffer, data: &mut Vec<i32>, queue: &mut Vec<(usize, usize)>| {
-            let hdr = m.unpack_u64(3);
-            let (start, len, kind) = (hdr[0] as usize, hdr[1] as usize, hdr[2]);
-            let content = m.unpack_i32(len);
-            data[start..start + len].copy_from_slice(&content);
-            if kind == 1 {
-                // Partitioned: the pivot position follows.
-                let pivot = m.unpack_u64(1)[0] as usize;
-                queue.push((start, pivot));
-                queue.push((start + pivot + 1, len - pivot - 1));
-            }
-        };
-
-        let send_task =
-            |pvm: &Pvm, data: &Vec<i32>, slave: usize, start: usize, len: usize, threshold: usize| {
-                let mut b = pvm.new_buffer();
-                b.pack_u64(&[start as u64, len as u64, u64::from(len <= threshold)]);
-                b.pack_i32(&data[start..start + len]);
-                pvm.send(slave, TAG_TASK, b);
+        let process_result =
+            |m: &mut msgpass::RecvBuffer, data: &mut Vec<i32>, queue: &mut Vec<(usize, usize)>| {
+                let hdr = m.unpack_u64(3);
+                let (start, len, kind) = (hdr[0] as usize, hdr[1] as usize, hdr[2]);
+                let content = m.unpack_i32(len);
+                data[start..start + len].copy_from_slice(&content);
+                if kind == 1 {
+                    // Partitioned: the pivot position follows.
+                    let pivot = m.unpack_u64(1)[0] as usize;
+                    queue.push((start, pivot));
+                    queue.push((start + pivot + 1, len - pivot - 1));
+                }
             };
+
+        let send_task = |pvm: &Pvm,
+                         data: &Vec<i32>,
+                         slave: usize,
+                         start: usize,
+                         len: usize,
+                         threshold: usize| {
+            let mut b = pvm.new_buffer();
+            b.pack_u64(&[start as u64, len as u64, u64::from(len <= threshold)]);
+            b.pack_i32(&data[start..start + len]);
+            pvm.send(slave, TAG_TASK, b);
+        };
 
         loop {
             if let Some(mut m) = pvm.nrecv(None, TAG_RESULT) {
@@ -384,11 +389,16 @@ pub fn pvm_body(pvm: &Pvm, p: &QsortParams) -> f64 {
     }
 }
 
-/// Run the TreadMarks version.
+/// Run the TreadMarks version under the default (LRC) protocol.
 pub fn treadmarks(nprocs: usize, p: &QsortParams) -> AppRun {
+    treadmarks_with(nprocs, p, ProtocolKind::Lrc)
+}
+
+/// Run the TreadMarks version under the given coherence protocol.
+pub fn treadmarks_with(nprocs: usize, p: &QsortParams, protocol: ProtocolKind) -> AppRun {
     let p = p.clone();
     let heap = (p.elems * 4 + QUEUE_CAP * 8 + (1 << 20)).next_power_of_two();
-    run_treadmarks(nprocs, heap, move |tmk| treadmarks_body(tmk, &p))
+    run_treadmarks_with(nprocs, heap, protocol, move |tmk| treadmarks_body(tmk, &p))
 }
 
 /// Run the PVM version.

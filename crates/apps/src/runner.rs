@@ -15,21 +15,37 @@
 use cluster::{Cluster, ClusterConfig, Proc};
 use msgpass::Pvm;
 use serde::Serialize;
-use treadmarks::{Tmk, TmkStats};
+use treadmarks::{ProtocolKind, Tmk, TmkStats};
 
 /// Which runtime system an application run used.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub enum System {
-    /// TreadMarks-style distributed shared memory.
-    TreadMarks,
+    /// TreadMarks-style distributed shared memory, under the given
+    /// coherence-protocol backend.
+    TreadMarks(ProtocolKind),
     /// PVM-style message passing.
     Pvm,
+}
+
+impl System {
+    /// Every system configuration the harness can compare: one per DSM
+    /// protocol backend, plus message passing.
+    pub fn all() -> [System; 3] {
+        [
+            System::TreadMarks(ProtocolKind::Lrc),
+            System::TreadMarks(ProtocolKind::Hlrc),
+            System::Pvm,
+        ]
+    }
 }
 
 impl std::fmt::Display for System {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            System::TreadMarks => write!(f, "TreadMarks"),
+            // The bare name keeps the paper's tables readable; the HLRC
+            // variant is the addition of this reproduction.
+            System::TreadMarks(ProtocolKind::Lrc) => write!(f, "TreadMarks"),
+            System::TreadMarks(ProtocolKind::Hlrc) => write!(f, "TMK-HLRC"),
             System::Pvm => write!(f, "PVM"),
         }
     }
@@ -73,17 +89,32 @@ impl AppRun {
 }
 
 /// Run `body` on `nprocs` TreadMarks processes over the calibrated FDDI
-/// cluster and gather the paper's metrics.  The body returns the process's
-/// local checksum *contribution*; the contributions are summed into the
-/// run's checksum (so a gather that the paper's programs do not perform is
-/// not needed just for validation).
+/// cluster under the default (LRC) protocol.  See
+/// [`run_treadmarks_with`].
 pub fn run_treadmarks<F>(nprocs: usize, heap_bytes: usize, body: F) -> AppRun
+where
+    F: Fn(&Tmk) -> f64 + Send + Sync,
+{
+    run_treadmarks_with(nprocs, heap_bytes, ProtocolKind::Lrc, body)
+}
+
+/// Run `body` on `nprocs` TreadMarks processes over the calibrated FDDI
+/// cluster under the given coherence protocol and gather the paper's
+/// metrics.  The body returns the process's local checksum *contribution*;
+/// the contributions are summed into the run's checksum (so a gather that
+/// the paper's programs do not perform is not needed just for validation).
+pub fn run_treadmarks_with<F>(
+    nprocs: usize,
+    heap_bytes: usize,
+    protocol: ProtocolKind,
+    body: F,
+) -> AppRun
 where
     F: Fn(&Tmk) -> f64 + Send + Sync,
 {
     let cfg = ClusterConfig::calibrated_fddi(nprocs);
     let rep = Cluster::run(cfg, move |p| {
-        let tmk = Tmk::with_heap(p, heap_bytes);
+        let tmk = Tmk::with_heap_and_protocol(p, heap_bytes, protocol);
         let checksum = body(&tmk);
         tmk.exit();
         (checksum, tmk.stats())
@@ -93,7 +124,7 @@ where
         agg.merge(st);
     }
     AppRun {
-        system: System::TreadMarks,
+        system: System::TreadMarks(protocol),
         nprocs,
         checksum: rep.results.iter().map(|(c, _)| *c).sum(),
         time: rep.parallel_time(),
@@ -161,7 +192,10 @@ mod tests {
                     covered[i] = true;
                 }
             }
-            assert!(covered.into_iter().all(|c| c), "{count}/{nprocs} not covered");
+            assert!(
+                covered.into_iter().all(|c| c),
+                "{count}/{nprocs} not covered"
+            );
         }
     }
 

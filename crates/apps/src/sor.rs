@@ -17,9 +17,9 @@
 //! The row width is chosen so that one shared row occupies one and a half
 //! pages, as in the paper.
 
-use crate::runner::{block_range, run_pvm, run_treadmarks, AppRun, SeqRun};
+use crate::runner::{block_range, run_pvm, run_treadmarks_with, AppRun, SeqRun};
 use msgpass::Pvm;
-use treadmarks::Tmk;
+use treadmarks::{ProtocolKind, Tmk};
 
 /// Cost of updating one element whose stencil inputs are non-zero.
 pub const COST_NONZERO: f64 = 0.30e-6;
@@ -156,19 +156,19 @@ pub fn treadmarks_body(tmk: &Tmk, p: &SorParams) -> f64 {
     let elems = p.rows * p.cols;
     let red_addr = tmk.malloc(elems * 4);
     let black_addr = tmk.malloc(elems * 4);
-    // The master process initialises the shared arrays (the paper notes the
-    // PVM version initialises in a distributed way and excludes the first
-    // iteration; we include initial distribution in both systems uniformly).
-    if tmk.id() == 0 {
-        let init: Vec<f32> = (0..elems)
-            .map(|i| p.initial(i / p.cols, i % p.cols))
-            .collect();
-        tmk.write_f32_slice(red_addr, &init);
-        tmk.write_f32_slice(black_addr, &init);
-    }
+    let my_rows = block_range(p.rows, tmk.nprocs(), tmk.id());
+    // Initialisation is distributed, as in the paper's experiments: the
+    // initial values are a deterministic function of the coordinates, so
+    // each process fills its own band and no initial page distribution
+    // crosses the network (the paper's PVM version does the same and the
+    // measurements exclude first-iteration distribution effects).
+    let init: Vec<f32> = (my_rows.start * p.cols..my_rows.end * p.cols)
+        .map(|i| p.initial(i / p.cols, i % p.cols))
+        .collect();
+    tmk.write_f32_slice(red_addr + my_rows.start * p.cols * 4, &init);
+    tmk.write_f32_slice(black_addr + my_rows.start * p.cols * 4, &init);
     tmk.barrier(0);
 
-    let my_rows = block_range(p.rows, tmk.nprocs(), tmk.id());
     // Rows needed for the stencil: my band plus one halo row on each side.
     let lo = my_rows.start.saturating_sub(1);
     let hi = (my_rows.end + 1).min(p.rows);
@@ -180,9 +180,13 @@ pub fn treadmarks_body(tmk: &Tmk, p: &SorParams) -> f64 {
     for _ in 0..p.iters {
         // Red phase: read black (with halo), update my red rows, write back.
         tmk.read_f32_slice(black_addr + lo * p.cols * 4, &mut black);
-        tmk.read_f32_slice(red_addr + my_rows.start * p.cols * 4, &mut red[..my_rows.len() * p.cols]);
+        tmk.read_f32_slice(
+            red_addr + my_rows.start * p.cols * 4,
+            &mut red[..my_rows.len() * p.cols],
+        );
         let mut local_red = vec![0.0f32; span_rows * p.cols];
-        local_red[(my_rows.start - lo) * p.cols..(my_rows.start - lo) * p.cols + my_rows.len() * p.cols]
+        local_red
+            [(my_rows.start - lo) * p.cols..(my_rows.start - lo) * p.cols + my_rows.len() * p.cols]
             .copy_from_slice(&red[..my_rows.len() * p.cols]);
         let cost = relax_band(
             &mut local_red,
@@ -194,7 +198,8 @@ pub fn treadmarks_body(tmk: &Tmk, p: &SorParams) -> f64 {
         tmk.proc().compute(cost);
         tmk.write_f32_slice(
             red_addr + my_rows.start * p.cols * 4,
-            &local_red[(my_rows.start - lo) * p.cols..(my_rows.start - lo) * p.cols + my_rows.len() * p.cols],
+            &local_red[(my_rows.start - lo) * p.cols
+                ..(my_rows.start - lo) * p.cols + my_rows.len() * p.cols],
         );
         tmk.barrier(barrier);
         barrier += 1;
@@ -206,7 +211,8 @@ pub fn treadmarks_body(tmk: &Tmk, p: &SorParams) -> f64 {
             &mut black[..my_rows.len() * p.cols],
         );
         let mut local_black = vec![0.0f32; span_rows * p.cols];
-        local_black[(my_rows.start - lo) * p.cols..(my_rows.start - lo) * p.cols + my_rows.len() * p.cols]
+        local_black
+            [(my_rows.start - lo) * p.cols..(my_rows.start - lo) * p.cols + my_rows.len() * p.cols]
             .copy_from_slice(&black[..my_rows.len() * p.cols]);
         let cost = relax_band(
             &mut local_black,
@@ -218,7 +224,8 @@ pub fn treadmarks_body(tmk: &Tmk, p: &SorParams) -> f64 {
         tmk.proc().compute(cost);
         tmk.write_f32_slice(
             black_addr + my_rows.start * p.cols * 4,
-            &local_black[(my_rows.start - lo) * p.cols..(my_rows.start - lo) * p.cols + my_rows.len() * p.cols],
+            &local_black[(my_rows.start - lo) * p.cols
+                ..(my_rows.start - lo) * p.cols + my_rows.len() * p.cols],
         );
         tmk.barrier(barrier);
         barrier += 1;
@@ -271,7 +278,11 @@ pub fn pvm_body(pvm: &Pvm, p: &SorParams) -> f64 {
             let exchange_black = colour == 0;
             let tag = iter as u32 * 4 + colour;
             {
-                let src = if exchange_black { &band.black } else { &band.red };
+                let src = if exchange_black {
+                    &band.black
+                } else {
+                    &band.red
+                };
                 if let Some(up) = up_neighbour {
                     let mut b = pvm.new_buffer();
                     let first_owned = (my_rows.start - lo) * cols;
@@ -286,7 +297,11 @@ pub fn pvm_body(pvm: &Pvm, p: &SorParams) -> f64 {
                 }
             }
             {
-                let dst = if exchange_black { &mut band.black } else { &mut band.red };
+                let dst = if exchange_black {
+                    &mut band.black
+                } else {
+                    &mut band.red
+                };
                 if let Some(up) = up_neighbour {
                     let mut m = pvm.recv(Some(up), tag);
                     let row = m.unpack_f32(cols);
@@ -302,10 +317,22 @@ pub fn pvm_body(pvm: &Pvm, p: &SorParams) -> f64 {
             }
             let cost = if colour == 0 {
                 let (red, black) = (&mut band.red, &band.black);
-                relax_band(red, black, cols, span, (my_rows.start - lo)..(my_rows.end - lo))
+                relax_band(
+                    red,
+                    black,
+                    cols,
+                    span,
+                    (my_rows.start - lo)..(my_rows.end - lo),
+                )
             } else {
                 let (black, red) = (&mut band.black, &band.red);
-                relax_band(black, red, cols, span, (my_rows.start - lo)..(my_rows.end - lo))
+                relax_band(
+                    black,
+                    red,
+                    cols,
+                    span,
+                    (my_rows.start - lo)..(my_rows.end - lo),
+                )
             };
             pvm.proc().compute(cost);
         }
@@ -314,14 +341,22 @@ pub fn pvm_body(pvm: &Pvm, p: &SorParams) -> f64 {
     // Contribution of this process's own rows to the run checksum.
     let first = (my_rows.start - lo) * cols;
     let len = my_rows.len() * cols;
-    grid_checksum(&band.red[first..first + len], &band.black[first..first + len])
+    grid_checksum(
+        &band.red[first..first + len],
+        &band.black[first..first + len],
+    )
 }
 
-/// Run the TreadMarks version.
+/// Run the TreadMarks version under the default (LRC) protocol.
 pub fn treadmarks(nprocs: usize, p: &SorParams) -> AppRun {
+    treadmarks_with(nprocs, p, ProtocolKind::Lrc)
+}
+
+/// Run the TreadMarks version under the given coherence protocol.
+pub fn treadmarks_with(nprocs: usize, p: &SorParams, protocol: ProtocolKind) -> AppRun {
     let p = p.clone();
     let heap = (p.rows * p.cols * 8 + (1 << 20)).next_power_of_two();
-    run_treadmarks(nprocs, heap, move |tmk| treadmarks_body(tmk, &p))
+    run_treadmarks_with(nprocs, heap, protocol, move |tmk| treadmarks_body(tmk, &p))
 }
 
 /// Run the PVM version.
@@ -404,7 +439,10 @@ mod tests {
         let sn = sequential(&pn);
         let tz = treadmarks(4, &pz);
         let tn = treadmarks(4, &pn);
-        for (name, speedup) in [("zero", tz.speedup(sz.time)), ("nonzero", tn.speedup(sn.time))] {
+        for (name, speedup) in [
+            ("zero", tz.speedup(sz.time)),
+            ("nonzero", tn.speedup(sn.time)),
+        ] {
             assert!(
                 speedup > 1.0 && speedup <= 4.05,
                 "SOR-{name} speedup {speedup} out of range"

@@ -17,9 +17,9 @@
 //!   behalf of the slaves, and tracks the best tour; slaves only exchange
 //!   solvable tours and best-tour updates with the master.
 
-use crate::runner::{run_pvm, run_treadmarks, AppRun, SeqRun};
+use crate::runner::{run_pvm, run_treadmarks_with, AppRun, SeqRun};
 use msgpass::Pvm;
-use treadmarks::Tmk;
+use treadmarks::{ProtocolKind, Tmk};
 
 /// Cost charged per node visited in `recursive_solve`.
 pub const COST_NODE: f64 = 1.1e-6;
@@ -29,7 +29,7 @@ pub const COST_EXPAND: f64 = 2.0e-6;
 /// Maximum number of cities supported by the fixed-size tour records.
 pub const MAX_CITIES: usize = 20;
 /// Number of slots in the tour pool.
-const POOL_SLOTS: usize = 8192;
+const POOL_SLOTS: usize = 65536;
 
 /// Problem parameters.
 #[derive(Debug, Clone)]
@@ -52,11 +52,16 @@ impl TspParams {
         }
     }
 
-    /// Scaled-down problem for the default harness preset.
+    /// Scaled-down problem for the default harness preset.  The threshold
+    /// leaves 8 cities for each `recursive_solve`, close to the paper's
+    /// 19-city/threshold-12 task granularity — a finer threshold floods the
+    /// shared work queue with tiny tasks and the DSM runs degenerate into
+    /// queue migration, while more cities blow up the branch-and-bound
+    /// frontier far past the shared tour pool.
     pub fn scaled() -> Self {
         TspParams {
-            cities: 14,
-            threshold: 9,
+            cities: 13,
+            threshold: 5,
             seed: 20240601,
         }
     }
@@ -109,11 +114,14 @@ fn lower_bound(dist: &[Vec<f64>], tour: &Tour, nc: usize) -> f64 {
     let visited: u32 = tour.cities.iter().fold(0, |m, &c| m | (1 << c));
     let mut bound = tour.cost;
     let last = *tour.cities.last().unwrap() as usize;
+    #[allow(clippy::needless_range_loop)] // indexing is clearer for the coordinate/matrix access
     for c in 0..nc {
         if c != last && visited & (1 << c) != 0 {
             continue;
         }
         let mut best = f64::INFINITY;
+        #[allow(clippy::needless_range_loop)]
+        // indexing is clearer for the coordinate/matrix access
         for o in 0..nc {
             if o != c && (visited & (1 << o) == 0 || o == 0) {
                 best = best.min(dist[c][o]);
@@ -191,8 +199,40 @@ fn recursive_solve(dist: &[Vec<f64>], tour: &Tour, nc: usize, mut best: f64) -> 
     let mut path = tour.cities.clone();
     let visited = path.iter().fold(0u32, |m, &c| m | (1 << c));
     let mut nodes = 0u64;
-    dfs(dist, &mut path, visited, tour.cost, nc, &mut best, &mut nodes);
+    dfs(
+        dist, &mut path, visited, tour.cost, nc, &mut best, &mut nodes,
+    );
     (best, nodes)
+}
+
+/// A queued tour with its lower bound, ordered for a min-heap (the bound is
+/// computed once, when the tour is enqueued — scanning the queue and
+/// recomputing bounds on every pop is quadratic and dominated the harness
+/// at paper-scale inputs).
+struct QueueEntry {
+    bound: f64,
+    tour: Tour,
+}
+
+impl PartialEq for QueueEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound
+    }
+}
+impl Eq for QueueEntry {}
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the smallest bound.
+        other
+            .bound
+            .partial_cmp(&self.bound)
+            .expect("tour bounds are finite")
+    }
 }
 
 /// In-memory work-queue engine used identically by the sequential version
@@ -202,7 +242,7 @@ struct Engine {
     dist: Vec<Vec<f64>>,
     nc: usize,
     threshold: usize,
-    queue: Vec<Tour>,
+    queue: std::collections::BinaryHeap<QueueEntry>,
     best: f64,
     expansions: u64,
 }
@@ -211,13 +251,19 @@ impl Engine {
     fn new(p: &TspParams) -> Self {
         let dist = p.distances();
         let best = greedy_cost(&dist, p.cities);
+        let root = Tour {
+            cities: vec![0],
+            cost: 0.0,
+        };
+        let mut queue = std::collections::BinaryHeap::new();
+        queue.push(QueueEntry {
+            bound: lower_bound(&dist, &root, p.cities),
+            tour: root,
+        });
         Engine {
             nc: p.cities,
             threshold: p.threshold,
-            queue: vec![Tour {
-                cities: vec![0],
-                cost: 0.0,
-            }],
+            queue,
             best,
             expansions: 0,
             dist,
@@ -227,17 +273,7 @@ impl Engine {
     /// Pop the most promising tour; expand until one reaches the threshold.
     fn get_tour(&mut self) -> Option<Tour> {
         loop {
-            if self.queue.is_empty() {
-                return None;
-            }
-            let (idx, bound) = self
-                .queue
-                .iter()
-                .enumerate()
-                .map(|(i, t)| (i, lower_bound(&self.dist, t, self.nc)))
-                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-                .unwrap();
-            let tour = self.queue.swap_remove(idx);
+            let QueueEntry { bound, tour } = self.queue.pop()?;
             if bound >= self.best {
                 continue;
             }
@@ -249,10 +285,17 @@ impl Engine {
             for c in 0..self.nc {
                 if visited & (1 << c) == 0 {
                     let cost = tour.cost + self.dist[last][c];
-                    if cost < self.best {
-                        let mut cities = tour.cities.clone();
-                        cities.push(c as u8);
-                        self.queue.push(Tour { cities, cost });
+                    if cost >= self.best {
+                        continue;
+                    }
+                    let mut cities = tour.cities.clone();
+                    cities.push(c as u8);
+                    let child = Tour { cities, cost };
+                    let bound = lower_bound(&self.dist, &child, self.nc);
+                    // A child whose bound cannot beat the incumbent is
+                    // dominated: every completion costs at least `bound`.
+                    if bound < self.best {
+                        self.queue.push(QueueEntry { bound, tour: child });
                         self.expansions += 1;
                     }
                 }
@@ -290,6 +333,11 @@ struct SharedTsp {
     free_sp: usize,
     free: usize,
     pool: usize,
+    /// Per-slot lower bound, written when the slot's tour is enqueued so
+    /// `get_tour` scans 8 bytes per queued entry instead of re-reading and
+    /// re-bounding every tour record (the same bound caching the in-memory
+    /// engine uses).
+    bounds: usize,
 }
 
 impl SharedTsp {
@@ -301,6 +349,7 @@ impl SharedTsp {
             free_sp: tmk.malloc(4),
             free: tmk.malloc(POOL_SLOTS * 4),
             pool: tmk.malloc(POOL_SLOTS * SLOT_BYTES),
+            bounds: tmk.malloc(POOL_SLOTS * 8),
         }
     }
 
@@ -333,14 +382,12 @@ pub fn treadmarks_body(tmk: &Tmk, p: &TspParams) -> f64 {
 
     if tmk.id() == 0 {
         tmk.write_f64(sh.best, greedy_cost(&dist, nc));
-        sh.write_tour(
-            tmk,
-            0,
-            &Tour {
-                cities: vec![0],
-                cost: 0.0,
-            },
-        );
+        let root = Tour {
+            cities: vec![0],
+            cost: 0.0,
+        };
+        sh.write_tour(tmk, 0, &root);
+        tmk.write_f64(sh.bounds, lower_bound(&dist, &root, nc));
         tmk.write_i32(sh.qlen, 1);
         tmk.write_i32(sh.queue, 0);
         let free: Vec<i32> = (1..POOL_SLOTS as i32).rev().collect();
@@ -364,18 +411,15 @@ pub fn treadmarks_body(tmk: &Tmk, p: &TspParams) -> f64 {
             tmk.read_i32_slice(sh.queue, &mut slots);
             let mut best_idx = 0usize;
             let mut best_bound = f64::INFINITY;
-            let mut best_tour = None;
             for (i, &s) in slots.iter().enumerate() {
-                let t = sh.read_tour(tmk, s as usize);
-                let b = lower_bound(&dist, &t, nc);
+                let b = tmk.read_f64(sh.bounds + s as usize * 8);
                 if b < best_bound {
                     best_bound = b;
                     best_idx = i;
-                    best_tour = Some(t);
                 }
             }
             let slot = slots[best_idx] as usize;
-            let tour = best_tour.expect("queue was non-empty");
+            let tour = sh.read_tour(tmk, slot);
             // Remove from the queue and return the slot to the free stack.
             slots[best_idx] = slots[qlen - 1];
             tmk.write_i32_slice(sh.queue, &slots[..qlen]);
@@ -396,19 +440,47 @@ pub fn treadmarks_body(tmk: &Tmk, p: &TspParams) -> f64 {
             for c in 0..nc {
                 if visited & (1 << c) == 0 {
                     let cost = tour.cost + dist[last][c];
-                    if cost < best {
-                        let sp = tmk.read_i32(sh.free_sp);
-                        assert!(sp > 0, "tour pool exhausted");
-                        let child_slot = tmk.read_i32(sh.free + (sp - 1) as usize * 4) as usize;
-                        tmk.write_i32(sh.free_sp, sp - 1);
-                        let mut cities = tour.cities.clone();
-                        cities.push(c as u8);
-                        sh.write_tour(tmk, child_slot, &Tour { cities, cost });
-                        let ql = tmk.read_i32(sh.qlen);
-                        tmk.write_i32(sh.queue + ql as usize * 4, child_slot as i32);
-                        tmk.write_i32(sh.qlen, ql + 1);
-                        expansions += 1;
+                    if cost >= best {
+                        continue;
                     }
+                    let mut cities = tour.cities.clone();
+                    cities.push(c as u8);
+                    let child = Tour { cities, cost };
+                    let child_bound = lower_bound(&dist, &child, nc);
+                    // A child whose bound cannot beat the incumbent is
+                    // dominated: every completion costs at least the bound.
+                    if child_bound >= best {
+                        continue;
+                    }
+                    let sp = tmk.read_i32(sh.free_sp);
+                    if sp == 0 {
+                        // Pool exhausted: solve the child in place rather
+                        // than queueing it (bounds the shared pool), unless
+                        // a freshly-read incumbent already dominates it.
+                        let cur = tmk.read_f64(sh.best);
+                        if child_bound >= cur {
+                            continue;
+                        }
+                        let (found_best, nodes) = recursive_solve(&dist, &child, nc, cur);
+                        tmk.proc().compute(nodes as f64 * COST_NODE);
+                        if found_best < cur {
+                            tmk.lock_acquire(LOCK_BEST);
+                            let now = tmk.read_f64(sh.best);
+                            if found_best < now {
+                                tmk.write_f64(sh.best, found_best);
+                            }
+                            tmk.lock_release(LOCK_BEST);
+                        }
+                        continue;
+                    }
+                    let child_slot = tmk.read_i32(sh.free + (sp - 1) as usize * 4) as usize;
+                    tmk.write_i32(sh.free_sp, sp - 1);
+                    sh.write_tour(tmk, child_slot, &child);
+                    tmk.write_f64(sh.bounds + child_slot * 8, child_bound);
+                    let ql = tmk.read_i32(sh.qlen);
+                    tmk.write_i32(sh.queue + ql as usize * 4, child_slot as i32);
+                    tmk.write_i32(sh.qlen, ql + 1);
+                    expansions += 1;
                 }
             }
         }
@@ -541,11 +613,16 @@ pub fn pvm_body(pvm: &Pvm, p: &TspParams) -> f64 {
     }
 }
 
-/// Run the TreadMarks version.
+/// Run the TreadMarks version under the default (LRC) protocol.
 pub fn treadmarks(nprocs: usize, p: &TspParams) -> AppRun {
+    treadmarks_with(nprocs, p, ProtocolKind::Lrc)
+}
+
+/// Run the TreadMarks version under the given coherence protocol.
+pub fn treadmarks_with(nprocs: usize, p: &TspParams, protocol: ProtocolKind) -> AppRun {
     let p = p.clone();
-    let heap = (POOL_SLOTS * (SLOT_BYTES + 8) + (1 << 20)).next_power_of_two();
-    run_treadmarks(nprocs, heap, move |tmk| treadmarks_body(tmk, &p))
+    let heap = (POOL_SLOTS * (SLOT_BYTES + 16) + (1 << 20)).next_power_of_two();
+    run_treadmarks_with(nprocs, heap, protocol, move |tmk| treadmarks_body(tmk, &p))
 }
 
 /// Run the PVM version.
@@ -585,7 +662,11 @@ mod tests {
         }
         permute(&mut perm, 0, &dist, &mut best);
         let seq = sequential(&p);
-        assert!((seq.checksum - best).abs() < 1e-3, "{} vs {best}", seq.checksum);
+        assert!(
+            (seq.checksum - best).abs() < 1e-3,
+            "{} vs {best}",
+            seq.checksum
+        );
     }
 
     #[test]
@@ -605,13 +686,18 @@ mod tests {
         // In PVM only solvable tours and best updates travel; in TreadMarks
         // the pool, queue, stack and best all migrate between processes.
         let p = TspParams {
-            cities: 11,
-            threshold: 7,
+            cities: 10,
+            threshold: 6,
             seed: 99,
         };
         let t = treadmarks(4, &p);
         let m = pvm(4, &p);
         assert!(t.messages > m.messages, "{} vs {}", t.messages, m.messages);
-        assert!(t.kilobytes > m.kilobytes, "{} vs {}", t.kilobytes, m.kilobytes);
+        assert!(
+            t.kilobytes > m.kilobytes,
+            "{} vs {}",
+            t.kilobytes,
+            m.kilobytes
+        );
     }
 }

@@ -15,9 +15,9 @@
 //!   their accumulated force contributions to the owners afterwards — two
 //!   user-level messages per pair of interacting processes.
 
-use crate::runner::{block_range, run_pvm, run_treadmarks, AppRun, SeqRun};
+use crate::runner::{block_range, run_pvm, run_treadmarks_with, AppRun, SeqRun};
 use msgpass::Pvm;
-use treadmarks::Tmk;
+use treadmarks::{ProtocolKind, Tmk};
 
 /// Cost per molecule pair examined in the force phase.
 pub const COST_PAIR: f64 = 1.6e-6;
@@ -107,11 +107,7 @@ fn pair_force(a: &[f64; 3], b: &[f64; 3]) -> Option<[f64; 3]> {
 /// One force phase over the half-shell of pairs.  `owned` limits which
 /// molecules this caller computes for; contributions for *all* molecules are
 /// accumulated into `forces`.  Returns the number of pairs examined.
-fn compute_forces(
-    pos: &[[f64; 3]],
-    owned: std::ops::Range<usize>,
-    forces: &mut [[f64; 3]],
-) -> u64 {
+fn compute_forces(pos: &[[f64; 3]], owned: std::ops::Range<usize>, forces: &mut [[f64; 3]]) -> u64 {
     let n = pos.len();
     let half = n / 2;
     let mut pairs = 0u64;
@@ -231,7 +227,10 @@ pub fn treadmarks_body(tmk: &Tmk, p: &WaterParams) -> f64 {
     // Contribution of this process's own molecules to the run checksum.
     let mut own_pos = vec![0.0f64; mine.len() * 3];
     tmk.read_f64_slice(pos_addr + mine.start * 24, &mut own_pos);
-    let own: Vec<[f64; 3]> = own_pos.chunks_exact(3).map(|c| [c[0], c[1], c[2]]).collect();
+    let own: Vec<[f64; 3]> = own_pos
+        .chunks_exact(3)
+        .map(|c| [c[0], c[1], c[2]])
+        .collect();
     positions_checksum(&own)
 }
 
@@ -284,10 +283,7 @@ pub fn pvm_body(pvm: &Pvm, p: &WaterParams) -> f64 {
                     continue;
                 }
                 let owned = block_range(n, nprocs, owner);
-                let flat: Vec<f64> = owned
-                    .clone()
-                    .flat_map(|i| forces[i].iter().copied().collect::<Vec<_>>())
-                    .collect();
+                let flat: Vec<f64> = owned.clone().flat_map(|i| forces[i].to_vec()).collect();
                 let mut b = pvm.new_buffer();
                 b.pack_f64(&flat);
                 pvm.send(owner, tag_force, b);
@@ -314,11 +310,16 @@ pub fn pvm_body(pvm: &Pvm, p: &WaterParams) -> f64 {
     positions_checksum(&own)
 }
 
-/// Run the TreadMarks version.
+/// Run the TreadMarks version under the default (LRC) protocol.
 pub fn treadmarks(nprocs: usize, p: &WaterParams) -> AppRun {
+    treadmarks_with(nprocs, p, ProtocolKind::Lrc)
+}
+
+/// Run the TreadMarks version under the given coherence protocol.
+pub fn treadmarks_with(nprocs: usize, p: &WaterParams, protocol: ProtocolKind) -> AppRun {
     let p = p.clone();
     let heap = (p.molecules * 48 + (1 << 20)).next_power_of_two();
-    run_treadmarks(nprocs, heap, move |tmk| treadmarks_body(tmk, &p))
+    run_treadmarks_with(nprocs, heap, protocol, move |tmk| treadmarks_body(tmk, &p))
 }
 
 /// Run the PVM version.
@@ -341,8 +342,18 @@ mod tests {
             // Force contributions are summed in a different order in the
             // parallel versions, so allow normal floating-point drift.
             let tol = seq.checksum.abs() * 1e-6 + 1e-6;
-            assert!((t.checksum - seq.checksum).abs() < tol, "TMK n={n}: {} vs {}", t.checksum, seq.checksum);
-            assert!((m.checksum - seq.checksum).abs() < tol, "PVM n={n}: {} vs {}", m.checksum, seq.checksum);
+            assert!(
+                (t.checksum - seq.checksum).abs() < tol,
+                "TMK n={n}: {} vs {}",
+                t.checksum,
+                seq.checksum
+            );
+            assert!(
+                (m.checksum - seq.checksum).abs() < tol,
+                "PVM n={n}: {} vs {}",
+                m.checksum,
+                seq.checksum
+            );
         }
     }
 

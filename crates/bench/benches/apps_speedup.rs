@@ -15,7 +15,7 @@ fn bench_apps(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     group.warm_up_time(std::time::Duration::from_millis(300));
     for w in Workload::all() {
-        for sys in [System::TreadMarks, System::Pvm] {
+        for sys in System::all() {
             group.bench_with_input(
                 BenchmarkId::new(w.name(), sys.to_string()),
                 &(w, sys),

@@ -1,0 +1,116 @@
+//! Ablation: fault-service cost under the two coherence-protocol backends.
+//!
+//! The same repeated-fault workloads run under multiple-writer LRC (diff
+//! requests to every concurrent writer, diff accumulation at the responders)
+//! and under home-based LRC (eager flushes at release, one full-page fetch
+//! per fault).  The benches measure the end-to-end simulation cost of the
+//! fault-heavy phases; the companion assertions pin the structural
+//! difference — HLRC never issues more fault round-trips than LRC.
+
+use cluster::{Cluster, ClusterConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use treadmarks::{ProtocolKind, Tmk};
+
+/// False sharing: two writers modify disjoint halves of the same pages every
+/// round; every process then reads everything, faulting each page back in.
+fn false_sharing_faults(protocol: ProtocolKind, rounds: u32) -> (f64, u64) {
+    let rep = Cluster::run(ClusterConfig::calibrated_fddi(4), move |p| {
+        let tmk = Tmk::with_protocol(p, protocol);
+        let pages = 4usize;
+        let a = tmk.malloc_aligned(pages * 4096, 4096);
+        tmk.barrier(0);
+        for round in 0..rounds {
+            if tmk.id() < 2 {
+                for page in 0..pages {
+                    let base = a + page * 4096 + tmk.id() * 2048;
+                    for i in 0..8 {
+                        tmk.write_i64(base + i * 8, (round as usize * 100 + i) as i64);
+                    }
+                }
+            }
+            tmk.barrier(1 + 2 * round);
+            let mut sink = 0i64;
+            for page in 0..pages {
+                sink ^= tmk.read_i64(a + page * 4096);
+            }
+            std::hint::black_box(sink);
+            tmk.barrier(2 + 2 * round);
+        }
+        let trips = tmk.stats().fault_round_trips();
+        tmk.exit();
+        trips
+    });
+    (rep.parallel_time(), rep.results.iter().sum())
+}
+
+/// Migratory data: each process in turn rewrites a block under a lock, so
+/// every handoff faults the block in at the next writer.
+fn migratory_faults(protocol: ProtocolKind, rounds: u32) -> (f64, u64) {
+    let n = 4;
+    let rep = Cluster::run(ClusterConfig::calibrated_fddi(n), move |p| {
+        let tmk = Tmk::with_protocol(p, protocol);
+        let a = tmk.malloc_aligned(4096, 4096);
+        tmk.barrier(0);
+        for round in 0..rounds {
+            let writer = (round as usize) % n;
+            if tmk.id() == writer {
+                tmk.lock_acquire(0);
+                for i in 0..64 {
+                    tmk.write_i64(a + i * 8, (round as usize * 1000 + i) as i64);
+                }
+                tmk.lock_release(0);
+            }
+            tmk.barrier(1 + round);
+        }
+        let trips = tmk.stats().fault_round_trips();
+        tmk.exit();
+        trips
+    });
+    (rep.parallel_time(), rep.results.iter().sum())
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    // Pin the structural claim before timing anything: per workload, HLRC
+    // issues no more fault round-trips than LRC.
+    let (_, lrc_trips) = false_sharing_faults(ProtocolKind::Lrc, 4);
+    let (_, hlrc_trips) = false_sharing_faults(ProtocolKind::Hlrc, 4);
+    assert!(
+        hlrc_trips < lrc_trips,
+        "false sharing: HLRC {hlrc_trips} vs LRC {lrc_trips} round-trips"
+    );
+    let (_, lrc_trips) = migratory_faults(ProtocolKind::Lrc, 8);
+    let (_, hlrc_trips) = migratory_faults(ProtocolKind::Hlrc, 8);
+    assert!(
+        hlrc_trips <= lrc_trips,
+        "migratory: HLRC {hlrc_trips} vs LRC {lrc_trips} round-trips"
+    );
+
+    let mut group = c.benchmark_group("fault_service_false_sharing");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for protocol in ProtocolKind::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(protocol),
+            &protocol,
+            |b, &protocol| b.iter(|| false_sharing_faults(protocol, 4)),
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fault_service_migratory");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for protocol in ProtocolKind::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(protocol),
+            &protocol,
+            |b, &protocol| b.iter(|| migratory_faults(protocol, 8)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocols);
+criterion_main!(benches);

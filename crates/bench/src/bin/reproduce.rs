@@ -1,21 +1,27 @@
-//! Regenerate the tables and figures of the paper.
+//! Regenerate the tables and figures of the paper, under a selectable DSM
+//! coherence protocol.
 //!
 //! ```text
-//! cargo run -p bench --release --bin reproduce            # scaled preset, everything
-//! cargo run -p bench --release --bin reproduce -- --full  # paper-scale inputs
+//! cargo run -p bench --release --bin reproduce                       # both protocols, everything
+//! cargo run -p bench --release --bin reproduce -- --protocol hlrc   # HLRC backend only
+//! cargo run -p bench --release --bin reproduce -- --protocol lrc    # the paper's protocol only
+//! cargo run -p bench --release --bin reproduce -- --full            # paper-scale inputs
 //! cargo run -p bench --release --bin reproduce -- --table1
 //! cargo run -p bench --release --bin reproduce -- --table2
 //! cargo run -p bench --release --bin reproduce -- --figure water-288
 //! ```
 //!
 //! Output is plain text shaped like the paper's tables: Table 1 (sequential
-//! times and problem sizes), one speedup series per figure (TreadMarks and
-//! PVM at 1–8 processors), and Table 2 (messages and kilobytes at 8
-//! processors under each system).
+//! times and problem sizes), one speedup series per figure (each selected
+//! DSM protocol and PVM at 1–8 processors), and Table 2 (messages and
+//! kilobytes at 8 processors under each system), followed — for TreadMarks
+//! runs — by the per-protocol runtime counters (faults, diff or page
+//! traffic, flushes) that explain the message counts.
 
 use apps::runner::System;
 use apps::Workload;
 use bench::{problem_size, run_parallel, run_sequential, Preset};
+use treadmarks::ProtocolKind;
 
 fn workload_by_name(name: &str) -> Option<Workload> {
     Workload::all()
@@ -25,7 +31,10 @@ fn workload_by_name(name: &str) -> Option<Workload> {
 
 fn table1(preset: Preset) {
     println!("\nTable 1: Sequential Time of Applications ({preset:?} preset)");
-    println!("{:<12} {:<34} {:>12}", "Program", "Problem Size", "Time (s)");
+    println!(
+        "{:<12} {:<34} {:>12}",
+        "Program", "Problem Size", "Time (s)"
+    );
     for w in Workload::all() {
         let seq = run_sequential(w, preset);
         println!(
@@ -37,7 +46,7 @@ fn table1(preset: Preset) {
     }
 }
 
-fn figure(w: Workload, preset: Preset, max_procs: usize) {
+fn figure(w: Workload, preset: Preset, max_procs: usize, systems: &[System]) {
     let seq = run_sequential(w, preset);
     println!(
         "\nFigure {}: {} speedups (sequential time {:.2}s)",
@@ -45,41 +54,67 @@ fn figure(w: Workload, preset: Preset, max_procs: usize) {
         w.name(),
         seq.time
     );
-    println!("{:>6} {:>12} {:>12}", "procs", "TreadMarks", "PVM");
+    print!("{:>6}", "procs");
+    for sys in systems {
+        print!(" {sys:>12}");
+    }
+    println!();
     for n in 1..=max_procs {
-        let t = run_parallel(w, System::TreadMarks, n, preset);
-        let m = run_parallel(w, System::Pvm, n, preset);
-        assert!(
-            (t.checksum - m.checksum).abs() <= seq.checksum.abs() * 1e-6 + 1e-6,
-            "{}: checksum mismatch between systems at {n} processes",
-            w.name()
-        );
-        println!(
-            "{:>6} {:>12.2} {:>12.2}",
-            n,
-            t.speedup(seq.time),
-            m.speedup(seq.time)
-        );
+        let runs: Vec<_> = systems
+            .iter()
+            .map(|&sys| run_parallel(w, sys, n, preset))
+            .collect();
+        for run in &runs {
+            assert!(
+                (run.checksum - seq.checksum).abs() <= seq.checksum.abs() * 1e-6 + 1e-6,
+                "{}: {} checksum mismatch at {n} processes",
+                w.name(),
+                run.system
+            );
+        }
+        print!("{n:>6}");
+        for run in &runs {
+            print!(" {:>12.2}", run.speedup(seq.time));
+        }
+        println!();
     }
 }
 
-fn table2(preset: Preset, procs: usize) {
+fn table2(preset: Preset, procs: usize, systems: &[System]) {
     println!("\nTable 2: Messages and Data at {procs} Processors ({preset:?} preset)");
-    println!(
-        "{:<12} {:>14} {:>14} {:>14} {:>14}",
-        "Program", "TMK msgs", "TMK KB", "PVM msgs", "PVM KB"
-    );
+    print!("{:<12}", "Program");
+    for sys in systems {
+        print!(" {:>14} {:>14}", format!("{sys} msgs"), format!("{sys} KB"));
+    }
+    println!();
+    let mut protocol_lines: Vec<String> = Vec::new();
     for w in Workload::all() {
-        let t = run_parallel(w, System::TreadMarks, procs, preset);
-        let m = run_parallel(w, System::Pvm, procs, preset);
-        println!(
-            "{:<12} {:>14} {:>14.0} {:>14} {:>14.0}",
-            w.name(),
-            t.messages,
-            t.kilobytes,
-            m.messages,
-            m.kilobytes
-        );
+        print!("{:<12}", w.name());
+        for &sys in systems {
+            let run = run_parallel(w, sys, procs, preset);
+            print!(" {:>14} {:>14.0}", run.messages, run.kilobytes);
+            if let (System::TreadMarks(protocol), Some(stats)) = (sys, &run.tmk_stats) {
+                protocol_lines.push(format!(
+                    "{:<12} {:<5} {:>8} faults {:>8} diff-req {:>8} page-req {:>8} flushes \
+                     {:>10} diff-KB {:>10} page-KB",
+                    w.name(),
+                    protocol.name(),
+                    stats.page_faults,
+                    stats.diff_requests_sent,
+                    stats.page_requests_sent,
+                    stats.diff_flushes_sent,
+                    (stats.diff_bytes_received / 1024),
+                    (stats.page_bytes_fetched / 1024),
+                ));
+            }
+        }
+        println!();
+    }
+    if !protocol_lines.is_empty() {
+        println!("\nPer-protocol DSM runtime counters at {procs} processors:");
+        for line in protocol_lines {
+            println!("  {line}");
+        }
     }
 }
 
@@ -95,11 +130,33 @@ fn main() {
     let max_procs = 8;
 
     let wants = |flag: &str| args.iter().any(|a| a == flag);
-    let figure_arg = args
-        .iter()
-        .position(|a| a == "--figure")
-        .and_then(|i| args.get(i + 1));
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+    };
 
+    if args.last().map(String::as_str) == Some("--protocol") {
+        eprintln!("--protocol requires a value: lrc, hlrc or both");
+        std::process::exit(1);
+    }
+    let protocols: Vec<ProtocolKind> = match flag_value("--protocol").map(String::as_str) {
+        None | Some("both") | Some("all") => ProtocolKind::all().to_vec(),
+        Some(name) => match name.parse() {
+            Ok(kind) => vec![kind],
+            Err(err) => {
+                eprintln!("{err}");
+                std::process::exit(1);
+            }
+        },
+    };
+    let systems: Vec<System> = protocols
+        .iter()
+        .map(|&p| System::TreadMarks(p))
+        .chain(std::iter::once(System::Pvm))
+        .collect();
+
+    let figure_arg = flag_value("--figure");
     let run_all = !wants("--table1") && !wants("--table2") && figure_arg.is_none();
 
     if wants("--table1") || run_all {
@@ -107,7 +164,7 @@ fn main() {
     }
     if let Some(name) = figure_arg {
         match workload_by_name(name) {
-            Some(w) => figure(w, preset, max_procs),
+            Some(w) => figure(w, preset, max_procs, &systems),
             None => {
                 eprintln!("unknown workload '{name}'; known workloads:");
                 for w in Workload::all() {
@@ -118,10 +175,10 @@ fn main() {
         }
     } else if run_all {
         for w in Workload::all() {
-            figure(w, preset, max_procs);
+            figure(w, preset, max_procs, &systems);
         }
     }
     if wants("--table2") || run_all {
-        table2(preset, max_procs);
+        table2(preset, max_procs, &systems);
     }
 }

@@ -5,7 +5,7 @@
 //! regenerates Table 1 (sequential times), Figures 1–12 (speedup curves for
 //! 1–8 processors) and Table 2 (messages and kilobytes at 8 processors).
 //! The criterion benches in `benches/` measure the runtime primitives and
-//! the ablations listed in DESIGN.md §5.
+//! the protocol and runtime ablations described in README.md.
 
 #![warn(missing_docs)]
 
@@ -26,7 +26,7 @@ pub enum Preset {
 macro_rules! dispatch {
     ($mod:ident, $params:expr, $sys:expr, $nprocs:expr) => {
         match $sys {
-            System::TreadMarks => $mod::treadmarks($nprocs, &$params),
+            System::TreadMarks(protocol) => $mod::treadmarks_with($nprocs, &$params, protocol),
             System::Pvm => $mod::pvm($nprocs, &$params),
         }
     };
@@ -203,11 +203,45 @@ mod tests {
     }
 
     #[test]
-    fn every_workload_runs_under_both_systems() {
+    fn every_workload_runs_under_every_system() {
         for w in Workload::all() {
-            let t = run_parallel(w, System::TreadMarks, 2, Preset::Tiny);
-            let m = run_parallel(w, System::Pvm, 2, Preset::Tiny);
-            assert!(t.time > 0.0 && m.time > 0.0, "{} failed", w.name());
+            for sys in System::all() {
+                let r = run_parallel(w, sys, 2, Preset::Tiny);
+                assert!(r.time > 0.0, "{} failed under {}", w.name(), sys);
+            }
+        }
+    }
+
+    /// The `Preset::Tiny` smoke test of the reproduce harness: all
+    /// applications at 2 processes under both DSM protocol backends report
+    /// finite speedups and nonzero message counts.
+    #[test]
+    fn tiny_preset_smokes_all_apps_under_both_protocols() {
+        use treadmarks::ProtocolKind;
+        for w in Workload::all() {
+            let seq = run_sequential(w, Preset::Tiny);
+            assert!(seq.time > 0.0, "{}: no sequential baseline", w.name());
+            for protocol in ProtocolKind::all() {
+                let run = run_parallel(w, System::TreadMarks(protocol), 2, Preset::Tiny);
+                let speedup = run.speedup(seq.time);
+                assert!(
+                    speedup.is_finite() && speedup > 0.0,
+                    "{} under {protocol}: speedup {speedup} not finite",
+                    w.name()
+                );
+                assert!(
+                    run.messages > 0,
+                    "{} under {protocol}: no messages at 2 processes",
+                    w.name()
+                );
+                assert!(
+                    (run.checksum - seq.checksum).abs() <= seq.checksum.abs() * 1e-6 + 1e-6,
+                    "{} under {protocol}: checksum {} vs sequential {}",
+                    w.name(),
+                    run.checksum,
+                    seq.checksum
+                );
+            }
         }
     }
 

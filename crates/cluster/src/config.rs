@@ -3,7 +3,7 @@
 //! The constants in [`ClusterConfig::calibrated_fddi`] approximate the
 //! testbed of the paper: 8 HP-735 workstations on a 100 Mbit/s FDDI ring,
 //! user-level UDP (TreadMarks) or direct TCP (PVM), 4 KB virtual memory
-//! pages.  DESIGN.md §6 documents the calibration.
+//! pages.  README.md §Design notes documents the calibration.
 
 use serde::{Deserialize, Serialize};
 
@@ -45,7 +45,7 @@ pub struct ClusterConfig {
 }
 
 impl ClusterConfig {
-    /// The calibrated model of the paper's testbed (see DESIGN.md §6):
+    /// The calibrated model of the paper's testbed (see README.md §Design notes):
     /// 100 Mbit/s FDDI, ~400 µs small-message latency, 8 KB MTU,
     /// ~10.5 MB/s effective bandwidth.
     pub fn calibrated_fddi(nprocs: usize) -> Self {
@@ -81,7 +81,7 @@ impl ClusterConfig {
         if bytes == 0 {
             1
         } else {
-            ((bytes + self.mtu - 1) / self.mtu) as u64
+            bytes.div_ceil(self.mtu) as u64
         }
     }
 

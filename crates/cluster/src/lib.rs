@@ -89,9 +89,17 @@ impl Cluster {
             for id in 0..cfg.nprocs {
                 let core = Arc::clone(&core);
                 handles.push(s.spawn(move || {
-                    let proc = Proc::new(id, core);
-                    let r = f(&proc);
-                    (r, proc.into_stats())
+                    let proc = Proc::new(id, Arc::clone(&core));
+                    // A panicking process aborts the whole cluster: peers
+                    // blocked on messages it will never send fail fast
+                    // instead of hanging the run.
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&proc))) {
+                        Ok(r) => (r, proc.into_stats()),
+                        Err(payload) => {
+                            core.abort(id);
+                            std::panic::resume_unwind(payload);
+                        }
+                    }
                 }));
             }
             handles

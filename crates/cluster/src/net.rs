@@ -45,6 +45,10 @@ pub struct NetworkCore {
     mailboxes: Vec<Mailbox>,
     /// Virtual time until which the shared medium is busy (FDDI ring model).
     medium_free_at: Mutex<f64>,
+    /// Rank of a process that panicked, if any.  Set by [`Self::abort`] so
+    /// that blocked receivers fail fast instead of waiting forever for
+    /// messages the dead process will never send.
+    aborted_by: Mutex<Option<usize>>,
 }
 
 impl NetworkCore {
@@ -55,6 +59,23 @@ impl NetworkCore {
             cfg,
             mailboxes,
             medium_free_at: Mutex::new(0.0),
+            aborted_by: Mutex::new(None),
+        }
+    }
+
+    /// Mark the cluster as aborted because process `who` panicked, and wake
+    /// every blocked receiver so it can fail fast.
+    pub fn abort(&self, who: usize) {
+        *self.aborted_by.lock() = Some(who);
+        for mb in &self.mailboxes {
+            let _q = mb.queue.lock();
+            mb.avail.notify_all();
+        }
+    }
+
+    fn check_aborted(&self) {
+        if let Some(who) = *self.aborted_by.lock() {
+            panic!("cluster aborted: process {who} panicked");
         }
     }
 
@@ -69,7 +90,14 @@ impl NetworkCore {
     /// When the shared-medium model is enabled, transmission is serialised:
     /// the message cannot start transmitting before the medium is free, which
     /// is how broadcast storms (Barnes-Hut under PVM) saturate the network.
-    pub fn transmit(&self, src: usize, dst: usize, tag: Tag, payload: Bytes, depart: f64) -> (f64, u64) {
+    pub fn transmit(
+        &self,
+        src: usize,
+        dst: usize,
+        tag: Tag,
+        payload: Bytes,
+        depart: f64,
+    ) -> (f64, u64) {
         assert!(dst < self.cfg.nprocs, "send to nonexistent process {dst}");
         let bytes = payload.len();
         let datagrams = self.cfg.datagrams_for(bytes);
@@ -99,19 +127,41 @@ impl NetworkCore {
 
     /// Blocking receive of the first queued message for `dst` that matches
     /// `src` (if given) and `tag` (if given).
+    ///
+    /// A receive that stays blocked for a long *real* time is almost always
+    /// a protocol deadlock in the runtime built on top of this transport, so
+    /// after 30 wall-clock seconds a diagnostic describing the wait and the
+    /// non-matching queued messages is printed to stderr (once per call).
     pub fn recv_match(&self, dst: usize, src: Option<usize>, tag: Option<Tag>) -> Message {
         let mb = &self.mailboxes[dst];
         let mut q = mb.queue.lock();
+        let mut warned = false;
         loop {
+            self.check_aborted();
             if let Some(pos) = Self::find(&q, src, tag) {
                 return q.remove(pos).expect("position just found");
             }
-            mb.avail.wait(&mut q);
+            let timed_out = mb
+                .avail
+                .wait_for(&mut q, std::time::Duration::from_secs(30));
+            if timed_out && !warned {
+                warned = true;
+                let queued: Vec<(usize, Tag)> = q.iter().map(|m| (m.src, m.tag)).collect();
+                eprintln!(
+                    "cluster: process {dst} has been blocked for 30s waiting for \
+                     src={src:?} tag={tag:?}; queued (src, tag): {queued:?}"
+                );
+            }
         }
     }
 
     /// Non-blocking variant of [`recv_match`](Self::recv_match).
-    pub fn try_recv_match(&self, dst: usize, src: Option<usize>, tag: Option<Tag>) -> Option<Message> {
+    pub fn try_recv_match(
+        &self,
+        dst: usize,
+        src: Option<usize>,
+        tag: Option<Tag>,
+    ) -> Option<Message> {
         let mb = &self.mailboxes[dst];
         let mut q = mb.queue.lock();
         Self::find(&q, src, tag).and_then(|pos| q.remove(pos))
@@ -123,9 +173,8 @@ impl NetworkCore {
     }
 
     fn find(q: &VecDeque<Message>, src: Option<usize>, tag: Option<Tag>) -> Option<usize> {
-        q.iter().position(|m| {
-            src.map_or(true, |s| m.src == s) && tag.map_or(true, |t| m.tag == t)
-        })
+        q.iter()
+            .position(|m| src.is_none_or(|s| m.src == s) && tag.is_none_or(|t| m.tag == t))
     }
 }
 

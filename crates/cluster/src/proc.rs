@@ -116,6 +116,22 @@ impl Proc {
         Some(m)
     }
 
+    /// Non-blocking receive of *any* queued message addressed to this
+    /// process, consumed interrupt-style: the per-receive CPU overhead is
+    /// charged to this process as stolen cycles, but the clock is *not*
+    /// synchronised to the message's arrival time — the caller is busy
+    /// computing, not idle-waiting.  Runtime systems use this to serve
+    /// protocol requests at points where they are not blocked (the SIGIO
+    /// delivery of the real system).
+    pub fn try_recv_interrupt(&self) -> Option<Message> {
+        let m = self.core.try_recv_match(self.id, None, None)?;
+        self.clock.advance(self.core.config().recv_overhead);
+        let mut st = self.stats.borrow_mut();
+        st.messages_received += 1;
+        st.bytes_received += m.payload.len() as u64;
+        Some(m)
+    }
+
     /// Number of messages currently queued for this process.
     pub fn pending(&self) -> usize {
         self.core.pending(self.id)

@@ -47,10 +47,7 @@ pub struct ClusterReport<R> {
 impl<R> ClusterReport<R> {
     /// The parallel execution time: the latest finish time over all processes.
     pub fn parallel_time(&self) -> f64 {
-        self.stats
-            .iter()
-            .map(|s| s.finish_time)
-            .fold(0.0, f64::max)
+        self.stats.iter().map(|s| s.finish_time).fold(0.0, f64::max)
     }
 
     /// Total logical messages sent across all processes.

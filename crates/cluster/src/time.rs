@@ -21,7 +21,9 @@ pub struct VirtualClock {
 impl VirtualClock {
     /// A clock starting at time zero.
     pub fn new() -> Self {
-        VirtualClock { now: Cell::new(0.0) }
+        VirtualClock {
+            now: Cell::new(0.0),
+        }
     }
 
     /// Current virtual time in seconds.

@@ -5,7 +5,7 @@
 //! granularity (the 4 KB page): every accessor below checks the validity of
 //! the pages it touches, triggers the fault path (diff request / response /
 //! apply) for invalid pages, and creates twins on the first write of an
-//! interval.  See DESIGN.md §2 for why this substitution preserves the
+//! interval.  See README.md §Design notes for why this substitution preserves the
 //! protocol behaviour the paper measures.
 //!
 //! Addresses are plain byte offsets into the shared heap, obtained from
@@ -15,8 +15,7 @@
 
 use crate::page::PageId;
 use crate::process::Tmk;
-use crate::proto::{decode_diff_response, encode_diff_request, TAG_DIFF_REQ, TAG_DIFF_RESP};
-use crate::{MEM_BANDWIDTH, PAGE_FAULT_COST};
+use crate::MEM_BANDWIDTH;
 use cluster::config::PAGE_SIZE;
 
 /// An address in the shared heap (a byte offset).
@@ -194,12 +193,24 @@ impl<'a> Tmk<'a> {
 
     // --------------------------------------------------------------- faults
 
-    /// Make every page overlapping `[addr, addr + len)` valid, fetching and
-    /// applying diffs for the invalid ones.
+    /// Make every page overlapping `[addr, addr + len)` valid, triggering
+    /// the configured protocol's fault-service path (see [`crate::protocol`])
+    /// for the invalid ones.
+    ///
+    /// Servicing one page's fault can re-invalidate an earlier page of the
+    /// same range (a barrier arrival served while waiting applies fresh
+    /// write notices), so the scan repeats until the whole range is clean.
+    /// No requests are served between this returning and the access itself,
+    /// so the range stays valid for the caller.
     pub fn ensure_valid(&self, addr: SharedAddr, len: usize) {
-        let invalid = self.st.borrow().invalid_pages(addr, len);
-        for page in invalid {
-            self.fault_in(page);
+        loop {
+            let invalid = self.st.borrow().invalid_pages(addr, len);
+            if invalid.is_empty() {
+                return;
+            }
+            for page in invalid {
+                self.fault_in(page);
+            }
         }
     }
 
@@ -209,42 +220,5 @@ impl<'a> Tmk<'a> {
         if twinned {
             self.proc().compute(PAGE_SIZE as f64 / MEM_BANDWIDTH);
         }
-    }
-
-    /// The access-fault path: request diffs for `page` from the minimal set
-    /// of writers, apply them in `hb1` order, and mark the page valid.
-    fn fault_in(&self, page: PageId) {
-        self.proc().compute(PAGE_FAULT_COST);
-        let (targets, applied_vc, my_vc) = {
-            let mut st = self.st.borrow_mut();
-            st.stats.page_faults += 1;
-            (
-                st.diff_request_targets(page),
-                st.page_applied_vc(page),
-                st.vc.clone(),
-            )
-        };
-        if targets.is_empty() {
-            // All pending notices were for intervals whose diffs we already
-            // hold (can happen after locally fetching for a neighbouring
-            // access); just apply nothing and revalidate.
-            self.st.borrow_mut().apply_wire_diffs(page, Vec::new());
-            return;
-        }
-        for &t in &targets {
-            let payload = encode_diff_request(page, self.id(), &applied_vc, &my_vc);
-            self.proc().send(t, TAG_DIFF_REQ, payload);
-            self.st.borrow_mut().stats.diff_requests_sent += 1;
-        }
-        let mut all = Vec::new();
-        for _ in 0..targets.len() {
-            let m = self.wait_reply(TAG_DIFF_RESP);
-            let (pid, diffs) = decode_diff_response(m.payload, self.nprocs());
-            assert_eq!(pid, page, "diff response for an unexpected page");
-            all.extend(diffs);
-        }
-        let bytes: usize = all.iter().map(|d| d.diff.encoded_len()).sum();
-        self.proc().compute(bytes as f64 / MEM_BANDWIDTH);
-        self.st.borrow_mut().apply_wire_diffs(page, all);
     }
 }

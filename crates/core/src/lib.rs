@@ -1,4 +1,5 @@
-//! A TreadMarks-style software distributed shared memory system.
+//! A TreadMarks-style software distributed shared memory system with a
+//! pluggable coherence-protocol engine.
 //!
 //! This crate is the reproduction of the DSM side of the SC'95 study
 //! *"Message Passing Versus Distributed Shared Memory on Networks of
@@ -17,11 +18,19 @@
 //!   last-requester forwarding (a release sends no message), and a
 //!   centralised barrier costing `2 * (nprocs - 1)` messages ([`process`]).
 //!
+//! Beyond the paper, the coherence policy is selectable per run through the
+//! [`protocol`] engine: [`ProtocolKind::Lrc`] is the TreadMarks protocol
+//! above, and [`ProtocolKind::Hlrc`] is home-based LRC ([`home`]) — eager
+//! diff flushes to a per-page home at release/barrier and full-page fetches
+//! at faults, with no diff accumulation or garbage retention.  See the
+//! repository README for the protocol comparison and how to select a
+//! backend.
+//!
 //! The programming interface mirrors the TreadMarks API used by the paper's
 //! applications: `Tmk_malloc`, `Tmk_barrier`, `Tmk_lock_acquire`,
 //! `Tmk_lock_release`, and ordinary reads/writes of shared memory (here:
 //! typed accessors, because access detection is done in software at page
-//! granularity rather than with the VM hardware — see DESIGN.md §2).
+//! granularity rather than with the VM hardware — see README §Design notes).
 //!
 //! # Example
 //!
@@ -51,9 +60,11 @@
 #![warn(missing_docs)]
 
 pub mod heap;
+pub mod home;
 pub mod page;
 pub mod process;
 pub mod proto;
+pub mod protocol;
 pub mod state;
 pub mod stats;
 pub mod vc;
@@ -61,6 +72,7 @@ pub mod vc;
 pub use heap::SharedAddr;
 pub use page::{Diff, DiffRun, PageId};
 pub use process::Tmk;
+pub use protocol::ProtocolKind;
 pub use stats::TmkStats;
 pub use vc::VectorClock;
 
@@ -87,13 +99,21 @@ mod tests {
     use super::*;
     use cluster::{Cluster, ClusterConfig, ClusterReport};
 
-    fn run<R: Send>(n: usize, f: impl Fn(&Tmk) -> R + Send + Sync) -> ClusterReport<R> {
+    fn run_under<R: Send>(
+        protocol: ProtocolKind,
+        n: usize,
+        f: impl Fn(&Tmk) -> R + Send + Sync,
+    ) -> ClusterReport<R> {
         Cluster::run(ClusterConfig::calibrated_fddi(n), move |p| {
-            let tmk = Tmk::new(p);
+            let tmk = Tmk::with_protocol(p, protocol);
             let r = f(&tmk);
             tmk.exit();
             r
         })
+    }
+
+    fn run<R: Send>(n: usize, f: impl Fn(&Tmk) -> R + Send + Sync) -> ClusterReport<R> {
+        run_under(ProtocolKind::Lrc, n, f)
     }
 
     #[test]
@@ -270,6 +290,205 @@ mod tests {
         assert_eq!(rep.results[1].diff_requests_sent, 16);
         assert_eq!(rep.results[1].page_faults, 16);
         assert_eq!(rep.results[0].diff_requests_served, 16);
+    }
+
+    #[test]
+    fn hlrc_agrees_with_lrc_on_every_functional_pattern() {
+        // The protocol backends must compute identical answers; only the
+        // message traffic differs.  Exercise initialisation, lock-protected
+        // counters, migratory data and false sharing under both.
+        for protocol in ProtocolKind::all() {
+            let n = 4;
+            let rep = run_under(protocol, n, move |tmk| {
+                let a = tmk.malloc(4096);
+                let counter = tmk.malloc(8);
+                let block = tmk.malloc(256);
+                if tmk.id() == 0 {
+                    for i in 0..512 {
+                        tmk.write_f64(a + i * 8, i as f64);
+                    }
+                }
+                tmk.barrier(0);
+                let mut sum = 0.0;
+                for i in 0..512 {
+                    sum += tmk.read_f64(a + i * 8);
+                }
+                for _ in 0..5 {
+                    tmk.lock_acquire(0);
+                    let v = tmk.read_i64(counter);
+                    tmk.write_i64(counter, v + 1);
+                    tmk.lock_release(0);
+                }
+                for round in 0..n {
+                    if tmk.id() == round {
+                        tmk.lock_acquire(1);
+                        for i in 0..32 {
+                            tmk.write_i64(block + i * 8, (round * 100 + i) as i64);
+                        }
+                        tmk.lock_release(1);
+                    }
+                    tmk.barrier(1 + round as u32);
+                }
+                sum += tmk.read_i64(counter) as f64;
+                sum += tmk.read_i64(block) as f64;
+                sum
+            });
+            let expect: f64 =
+                (0..512).map(|i| i as f64).sum::<f64>() + (n * 5) as f64 + ((n - 1) * 100) as f64;
+            assert!(
+                rep.results.iter().all(|&s| (s - expect).abs() < 1e-9),
+                "{protocol}: wrong results {:?}",
+                rep.results
+            );
+        }
+    }
+
+    #[test]
+    fn hlrc_single_process_needs_no_messages() {
+        let rep = run_under(ProtocolKind::Hlrc, 1, |tmk| {
+            let a = tmk.malloc(1024);
+            tmk.barrier(0);
+            tmk.write_f64(a, 2.5);
+            tmk.barrier(1);
+            tmk.read_f64(a)
+        });
+        assert_eq!(rep.results[0], 2.5);
+        assert_eq!(rep.total_messages(), 0);
+    }
+
+    #[test]
+    fn hlrc_fault_is_one_round_trip_regardless_of_writer_count() {
+        // Two concurrent writers of one page: an LRC reader must request
+        // diffs from both; an HLRC reader fetches the page from its home in
+        // a single round trip.
+        let workload = |tmk: &Tmk| {
+            let a = tmk.malloc_aligned(4096, 4096);
+            tmk.barrier(0);
+            if tmk.id() < 2 {
+                let base = a + tmk.id() * 2048;
+                for i in 0..16 {
+                    tmk.write_i64(base + i * 8, (tmk.id() * 10 + i) as i64);
+                }
+            }
+            tmk.barrier(1);
+            if tmk.id() == 2 {
+                let _ = tmk.read_i64(a);
+            }
+            tmk.barrier(2);
+            tmk.stats()
+        };
+        let lrc = run_under(ProtocolKind::Lrc, 3, workload);
+        let hlrc = run_under(ProtocolKind::Hlrc, 3, workload);
+        assert_eq!(lrc.results[2].diff_requests_sent, 2);
+        assert_eq!(hlrc.results[2].page_requests_sent, 1);
+        assert!(
+            hlrc.results[2].fault_round_trips() < lrc.results[2].fault_round_trips(),
+            "HLRC must need fewer fault round-trips under false sharing"
+        );
+    }
+
+    #[test]
+    fn hlrc_flushes_are_acknowledged_before_the_barrier_releases() {
+        // A writer's release-side flush and the reader's fetch are the only
+        // data traffic: the writer flushes one page's diff to the home, the
+        // reader fetches the full page once.
+        let rep = run_under(ProtocolKind::Hlrc, 3, |tmk| {
+            let a = tmk.malloc_aligned(4096, 4096);
+            // Page 0 is homed on process 0; let process 1 write it.
+            if tmk.id() == 1 {
+                for i in 0..64 {
+                    tmk.write_i64(a + i * 8, i as i64);
+                }
+            }
+            tmk.barrier(0);
+            if tmk.id() == 2 {
+                let mut out = vec![0i64; 64];
+                for (i, slot) in out.iter_mut().enumerate() {
+                    *slot = tmk.read_i64(a + i * 8);
+                }
+                assert!(out.iter().enumerate().all(|(i, &v)| v == i as i64));
+            }
+            tmk.barrier(1);
+            tmk.stats()
+        });
+        assert_eq!(rep.results[1].diff_flushes_sent, 1);
+        assert_eq!(rep.results[0].diff_flushes_served, 1);
+        assert_eq!(rep.results[2].page_requests_sent, 1);
+        assert_eq!(rep.results[0].page_requests_served, 1);
+        // Nobody retains protocol garbage: the writer discarded its diff.
+        assert_eq!(rep.results[1].diffs_applied, 0);
+    }
+
+    #[test]
+    fn hlrc_repeated_faults_save_round_trips_over_lrc() {
+        // Migratory block rewritten by every process in turn: LRC's later
+        // readers still contact one writer per fault but receive the full
+        // accumulated diff chain; HLRC always does one page fetch and moves
+        // only the page.  Over the whole run HLRC must issue strictly fewer
+        // fault round-trips.
+        let n = 4;
+        let workload = move |tmk: &Tmk| {
+            let block = tmk.malloc_aligned(4096, 4096);
+            tmk.barrier(0);
+            for round in 0..n {
+                if tmk.id() == round {
+                    tmk.lock_acquire(0);
+                    for i in 0..64 {
+                        tmk.write_i64(block + i * 8, (round * 1000 + i) as i64);
+                    }
+                    tmk.lock_release(0);
+                }
+                tmk.barrier(1 + round as u32);
+            }
+            let v = tmk.read_i64(block);
+            tmk.barrier(100);
+            (v, tmk.stats())
+        };
+        let lrc = run_under(ProtocolKind::Lrc, n, workload);
+        let hlrc = run_under(ProtocolKind::Hlrc, n, workload);
+        let expect = ((n - 1) * 1000) as i64;
+        assert!(lrc.results.iter().all(|(v, _)| *v == expect));
+        assert!(hlrc.results.iter().all(|(v, _)| *v == expect));
+        let lrc_trips: u64 = lrc.results.iter().map(|(_, s)| s.fault_round_trips()).sum();
+        let hlrc_trips: u64 = hlrc
+            .results
+            .iter()
+            .map(|(_, s)| s.fault_round_trips())
+            .sum();
+        assert!(
+            hlrc_trips < lrc_trips,
+            "HLRC {hlrc_trips} trips vs LRC {lrc_trips}"
+        );
+        // And no diff is ever applied outside a home's master copy.
+        assert!(hlrc.results.iter().all(|(_, s)| s.diffs_applied == 0));
+    }
+
+    #[test]
+    fn out_of_order_replies_are_stashed_and_recovered() {
+        // A reply can arrive while a nested wait is looking for a different
+        // tag (HLRC flush acks nest inside fault waits); it must be stashed
+        // and handed to the wait that expects it, not rejected or lost.
+        use crate::proto::{
+            decode_diff_response, decode_flush_ack, encode_diff_response, encode_flush_ack,
+            TAG_DIFF_RESP, TAG_FLUSH_ACK,
+        };
+        let rep = Cluster::run(ClusterConfig::calibrated_fddi(2), |p| {
+            let tmk = Tmk::new(p);
+            if p.id() == 1 {
+                // The ack arrives first, ahead of the wait that expects it.
+                p.send(0, TAG_FLUSH_ACK, encode_flush_ack(0, 7));
+                p.send(0, TAG_DIFF_RESP, encode_diff_response(3, &[]));
+                0
+            } else {
+                // Waiting for the diff response stashes the early ack...
+                let m = tmk.wait_reply(TAG_DIFF_RESP);
+                assert_eq!(decode_diff_response(m.payload, 2).0, 3);
+                // ...and the next wait recovers it from the stash.
+                let m = tmk.wait_reply(TAG_FLUSH_ACK);
+                decode_flush_ack(m.payload).1
+            }
+        });
+        assert_eq!(rep.results[0], 7);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! (SIGIO) request handling of the real system.
 
 use crate::proto::*;
+use crate::protocol::ProtocolKind;
 use crate::state::DsmState;
 use crate::stats::TmkStats;
 use crate::vc::VectorClock;
@@ -38,24 +39,52 @@ pub struct Tmk<'a> {
     /// Virtual time at which each lock was last released here (prevents a
     /// grant from appearing to depart while the lock was still held).
     lock_release_time: RefCell<HashMap<u32, f64>>,
+    /// Replies that arrived while a nested wait was looking for a different
+    /// tag (e.g. a diff response arriving while a flush triggered by serving
+    /// a lock request awaits its acknowledgement).
+    stashed: RefCell<Vec<Message>>,
     /// Exit-protocol counter at process 0.
     done_count: Cell<usize>,
 }
 
 impl<'a> Tmk<'a> {
-    /// Create a DSM endpoint with the default shared heap size.
+    /// Create a DSM endpoint with the default shared heap size, running the
+    /// default (LRC) coherence protocol.
     pub fn new(proc: &'a Proc) -> Self {
-        Self::with_heap(proc, DEFAULT_HEAP_BYTES)
+        Self::with_heap_and_protocol(proc, DEFAULT_HEAP_BYTES, ProtocolKind::default())
     }
 
-    /// Create a DSM endpoint with a shared heap of `heap_bytes` bytes.
+    /// Create a DSM endpoint with a shared heap of `heap_bytes` bytes,
+    /// running the default (LRC) coherence protocol.
     pub fn with_heap(proc: &'a Proc, heap_bytes: usize) -> Self {
+        Self::with_heap_and_protocol(proc, heap_bytes, ProtocolKind::default())
+    }
+
+    /// Create a DSM endpoint with the default shared heap size, running the
+    /// given coherence protocol.
+    pub fn with_protocol(proc: &'a Proc, protocol: ProtocolKind) -> Self {
+        Self::with_heap_and_protocol(proc, DEFAULT_HEAP_BYTES, protocol)
+    }
+
+    /// Create a DSM endpoint with a shared heap of `heap_bytes` bytes,
+    /// running the given coherence protocol.
+    pub fn with_heap_and_protocol(
+        proc: &'a Proc,
+        heap_bytes: usize,
+        protocol: ProtocolKind,
+    ) -> Self {
         Tmk {
             proc,
-            st: RefCell::new(DsmState::new(proc.id(), proc.nprocs(), heap_bytes)),
+            st: RefCell::new(DsmState::new_with(
+                proc.id(),
+                proc.nprocs(),
+                heap_bytes,
+                protocol,
+            )),
             barrier_epoch: Cell::new(0),
             arrivals: RefCell::new(HashMap::new()),
             lock_release_time: RefCell::new(HashMap::new()),
+            stashed: RefCell::new(Vec::new()),
             done_count: Cell::new(0),
         }
     }
@@ -63,6 +92,11 @@ impl<'a> Tmk<'a> {
     /// Rank of this process.
     pub fn id(&self) -> usize {
         self.proc.id()
+    }
+
+    /// The coherence protocol this endpoint runs.
+    pub fn protocol(&self) -> ProtocolKind {
+        self.st.borrow().protocol
     }
 
     /// Number of processes sharing the memory.
@@ -92,6 +126,17 @@ impl<'a> Tmk<'a> {
     /// corresponding pages are invalidated.
     pub fn lock_acquire(&self, id: u32) {
         self.proc.compute(SYNC_OP_COST);
+        let have_token = self.st.borrow_mut().lock_state_mut(id).have_token;
+        if have_token {
+            // Serve requests that have already arrived before taking the
+            // local fast path: a worker repeatedly reacquiring an
+            // uncontended lock (e.g. polling a task queue) never blocks, and
+            // without this interrupt-style service its peers' forwarded
+            // acquires would sit in the mailbox forever (livelock).  Serving
+            // may hand the token away, in which case we fall through to the
+            // remote path below.
+            self.drain_requests();
+        }
         let manager = {
             let mut st = self.st.borrow_mut();
             let ls = st.lock_state_mut(id);
@@ -140,7 +185,9 @@ impl<'a> Tmk<'a> {
     /// the requester lacks) are handed over now.
     pub fn lock_release(&self, id: u32) {
         self.proc.compute(SYNC_OP_COST);
-        self.close_interval_charged();
+        if self.nprocs() > 1 {
+            self.close_interval_charged();
+        }
         let pending = {
             let mut st = self.st.borrow_mut();
             st.stats.lock_releases += 1;
@@ -169,26 +216,24 @@ impl<'a> Tmk<'a> {
         self.proc.compute(SYNC_OP_COST);
         let epoch = self.barrier_epoch.get();
         self.barrier_epoch.set(epoch + 1);
+        let n = self.nprocs();
+        if n == 1 {
+            // A lone process never re-protects pages or makes diffs (nobody
+            // can request them), so intervals need not close at all — the
+            // real system's single-process execution has no write traps
+            // after the first touch of each page.
+            self.st.borrow_mut().stats.barriers += 1;
+            return;
+        }
         self.close_interval_charged();
         {
             self.st.borrow_mut().stats.barriers += 1;
-        }
-        let n = self.nprocs();
-        if n == 1 {
-            let mut st = self.st.borrow_mut();
-            let vc = st.vc.clone();
-            st.last_barrier_vc = vc;
-            return;
         }
         if self.id() == 0 {
             // Manager: collect the other processes' arrivals (serving any
             // other requests that show up while waiting), then release.
             loop {
-                let got = self
-                    .arrivals
-                    .borrow()
-                    .get(&epoch)
-                    .map_or(0, |v| v.len());
+                let got = self.arrivals.borrow().get(&epoch).map_or(0, |v| v.len());
                 if got == n - 1 {
                     break;
                 }
@@ -232,6 +277,20 @@ impl<'a> Tmk<'a> {
     /// processes have finished their work.  Shared memory must not be
     /// accessed after `exit`.
     pub fn exit(&self) {
+        // Every stashed reply belongs to some wait that retrieves it before
+        // its caller returns; a leftover here means a reply was sent that
+        // nobody ever waited for — a protocol bug that would otherwise be
+        // silently swallowed.
+        debug_assert!(
+            self.stashed.borrow().is_empty(),
+            "process {} exits with unconsumed replies: {:?}",
+            self.id(),
+            self.stashed
+                .borrow()
+                .iter()
+                .map(|m| (m.src, m.tag))
+                .collect::<Vec<_>>()
+        );
         let n = self.nprocs();
         if n == 1 {
             return;
@@ -258,21 +317,55 @@ impl<'a> Tmk<'a> {
 
     // ------------------------------------------------------------- internals
 
-    /// Close the current interval (if any page is dirty) and charge the CPU
-    /// cost of creating its diffs.
+    /// Close the current interval (if any page is dirty) and — under the
+    /// home-based protocol — flush the diffs to their remote homes before
+    /// returning.
+    ///
+    /// No diff-creation cost is charged here: the real system creates diffs
+    /// lazily, so under LRC the page+twin scan is charged when a diff is
+    /// first served, and under HLRC when it is flushed (by
+    /// [`Tmk::hlrc_flush`]).
     pub(crate) fn close_interval_charged(&self) {
-        let record = self.st.borrow_mut().close_interval();
-        if let Some(rec) = record {
-            // Creating a diff scans the page and its twin.
-            let cost = rec.pages.len() as f64 * 2.0 * cluster::config::PAGE_SIZE as f64
-                / MEM_BANDWIDTH;
-            self.proc.compute(cost);
+        let closed = self.st.borrow_mut().close_interval();
+        if let Some(closed) = closed {
+            if !closed.flushes.is_empty() {
+                self.hlrc_flush(closed.record.seq, closed.flushes);
+            }
+        }
+    }
+
+    /// Serve every protocol request that has *already* arrived, without
+    /// blocking — the SIGIO-style request service of the real system,
+    /// invoked at synchronization entry points so that a process which
+    /// never blocks (e.g. a worker polling a task queue it holds the lock
+    /// token for) still serves its peers' requests.  A non-request message
+    /// (a reply racing ahead of its wait) is stashed for the wait that
+    /// expects it.
+    fn drain_requests(&self) {
+        while let Some(m) = self.proc.try_recv_interrupt() {
+            if is_request_tag(m.tag) {
+                self.handle_request(m);
+            } else {
+                self.stashed.borrow_mut().push(m);
+            }
         }
     }
 
     /// Block until a message with `want_tag` arrives, serving every protocol
     /// request that shows up in the meantime.
+    ///
+    /// A reply that is *not* the awaited tag is stashed rather than
+    /// rejected: serving a request can itself initiate a nested wait (an
+    /// HLRC flush triggered by granting a lock awaits its acknowledgement),
+    /// and the outer wait's reply may arrive during the nested one.
     pub(crate) fn wait_reply(&self, want_tag: u32) -> Message {
+        // The shared borrow must end before the mutable one below: in
+        // edition 2021 an `if let` scrutinee's temporary lives to the end
+        // of the body, so the position lookup is a separate statement.
+        let stashed_pos = self.stashed.borrow().iter().position(|m| m.tag == want_tag);
+        if let Some(pos) = stashed_pos {
+            return self.stashed.borrow_mut().remove(pos);
+        }
         loop {
             let m = self.proc.recv_any();
             if m.tag == want_tag {
@@ -281,12 +374,7 @@ impl<'a> Tmk<'a> {
             if is_request_tag(m.tag) {
                 self.handle_request(m);
             } else {
-                panic!(
-                    "process {} got unexpected tag {} while waiting for {}",
-                    self.id(),
-                    m.tag,
-                    want_tag
-                );
+                self.stashed.borrow_mut().push(m);
             }
         }
     }
@@ -324,8 +412,12 @@ impl<'a> Tmk<'a> {
                     self.handle_forwarded(lock, requester, req_vc, m.arrival);
                 } else {
                     assert_ne!(prev, requester, "requester cannot be the last holder");
-                    self.proc
-                        .send_at(prev, TAG_LOCK_FWD, m.payload, m.arrival + REQUEST_SERVICE_COST);
+                    self.proc.send_at(
+                        prev,
+                        TAG_LOCK_FWD,
+                        m.payload,
+                        m.arrival + REQUEST_SERVICE_COST,
+                    );
                 }
             }
             TAG_LOCK_FWD => {
@@ -336,21 +428,32 @@ impl<'a> Tmk<'a> {
             TAG_DIFF_REQ => {
                 self.proc.compute(REQUEST_SERVICE_COST);
                 let (page, requester, applied_vc, global_vc) = decode_diff_request(m.payload, n);
-                let (payload, bytes) = {
+                let (payload, bytes, first_serves) = {
                     let mut st = self.st.borrow_mut();
                     st.stats.diff_requests_served += 1;
-                    let diffs = st.diffs_for_request(page, requester, &applied_vc, &global_vc);
+                    let (diffs, first_serves) =
+                        st.diffs_for_request(page, requester, &applied_vc, &global_vc);
                     let bytes: usize = diffs.iter().map(|d| d.diff.encoded_len()).sum();
-                    (encode_diff_response(page, &diffs), bytes)
+                    (encode_diff_response(page, &diffs), bytes, first_serves)
                 };
+                // Diffs served for the first time are created now (the lazy
+                // diff creation of the real system): scan the page and twin.
+                let scan =
+                    first_serves as f64 * 2.0 * cluster::config::PAGE_SIZE as f64 / MEM_BANDWIDTH;
                 // Copying the diffs into the response steals cycles here.
-                self.proc.compute(bytes as f64 / MEM_BANDWIDTH);
+                self.proc.compute(scan + bytes as f64 / MEM_BANDWIDTH);
                 self.proc.send_at(
                     requester,
                     TAG_DIFF_RESP,
                     payload,
                     m.arrival + REQUEST_SERVICE_COST,
                 );
+            }
+            TAG_DIFF_FLUSH => {
+                self.serve_flush(m);
+            }
+            TAG_PAGE_REQ => {
+                self.serve_page_request(m);
             }
             TAG_BARRIER_ARRIVE => {
                 assert_eq!(self.id(), 0, "only process 0 manages barriers");
@@ -409,6 +512,7 @@ impl<'a> Tmk<'a> {
             ls.have_token = false;
             encode_lock_grant(lock, &vc, &records)
         };
-        self.proc.send_at(requester, TAG_LOCK_GRANT, payload, depart);
+        self.proc
+            .send_at(requester, TAG_LOCK_GRANT, payload, depart);
     }
 }

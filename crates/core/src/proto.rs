@@ -28,13 +28,27 @@ pub const TAG_DIFF_RESP: u32 = 106;
 pub const TAG_DONE: u32 = 107;
 /// Termination protocol: process 0 → worker, "everyone is done, stop serving".
 pub const TAG_TERMINATE: u32 = 108;
+/// HLRC diff flush (one interval's diffs for one home), writer → home.
+pub const TAG_DIFF_FLUSH: u32 = 109;
+/// HLRC flush acknowledgement, home → writer.
+pub const TAG_FLUSH_ACK: u32 = 110;
+/// HLRC full-page fetch request, faulting process → page home.
+pub const TAG_PAGE_REQ: u32 = 111;
+/// HLRC full-page fetch response carrying the master copy, home → requester.
+pub const TAG_PAGE_RESP: u32 = 112;
 
 /// True if `tag` is a request that must be served by the runtime's service
 /// loop even while the process is blocked waiting for something else.
 pub fn is_request_tag(tag: u32) -> bool {
     matches!(
         tag,
-        TAG_LOCK_ACQ | TAG_LOCK_FWD | TAG_BARRIER_ARRIVE | TAG_DIFF_REQ | TAG_DONE
+        TAG_LOCK_ACQ
+            | TAG_LOCK_FWD
+            | TAG_BARRIER_ARRIVE
+            | TAG_DIFF_REQ
+            | TAG_DONE
+            | TAG_DIFF_FLUSH
+            | TAG_PAGE_REQ
     )
 }
 
@@ -129,7 +143,10 @@ pub fn encode_lock_grant(lock_id: u32, vc: &VectorClock, records: &[IntervalReco
 }
 
 /// Decode a lock grant.
-pub fn decode_lock_grant(mut payload: Bytes, nprocs: usize) -> (u32, VectorClock, Vec<IntervalRecord>) {
+pub fn decode_lock_grant(
+    mut payload: Bytes,
+    nprocs: usize,
+) -> (u32, VectorClock, Vec<IntervalRecord>) {
     let lock_id = payload.get_u32_le();
     let vc = get_vc(&mut payload, nprocs);
     let records = get_records(&mut payload, nprocs);
@@ -146,7 +163,10 @@ pub fn encode_barrier(epoch: u32, vc: &VectorClock, records: &[IntervalRecord]) 
 }
 
 /// Decode a barrier arrival / release.
-pub fn decode_barrier(mut payload: Bytes, nprocs: usize) -> (u32, VectorClock, Vec<IntervalRecord>) {
+pub fn decode_barrier(
+    mut payload: Bytes,
+    nprocs: usize,
+) -> (u32, VectorClock, Vec<IntervalRecord>) {
     let epoch = payload.get_u32_le();
     let vc = get_vc(&mut payload, nprocs);
     let records = get_records(&mut payload, nprocs);
@@ -199,6 +219,28 @@ pub struct WireDiff {
     pub diff: Diff,
 }
 
+fn put_diff(buf: &mut BytesMut, diff: &Diff) {
+    buf.put_u32_le(diff.runs.len() as u32);
+    for run in &diff.runs {
+        buf.put_u16_le(run.offset);
+        buf.put_u16_le(run.data.len() as u16);
+        buf.put_slice(&run.data);
+    }
+}
+
+fn get_diff(buf: &mut Bytes) -> Diff {
+    let nruns = buf.get_u32_le() as usize;
+    let mut runs = Vec::with_capacity(nruns);
+    for _ in 0..nruns {
+        let offset = buf.get_u16_le();
+        let len = buf.get_u16_le() as usize;
+        let mut data = vec![0u8; len];
+        buf.copy_to_slice(&mut data);
+        runs.push(DiffRun { offset, data });
+    }
+    Diff { runs }
+}
+
 /// Diff response: `(page, diffs)`.
 pub fn encode_diff_response(page: PageId, diffs: &[WireDiff]) -> Bytes {
     let mut b = BytesMut::new();
@@ -208,12 +250,7 @@ pub fn encode_diff_response(page: PageId, diffs: &[WireDiff]) -> Bytes {
         b.put_u32_le(wd.creator as u32);
         b.put_u32_le(wd.seq);
         put_vc(&mut b, &wd.vc);
-        b.put_u32_le(wd.diff.runs.len() as u32);
-        for run in &wd.diff.runs {
-            b.put_u16_le(run.offset);
-            b.put_u16_le(run.data.len() as u16);
-            b.put_slice(&run.data);
-        }
+        put_diff(&mut b, &wd.diff);
     }
     b.freeze()
 }
@@ -227,23 +264,95 @@ pub fn decode_diff_response(mut payload: Bytes, nprocs: usize) -> (PageId, Vec<W
         let creator = payload.get_u32_le() as usize;
         let seq = payload.get_u32_le();
         let vc = get_vc(&mut payload, nprocs);
-        let nruns = payload.get_u32_le() as usize;
-        let mut runs = Vec::with_capacity(nruns);
-        for _ in 0..nruns {
-            let offset = payload.get_u16_le();
-            let len = payload.get_u16_le() as usize;
-            let mut data = vec![0u8; len];
-            payload.copy_to_slice(&mut data);
-            runs.push(DiffRun { offset, data });
-        }
+        let diff = get_diff(&mut payload);
         out.push(WireDiff {
             creator,
             seq,
             vc,
-            diff: Diff { runs },
+            diff,
         });
     }
     (page, out)
+}
+
+/// HLRC diff flush: `(creator, seq, [(page, diff)])` — one closed interval's
+/// diffs destined for one home, batched into a single message.
+pub fn encode_diff_flush(creator: usize, seq: u32, entries: &[(PageId, Diff)]) -> Bytes {
+    let mut b = BytesMut::new();
+    b.put_u32_le(creator as u32);
+    b.put_u32_le(seq);
+    b.put_u32_le(entries.len() as u32);
+    for (page, diff) in entries {
+        b.put_u32_le(*page);
+        put_diff(&mut b, diff);
+    }
+    b.freeze()
+}
+
+/// Decode an HLRC diff flush.
+pub fn decode_diff_flush(mut payload: Bytes) -> (usize, u32, Vec<(PageId, Diff)>) {
+    let creator = payload.get_u32_le() as usize;
+    let seq = payload.get_u32_le();
+    let n = payload.get_u32_le() as usize;
+    let entries = (0..n)
+        .map(|_| {
+            let page = payload.get_u32_le();
+            let diff = get_diff(&mut payload);
+            (page, diff)
+        })
+        .collect();
+    (creator, seq, entries)
+}
+
+/// HLRC flush acknowledgement: echoes `(creator, seq)` of the flushed
+/// interval so the writer can match acknowledgements to flushes.
+pub fn encode_flush_ack(creator: usize, seq: u32) -> Bytes {
+    let mut b = BytesMut::with_capacity(8);
+    b.put_u32_le(creator as u32);
+    b.put_u32_le(seq);
+    b.freeze()
+}
+
+/// Decode an HLRC flush acknowledgement.
+pub fn decode_flush_ack(mut payload: Bytes) -> (usize, u32) {
+    let creator = payload.get_u32_le() as usize;
+    let seq = payload.get_u32_le();
+    (creator, seq)
+}
+
+/// HLRC page fetch request: `(page, requester)`.
+pub fn encode_page_request(page: PageId, requester: usize) -> Bytes {
+    let mut b = BytesMut::with_capacity(8);
+    b.put_u32_le(page);
+    b.put_u32_le(requester as u32);
+    b.freeze()
+}
+
+/// Decode an HLRC page fetch request.
+pub fn decode_page_request(mut payload: Bytes) -> (PageId, usize) {
+    let page = payload.get_u32_le();
+    let requester = payload.get_u32_le() as usize;
+    (page, requester)
+}
+
+/// HLRC page fetch response: `(page, home's applied clock, full page)`.
+pub fn encode_page_response(page: PageId, applied: &VectorClock, data: &[u8]) -> Bytes {
+    let mut b = BytesMut::with_capacity(8 + 4 * applied.len() + data.len());
+    b.put_u32_le(page);
+    put_vc(&mut b, applied);
+    b.put_u32_le(data.len() as u32);
+    b.put_slice(data);
+    b.freeze()
+}
+
+/// Decode an HLRC page fetch response.
+pub fn decode_page_response(mut payload: Bytes, nprocs: usize) -> (PageId, VectorClock, Vec<u8>) {
+    let page = payload.get_u32_le();
+    let applied = get_vc(&mut payload, nprocs);
+    let len = payload.get_u32_le() as usize;
+    let mut data = vec![0u8; len];
+    payload.copy_to_slice(&mut data);
+    (page, applied, data)
 }
 
 #[cfg(test)]
@@ -340,10 +449,51 @@ mod tests {
         assert!(is_request_tag(TAG_LOCK_ACQ));
         assert!(is_request_tag(TAG_DIFF_REQ));
         assert!(is_request_tag(TAG_BARRIER_ARRIVE));
+        assert!(is_request_tag(TAG_DIFF_FLUSH));
+        assert!(is_request_tag(TAG_PAGE_REQ));
         assert!(!is_request_tag(TAG_LOCK_GRANT));
         assert!(!is_request_tag(TAG_BARRIER_RELEASE));
         assert!(!is_request_tag(TAG_DIFF_RESP));
+        assert!(!is_request_tag(TAG_FLUSH_ACK));
+        assert!(!is_request_tag(TAG_PAGE_RESP));
         assert!(!is_request_tag(TAG_TERMINATE));
+    }
+
+    #[test]
+    fn diff_flush_round_trip() {
+        let twin = new_page();
+        let mut page = new_page();
+        page[10] = 3;
+        page[900] = 4;
+        let d = Diff::create(&twin, &page);
+        let entries = vec![(5u32, d.clone()), (9u32, Diff::default())];
+        let payload = encode_diff_flush(2, 7, &entries);
+        let (creator, seq, got) = decode_diff_flush(payload);
+        assert_eq!(creator, 2);
+        assert_eq!(seq, 7);
+        assert_eq!(got, entries);
+    }
+
+    #[test]
+    fn flush_ack_round_trip() {
+        let (creator, seq) = decode_flush_ack(encode_flush_ack(3, 11));
+        assert_eq!((creator, seq), (3, 11));
+    }
+
+    #[test]
+    fn page_fetch_round_trip() {
+        let (page, requester) = decode_page_request(encode_page_request(42, 6));
+        assert_eq!((page, requester), (42, 6));
+
+        let mut data = new_page().to_vec();
+        data[0] = 1;
+        data[4095] = 2;
+        let applied = vc(&[3, 0, 1]);
+        let payload = encode_page_response(42, &applied, &data);
+        let (pid, got_applied, got_data) = decode_page_response(payload, 3);
+        assert_eq!(pid, 42);
+        assert_eq!(got_applied, applied);
+        assert_eq!(got_data, data);
     }
 
     #[test]

@@ -7,12 +7,42 @@
 //! performs the actual message exchanges; keeping the state machine free of
 //! networking makes the consistency logic unit-testable in isolation.
 
+use crate::home::home_of;
 use crate::page::{new_page, Diff, PageId};
 use crate::proto::{IntervalRecord, WireDiff};
+use crate::protocol::ProtocolKind;
 use crate::stats::TmkStats;
 use crate::vc::VectorClock;
 use cluster::config::PAGE_SIZE;
 use std::collections::{HashMap, VecDeque};
+
+/// The result of closing an interval: the write-notice record to publish,
+/// and — under the home-based protocol — the diffs that must be flushed to
+/// remote homes before the synchronization operation proceeds.
+#[derive(Debug)]
+pub struct ClosedInterval {
+    /// The interval record (write notices) of the closed interval.
+    pub record: IntervalRecord,
+    /// Diffs destined for remote homes (always empty under LRC, where diffs
+    /// stay with their writer; empty under HLRC for pages homed locally,
+    /// whose master copy is the writer's own).
+    pub flushes: Vec<(PageId, Diff)>,
+}
+
+/// A diff held locally, with the bookkeeping needed to charge its creation
+/// cost lazily: real TreadMarks creates diffs only when they are first
+/// requested, so the page+twin scan is charged to the creator the first
+/// time the diff is served, not at interval close.  (Creation is still
+/// *performed* eagerly here so later intervals cannot leak into earlier
+/// diffs; only the accounting is lazy.)
+#[derive(Debug)]
+struct StoredDiff {
+    vc: VectorClock,
+    diff: Diff,
+    /// Whether the creation scan has been charged (true for fetched diffs,
+    /// whose cost was paid by their creator).
+    scan_charged: bool,
+}
 
 /// A pending write notice: an interval known to have modified a page, whose
 /// diff has not yet been fetched and applied locally.
@@ -69,6 +99,8 @@ pub struct DsmState {
     pub me: usize,
     /// Number of processes.
     pub nprocs: usize,
+    /// Which coherence protocol this process runs.
+    pub protocol: ProtocolKind,
     /// This process's vector clock (entry `me` = number of closed intervals).
     pub vc: VectorClock,
     /// The merged clock distributed at the last barrier release.
@@ -76,9 +108,10 @@ pub struct DsmState {
     /// All interval records known, indexed `[creator][seq - 1]`.
     intervals: Vec<Vec<IntervalRecord>>,
     /// Diffs held locally (created or fetched), keyed by (page, creator, seq).
-    diffs: HashMap<(PageId, usize, u32), (VectorClock, Diff)>,
-    /// Shared pages.
-    pages: Vec<PageSlot>,
+    diffs: HashMap<(PageId, usize, u32), StoredDiff>,
+    /// Shared pages (crate-visible so the protocol backends in [`crate::home`]
+    /// can maintain master copies).
+    pub(crate) pages: Vec<PageSlot>,
     /// Pages written during the current (open) interval.
     dirty_pages: Vec<PageId>,
     /// Bump allocator cursor for the shared heap.
@@ -95,9 +128,15 @@ pub struct DsmState {
 
 impl DsmState {
     /// Fresh state for process `me` of `nprocs`, with a shared heap of
-    /// `heap_bytes` bytes.
+    /// `heap_bytes` bytes, running the default (LRC) protocol.
     pub fn new(me: usize, nprocs: usize, heap_bytes: usize) -> Self {
-        let npages = (heap_bytes + PAGE_SIZE - 1) / PAGE_SIZE;
+        Self::new_with(me, nprocs, heap_bytes, ProtocolKind::default())
+    }
+
+    /// Fresh state for process `me` of `nprocs`, with a shared heap of
+    /// `heap_bytes` bytes, running the given coherence protocol.
+    pub fn new_with(me: usize, nprocs: usize, heap_bytes: usize, protocol: ProtocolKind) -> Self {
+        let npages = heap_bytes.div_ceil(PAGE_SIZE);
         let mut pages = Vec::with_capacity(npages);
         for _ in 0..npages {
             pages.push(PageSlot {
@@ -108,6 +147,7 @@ impl DsmState {
         DsmState {
             me,
             nprocs,
+            protocol,
             vc: VectorClock::new(nprocs),
             last_barrier_vc: VectorClock::new(nprocs),
             intervals: vec![Vec::new(); nprocs],
@@ -252,9 +292,11 @@ impl DsmState {
     /// Diffs are created *eagerly* here (real TreadMarks creates them lazily
     /// when first requested); this keeps uncommitted writes of a later
     /// interval out of earlier diffs while producing identical message and
-    /// data counts.  Returns the new interval record, or `None` if nothing
-    /// was written.
-    pub fn close_interval(&mut self) -> Option<IntervalRecord> {
+    /// data counts.  What happens to the created diffs is the protocol
+    /// decision: LRC stores them for later diff requests (and eventual
+    /// accumulation), HLRC hands them back for flushing to remote homes and
+    /// keeps nothing.  Returns `None` if nothing was written.
+    pub fn close_interval(&mut self) -> Option<ClosedInterval> {
         if self.dirty_pages.is_empty() {
             return None;
         }
@@ -263,24 +305,41 @@ impl DsmState {
         let mut pages = std::mem::take(&mut self.dirty_pages);
         pages.sort_unstable();
         pages.dedup();
+        let mut flushes = Vec::new();
         for &page in &pages {
+            let home = home_of(page, self.nprocs);
             let slot = &mut self.pages[page as usize];
             let twin = slot.twin.take().expect("dirty page must have a twin");
+            slot.dirty = false;
+            // Under HLRC the home's own writes are already in its master
+            // copy: no diff is needed for a page homed here, ever.
+            if self.protocol == ProtocolKind::Hlrc && home == self.me {
+                continue;
+            }
             let data = slot.data.as_ref().expect("dirty page must have data");
             let diff = Diff::create(&twin, data);
             self.stats.diffs_created += 1;
             self.stats.diff_bytes_created += diff.encoded_len() as u64;
-            self.diffs.insert((page, self.me, seq), (vc.clone(), diff));
-            slot.dirty = false;
+            match self.protocol {
+                ProtocolKind::Lrc => {
+                    self.diffs.insert(
+                        (page, self.me, seq),
+                        StoredDiff {
+                            vc: vc.clone(),
+                            diff,
+                            scan_charged: false,
+                        },
+                    );
+                }
+                ProtocolKind::Hlrc => flushes.push((page, diff)),
+            }
         }
         // The local copy of each dirty page now incorporates this interval.
         let nprocs = self.nprocs;
         let me = self.me;
         for &page in &pages {
             let slot = &mut self.pages[page as usize];
-            let applied = slot
-                .applied
-                .get_or_insert_with(|| VectorClock::new(nprocs));
+            let applied = slot.applied.get_or_insert_with(|| VectorClock::new(nprocs));
             applied.set(me, seq);
         }
         let record = IntervalRecord {
@@ -291,7 +350,7 @@ impl DsmState {
         };
         debug_assert_eq!(self.intervals[self.me].len() as u32, seq - 1);
         self.intervals[self.me].push(record.clone());
-        Some(record)
+        Some(ClosedInterval { record, flushes })
     }
 
     /// Incorporate a write-notice record received from another process:
@@ -310,6 +369,12 @@ impl DsmState {
         self.intervals[rec.creator].push(rec.clone());
         self.stats.write_notices_received += rec.pages.len() as u64;
         for &page in &rec.pages {
+            // Under HLRC the home's copy is the master copy: flushes keep it
+            // current before the notice can arrive, so it is never
+            // invalidated.
+            if self.protocol == ProtocolKind::Hlrc && home_of(page, self.nprocs) == self.me {
+                continue;
+            }
             let slot = &mut self.pages[page as usize];
             slot.valid = false;
             slot.notices.push(Notice {
@@ -368,9 +433,7 @@ impl DsmState {
         let mut targets = Vec::new();
         for w in &writers {
             let dominated = writers.iter().any(|o| {
-                !(o.creator == w.creator && o.seq == w.seq)
-                    && o.vc.dominates(&w.vc)
-                    && o.vc != w.vc
+                !(o.creator == w.creator && o.seq == w.seq) && o.vc.dominates(&w.vc) && o.vc != w.vc
             });
             if !dominated && w.creator != self.me {
                 targets.push(w.creator);
@@ -389,31 +452,42 @@ impl DsmState {
     /// response includes diffs created by other processes that this process
     /// has previously fetched, even when later diffs completely overwrite
     /// them.
+    /// Also returns the number of returned diffs whose creation scan has
+    /// not been charged yet (they are marked charged by this call): the
+    /// serving runtime charges the page+twin scan for exactly those, which
+    /// is the lazy diff creation of the real system.
     pub fn diffs_for_request(
-        &self,
+        &mut self,
         page: PageId,
         requester: usize,
         applied_vc: &VectorClock,
         global_vc: &VectorClock,
-    ) -> Vec<WireDiff> {
+    ) -> (Vec<WireDiff>, usize) {
+        let mut first_serves = 0usize;
         let mut out: Vec<WireDiff> = self
             .diffs
-            .iter()
+            .iter_mut()
             .filter(|((p, creator, seq), _)| {
                 *p == page
                     && *creator != requester
                     && *seq > applied_vc.get(*creator)
                     && global_vc.covers(*creator, *seq)
             })
-            .map(|((_, creator, seq), (vc, diff))| WireDiff {
-                creator: *creator,
-                seq: *seq,
-                vc: vc.clone(),
-                diff: diff.clone(),
+            .map(|((_, creator, seq), stored)| {
+                if !stored.scan_charged {
+                    stored.scan_charged = true;
+                    first_serves += 1;
+                }
+                WireDiff {
+                    creator: *creator,
+                    seq: *seq,
+                    vc: stored.vc.clone(),
+                    diff: stored.diff.clone(),
+                }
             })
             .collect();
         out.sort_by_key(|d| (d.vc.sum(), d.creator, d.seq));
-        out
+        (out, first_serves)
     }
 
     /// The per-page applied clock sent in a diff request for `page`.
@@ -424,8 +498,15 @@ impl DsmState {
             .unwrap_or_else(|| VectorClock::new(self.nprocs))
     }
 
-    /// Apply fetched diffs to `page` (in `hb1` order), store them so they can
-    /// be served to other processes later, and mark the page valid.
+    /// Apply fetched diffs to `page` (in `hb1` order) and store them so they
+    /// can be served to other processes later.
+    ///
+    /// Only the write notices actually covered by the updated per-page
+    /// applied clock are cleared: a new notice can arrive *during* the fault
+    /// (a barrier arrival served while waiting for diff responses applies
+    /// fresh interval records), and wiping it here would leave the page
+    /// permanently stale.  The page becomes valid only if no notice remains;
+    /// the fault path re-faults otherwise.
     pub fn apply_wire_diffs(&mut self, page: PageId, mut diffs: Vec<WireDiff>) {
         diffs.sort_by_key(|d| (d.vc.sum(), d.creator, d.seq));
         {
@@ -443,9 +524,7 @@ impl DsmState {
         let nprocs = self.nprocs;
         {
             let slot = &mut self.pages[page as usize];
-            let applied = slot
-                .applied
-                .get_or_insert_with(|| VectorClock::new(nprocs));
+            let applied = slot.applied.get_or_insert_with(|| VectorClock::new(nprocs));
             for wd in &diffs {
                 if wd.seq > applied.get(wd.creator) {
                     applied.set(wd.creator, wd.seq);
@@ -457,11 +536,32 @@ impl DsmState {
             self.stats.diff_bytes_received += wd.diff.encoded_len() as u64;
             self.diffs
                 .entry((page, wd.creator, wd.seq))
-                .or_insert((wd.vc, wd.diff));
+                .or_insert(StoredDiff {
+                    vc: wd.vc,
+                    diff: wd.diff,
+                    scan_charged: true,
+                });
         }
+        self.revalidate_page(page);
+    }
+
+    /// Clear the notices of `page` that its applied clock now covers and
+    /// mark the page valid only if none remain.
+    ///
+    /// This is the epilogue of every fault-service path (LRC diff apply,
+    /// HLRC page fetch): a notice that arrived *during* the fault — a
+    /// barrier arrival served while waiting applies fresh interval records —
+    /// is not covered yet, must survive, and keeps the page invalid so the
+    /// fault path runs again.
+    pub(crate) fn revalidate_page(&mut self, page: PageId) {
+        let nprocs = self.nprocs;
         let slot = &mut self.pages[page as usize];
-        slot.notices.clear();
-        slot.valid = true;
+        let applied = slot
+            .applied
+            .clone()
+            .unwrap_or_else(|| VectorClock::new(nprocs));
+        slot.notices.retain(|n| !applied.covers(n.creator, n.seq));
+        slot.valid = slot.notices.is_empty();
     }
 
     /// Number of diffs currently held for `page` (for tests and ablations).
@@ -495,6 +595,14 @@ impl DsmState {
         self.lock_managers.entry(id).or_insert(LockManagerState {
             last_requester: manager,
         })
+    }
+}
+
+#[cfg(test)]
+impl DsmState {
+    /// Test helper exposing a clone of the vector clock.
+    pub fn vc_snapshot_for_test(&self) -> VectorClock {
+        self.vc.clone()
     }
 }
 
@@ -554,7 +662,7 @@ mod tests {
         let addr = s.malloc(16, 8);
         s.mark_dirty(s.page_of(addr));
         s.write_bytes(addr, &[1; 16]);
-        let rec = s.close_interval().expect("interval must close");
+        let rec = s.close_interval().expect("interval must close").record;
         assert_eq!(rec.creator, 0);
         assert_eq!(rec.seq, 1);
         assert_eq!(rec.pages, vec![s.page_of(addr)]);
@@ -572,7 +680,7 @@ mod tests {
         let _ = reader.malloc(16, 8);
         writer.mark_dirty(writer.page_of(addr));
         writer.write_bytes(addr, &[7; 16]);
-        let rec = writer.close_interval().unwrap();
+        let rec = writer.close_interval().unwrap().record;
 
         assert!(reader.is_valid(reader.page_of(addr)));
         reader.apply_interval_record(&rec);
@@ -592,11 +700,18 @@ mod tests {
         let page = writer.page_of(addr);
         writer.mark_dirty(page);
         writer.write_bytes(addr, &[42u8; 1024]);
-        let rec = writer.close_interval().unwrap();
+        let rec = writer.close_interval().unwrap().record;
         reader.apply_interval_record(&rec);
 
         assert_eq!(reader.diff_request_targets(page), vec![0]);
-        let diffs = writer.diffs_for_request(page, 1, &reader.page_applied_vc(page), &reader.vc_snapshot_for_test());
+        let diffs = writer
+            .diffs_for_request(
+                page,
+                1,
+                &reader.page_applied_vc(page),
+                &reader.vc_snapshot_for_test(),
+            )
+            .0;
         assert_eq!(diffs.len(), 1);
         reader.apply_wire_diffs(page, diffs);
         assert!(reader.is_valid(page));
@@ -622,21 +737,35 @@ mod tests {
 
         p0.mark_dirty(page);
         p0.write_bytes(addr, &[1u8; 512]);
-        let rec0 = p0.close_interval().unwrap();
+        let rec0 = p0.close_interval().unwrap().record;
 
         p1.apply_interval_record(&rec0);
-        let diffs = p0.diffs_for_request(page, 1, &p1.page_applied_vc(page), &p1.vc_snapshot_for_test());
+        let diffs = p0
+            .diffs_for_request(
+                page,
+                1,
+                &p1.page_applied_vc(page),
+                &p1.vc_snapshot_for_test(),
+            )
+            .0;
         p1.apply_wire_diffs(page, diffs);
         p1.mark_dirty(page);
         p1.write_bytes(addr, &[2u8; 512]);
-        let rec1 = p1.close_interval().unwrap();
+        let rec1 = p1.close_interval().unwrap().record;
 
         p2.apply_interval_record(&rec0);
         p2.apply_interval_record(&rec1);
         // p1's interval dominates p0's, so p2 asks only p1...
         assert_eq!(p2.diff_request_targets(page), vec![1]);
         // ...but p1 answers with both diffs (accumulation).
-        let diffs = p1.diffs_for_request(page, 2, &p2.page_applied_vc(page), &p2.vc_snapshot_for_test());
+        let diffs = p1
+            .diffs_for_request(
+                page,
+                2,
+                &p2.page_applied_vc(page),
+                &p2.vc_snapshot_for_test(),
+            )
+            .0;
         assert_eq!(diffs.len(), 2);
         p2.apply_wire_diffs(page, diffs);
         let mut out = [0u8; 512];
@@ -657,18 +786,32 @@ mod tests {
         let page = 0;
         p0.mark_dirty(page);
         p0.write_bytes(0, &[1u8; 100]);
-        let rec0 = p0.close_interval().unwrap();
+        let rec0 = p0.close_interval().unwrap().record;
         p1.mark_dirty(page);
         p1.write_bytes(2000, &[2u8; 100]);
-        let rec1 = p1.close_interval().unwrap();
+        let rec1 = p1.close_interval().unwrap().record;
 
         p2.apply_interval_records(&[rec0, rec1]);
         let mut targets = p2.diff_request_targets(page);
         targets.sort_unstable();
         assert_eq!(targets, vec![0, 1]);
 
-        let d0 = p0.diffs_for_request(page, 2, &p2.page_applied_vc(page), &p2.vc_snapshot_for_test());
-        let d1 = p1.diffs_for_request(page, 2, &p2.page_applied_vc(page), &p2.vc_snapshot_for_test());
+        let d0 = p0
+            .diffs_for_request(
+                page,
+                2,
+                &p2.page_applied_vc(page),
+                &p2.vc_snapshot_for_test(),
+            )
+            .0;
+        let d1 = p1
+            .diffs_for_request(
+                page,
+                2,
+                &p2.page_applied_vc(page),
+                &p2.vc_snapshot_for_test(),
+            )
+            .0;
         p2.apply_wire_diffs(page, d0.into_iter().chain(d1).collect());
         let mut out = [0u8; 100];
         p2.read_bytes(0, &mut out);
@@ -722,28 +865,29 @@ mod tests {
         let page = 0;
         p0.mark_dirty(page);
         p0.write_bytes(0, &[5u8; 64]);
-        let rec0 = p0.close_interval().unwrap();
+        let rec0 = p0.close_interval().unwrap().record;
 
         p1.mark_dirty(page);
         p1.write_bytes(1000, &[6u8; 64]);
         // Now p1 learns about p0's interval and fetches its diff while still
         // having its own uncommitted writes.
         p1.apply_interval_record(&rec0);
-        let diffs = p0.diffs_for_request(page, 1, &p1.page_applied_vc(page), &p1.vc_snapshot_for_test());
+        let diffs = p0
+            .diffs_for_request(
+                page,
+                1,
+                &p1.page_applied_vc(page),
+                &p1.vc_snapshot_for_test(),
+            )
+            .0;
         p1.apply_wire_diffs(page, diffs);
-        let rec1 = p1.close_interval().unwrap();
+        let rec1 = p1.close_interval().unwrap().record;
         assert_eq!(rec1.pages, vec![0]);
-        let d = p1.diffs_for_request(0, 0, &rec0.vc, &p1.vc_snapshot_for_test());
+        let d = p1
+            .diffs_for_request(0, 0, &rec0.vc, &p1.vc_snapshot_for_test())
+            .0;
         assert_eq!(d.len(), 1);
         // p1's diff covers only its own 64 modified bytes, not p0's.
         assert_eq!(d[0].diff.modified_bytes(), 64);
-    }
-}
-
-#[cfg(test)]
-impl DsmState {
-    /// Test helper exposing a clone of the vector clock.
-    pub fn vc_snapshot_for_test(&self) -> VectorClock {
-        self.vc.clone()
     }
 }

@@ -36,6 +36,18 @@ pub struct TmkStats {
     pub diff_bytes_received: u64,
     /// Write notices received from other processes.
     pub write_notices_received: u64,
+    /// HLRC: flush messages sent to remote homes at interval close.
+    pub diff_flushes_sent: u64,
+    /// HLRC: encoded diff bytes flushed to remote homes.
+    pub flush_bytes_sent: u64,
+    /// HLRC: flushed diffs applied to master copies homed here.
+    pub diff_flushes_served: u64,
+    /// HLRC: full-page fetch requests sent while handling faults.
+    pub page_requests_sent: u64,
+    /// HLRC: full-page fetches served for other processes.
+    pub page_requests_served: u64,
+    /// HLRC: bytes of full pages fetched from homes.
+    pub page_bytes_fetched: u64,
 }
 
 impl TmkStats {
@@ -55,6 +67,20 @@ impl TmkStats {
         self.diffs_applied += other.diffs_applied;
         self.diff_bytes_received += other.diff_bytes_received;
         self.write_notices_received += other.write_notices_received;
+        self.diff_flushes_sent += other.diff_flushes_sent;
+        self.flush_bytes_sent += other.flush_bytes_sent;
+        self.diff_flushes_served += other.diff_flushes_served;
+        self.page_requests_sent += other.page_requests_sent;
+        self.page_requests_served += other.page_requests_served;
+        self.page_bytes_fetched += other.page_bytes_fetched;
+    }
+
+    /// Fault-service request round-trips: diff requests under LRC plus
+    /// full-page requests under HLRC.  The quantity the protocol comparison
+    /// cares about — HLRC needs exactly one round trip per fault, LRC one
+    /// per member of the dominating writer set.
+    pub fn fault_round_trips(&self) -> u64 {
+        self.diff_requests_sent + self.page_requests_sent
     }
 }
 
@@ -74,6 +100,8 @@ mod tests {
             page_faults: 5,
             diffs_created: 7,
             barriers: 1,
+            page_requests_sent: 2,
+            diff_flushes_sent: 4,
             ..Default::default()
         };
         a.merge(&b);
@@ -81,5 +109,8 @@ mod tests {
         assert_eq!(a.diff_requests_sent, 3);
         assert_eq!(a.diffs_created, 7);
         assert_eq!(a.barriers, 2);
+        assert_eq!(a.page_requests_sent, 2);
+        assert_eq!(a.diff_flushes_sent, 4);
+        assert_eq!(a.fault_round_trips(), 5);
     }
 }

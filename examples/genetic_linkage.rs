@@ -1,5 +1,5 @@
 //! ILINK genetic linkage analysis — the paper's Figure 12 workload, run on a
-//! synthetic pedigree (the CLP clinical data set is proprietary; DESIGN.md §2
+//! synthetic pedigree (the CLP clinical data set is proprietary; README.md §Design notes
 //! documents the substitution).
 //!
 //! Prints the likelihood computed by the sequential, TreadMarks and PVM
@@ -18,7 +18,10 @@ fn main() {
         params.genarray,
         (params.density * 100.0) as u32
     );
-    println!("sequential log-likelihood {:.6}, time {:.2}s\n", seq.checksum, seq.time);
+    println!(
+        "sequential log-likelihood {:.6}, time {:.2}s\n",
+        seq.checksum, seq.time
+    );
 
     println!("{:>6} {:>12} {:>12}", "procs", "TreadMarks", "PVM");
     for n in [2, 4, 8] {

@@ -11,13 +11,28 @@ use netws::apps::water::{self, WaterParams};
 
 fn main() {
     for (label, params) in [
-        ("Water-144", WaterParams { molecules: 144, steps: 2 }),
-        ("Water-576", WaterParams { molecules: 576, steps: 2 }),
+        (
+            "Water-144",
+            WaterParams {
+                molecules: 144,
+                steps: 2,
+            },
+        ),
+        (
+            "Water-576",
+            WaterParams {
+                molecules: 576,
+                steps: 2,
+            },
+        ),
     ] {
         let seq = water::sequential(&params);
         let t = water::treadmarks(8, &params);
         let m = water::pvm(8, &params);
-        println!("{label}: {} molecules, sequential {:.2}s", params.molecules, seq.time);
+        println!(
+            "{label}: {} molecules, sequential {:.2}s",
+            params.molecules, seq.time
+        );
         println!(
             "  TreadMarks: speedup {:.2}, {} msgs, {:.0} KB",
             t.speedup(seq.time),
@@ -30,10 +45,7 @@ fn main() {
             m.messages,
             m.kilobytes
         );
-        println!(
-            "  TMK/PVM time ratio: {:.2}\n",
-            t.time / m.time
-        );
+        println!("  TMK/PVM time ratio: {:.2}\n", t.time / m.time);
     }
     println!("The ratio moves toward 1.0 for the larger input, as in the paper.");
 }

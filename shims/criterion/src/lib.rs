@@ -1,0 +1,239 @@
+//! Offline stand-in for the subset of `criterion` this workspace's benches
+//! use: `criterion_group!` / `criterion_main!`, [`Criterion::bench_function`],
+//! benchmark groups with per-group sample/time settings, and
+//! [`BenchmarkId`] labels.
+//!
+//! Instead of criterion's full statistical pipeline, each benchmark is
+//! warmed up once and then timed for a fixed number of iterations; the
+//! median per-iteration wall time is printed.  That keeps `cargo bench`
+//! functional (and fast) without crates.io access; restoring the real
+//! criterion is a manifest change only.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub use std::hint::black_box;
+
+/// The benchmark driver handed to every `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Criterion {
+    fn new() -> Self {
+        Criterion { samples: 10 }
+    }
+
+    /// Run `f` as a named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.samples, &mut f);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            samples: 10,
+        }
+    }
+}
+
+/// A label for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A label made of a function name and a parameter.
+    pub fn new<S: Display, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// A label made of a parameter only.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim is iteration-bounded, not
+    /// time-bounded.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim warms up with one iteration.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run `f` as a benchmark of this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.label), self.samples, &mut f);
+        self
+    }
+
+    /// Run `f` as a benchmark of this group with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.label);
+        run_one(&name, self.samples, &mut |b: &mut Bencher| {
+            b_input(b, input, &mut f)
+        });
+        self
+    }
+
+    /// Finish the group (printing is done per benchmark; nothing to flush).
+    pub fn finish(self) {}
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+fn b_input<I: ?Sized, F>(b: &mut Bencher, input: &I, f: &mut F)
+where
+    F: FnMut(&mut Bencher, &I),
+{
+    f(b, input)
+}
+
+/// Times the closure handed to [`Bencher::iter`].
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time one sample of the benchmark routine.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed = Some(start.elapsed());
+    }
+}
+
+fn run_one<F>(name: &str, samples: usize, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // One untimed warm-up iteration.
+    let mut b = Bencher::default();
+    f(&mut b);
+    let mut times: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher::default();
+        f(&mut b);
+        times.push(b.elapsed.unwrap_or_default());
+    }
+    times.sort_unstable();
+    let median = times[times.len() / 2];
+    println!("bench: {name:<48} median {median:>12.2?} ({samples} samples)");
+}
+
+/// Build one benchmark-group function from target functions, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::__new();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Build the bench `main` from group functions, mirroring criterion's macro
+/// of the same name.  Requires `harness = false` on the `[[bench]]` target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+impl Criterion {
+    /// Internal constructor used by `criterion_group!`.
+    #[doc(hidden)]
+    pub fn __new() -> Self {
+        Criterion::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::__new();
+        let mut runs = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        // 1 warm-up + 10 samples.
+        assert_eq!(runs, 11);
+    }
+
+    #[test]
+    fn groups_respect_sample_size() {
+        let mut c = Criterion::__new();
+        let mut runs = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3)
+                .measurement_time(Duration::from_secs(1))
+                .warm_up_time(Duration::from_millis(1));
+            g.bench_with_input(BenchmarkId::from_parameter(7), &7usize, |b, &n| {
+                b.iter(|| runs += n as u32)
+            });
+            g.finish();
+        }
+        assert_eq!(runs, 4 * 7);
+    }
+}

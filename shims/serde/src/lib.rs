@@ -1,0 +1,11 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! Re-exports the no-op [`Serialize`] / [`Deserialize`] derives so that
+//! `use serde::{Deserialize, Serialize}` plus `#[derive(...)]` compiles
+//! unchanged.  No trait machinery is provided because nothing in this
+//! workspace serializes at runtime; restoring the real crate is a manifest
+//! change only.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};

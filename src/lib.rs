@@ -11,8 +11,8 @@
 //!   consistency, multiple-writer protocol),
 //! * [`apps`] — the nine applications of the study, in both paradigms.
 //!
-//! See README.md for a tour and DESIGN.md / EXPERIMENTS.md for the
-//! reproduction methodology and results.
+//! See README.md for a repo tour, the protocol-backend documentation,
+//! and the reproduction methodology.
 
 pub use apps;
 pub use cluster;

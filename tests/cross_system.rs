@@ -1,72 +1,63 @@
 //! Cross-crate integration tests: every application produces the same answer
-//! under the sequential, TreadMarks and PVM implementations, and the
-//! qualitative communication relationships the paper reports hold.
+//! under the sequential, TreadMarks (both coherence protocols) and PVM
+//! implementations, and the qualitative communication relationships the
+//! paper reports hold.
 
 use netws::apps::runner::System;
 use netws::apps::Workload;
+use netws::treadmarks::ProtocolKind;
 
 fn seq(w: Workload) -> netws::apps::SeqRun {
-    bench_harness::run_sequential(w, bench_harness::Preset::Tiny)
+    bench_harness::run_sequential(w)
 }
 
 fn run(w: Workload, sys: System, n: usize) -> netws::apps::AppRun {
-    bench_harness::run_parallel(w, sys, n, bench_harness::Preset::Tiny)
+    bench_harness::run_parallel(w, sys, n)
 }
 
 // The bench crate is not a dependency of the root package (it is a harness),
 // so re-derive the tiny-preset dispatch locally for the integration tests.
 mod bench_harness {
-    pub use apps_dispatch::*;
+    use netws::apps::runner::{AppRun, SeqRun, System};
+    use netws::apps::*;
 
-    mod apps_dispatch {
-        use netws::apps::runner::{AppRun, SeqRun, System};
-        use netws::apps::*;
-
-        #[derive(Clone, Copy)]
-        pub enum Preset {
-            Tiny,
+    pub fn run_sequential(w: Workload) -> SeqRun {
+        match w {
+            Workload::Ep => ep::sequential(&ep::EpParams::tiny()),
+            Workload::SorZero => sor::sequential(&sor::SorParams::tiny(true)),
+            Workload::SorNonzero => sor::sequential(&sor::SorParams::tiny(false)),
+            Workload::IsSmall | Workload::IsLarge => is::sequential(&is::IsParams::tiny()),
+            Workload::Tsp => tsp::sequential(&tsp::TspParams::tiny()),
+            Workload::Qsort => qsort::sequential(&qsort::QsortParams::tiny()),
+            Workload::Water288 | Workload::Water1728 => {
+                water::sequential(&water::WaterParams::tiny())
+            }
+            Workload::BarnesHut => barnes::sequential(&barnes::BarnesParams::tiny()),
+            Workload::Fft3d => fft3d::sequential(&fft3d::FftParams::tiny()),
+            Workload::Ilink => ilink::sequential(&ilink::IlinkParams::tiny()),
         }
+    }
 
-        pub fn run_sequential(w: Workload, _p: Preset) -> SeqRun {
-            match w {
-                Workload::Ep => ep::sequential(&ep::EpParams::tiny()),
-                Workload::SorZero => sor::sequential(&sor::SorParams::tiny(true)),
-                Workload::SorNonzero => sor::sequential(&sor::SorParams::tiny(false)),
-                Workload::IsSmall | Workload::IsLarge => is::sequential(&is::IsParams::tiny()),
-                Workload::Tsp => tsp::sequential(&tsp::TspParams::tiny()),
-                Workload::Qsort => qsort::sequential(&qsort::QsortParams::tiny()),
-                Workload::Water288 | Workload::Water1728 => {
-                    water::sequential(&water::WaterParams::tiny())
+    pub fn run_parallel(w: Workload, sys: System, n: usize) -> AppRun {
+        macro_rules! go {
+            ($m:ident, $params:expr) => {
+                match sys {
+                    System::TreadMarks(protocol) => $m::treadmarks_with(n, &$params, protocol),
+                    System::Pvm => $m::pvm(n, &$params),
                 }
-                Workload::BarnesHut => barnes::sequential(&barnes::BarnesParams::tiny()),
-                Workload::Fft3d => fft3d::sequential(&fft3d::FftParams::tiny()),
-                Workload::Ilink => ilink::sequential(&ilink::IlinkParams::tiny()),
-            }
+            };
         }
-
-        pub fn run_parallel(w: Workload, sys: System, n: usize, _p: Preset) -> AppRun {
-            macro_rules! go {
-                ($m:ident, $params:expr) => {
-                    match sys {
-                        System::TreadMarks => $m::treadmarks(n, &$params),
-                        System::Pvm => $m::pvm(n, &$params),
-                    }
-                };
-            }
-            match w {
-                Workload::Ep => go!(ep, ep::EpParams::tiny()),
-                Workload::SorZero => go!(sor, sor::SorParams::tiny(true)),
-                Workload::SorNonzero => go!(sor, sor::SorParams::tiny(false)),
-                Workload::IsSmall | Workload::IsLarge => go!(is, is::IsParams::tiny()),
-                Workload::Tsp => go!(tsp, tsp::TspParams::tiny()),
-                Workload::Qsort => go!(qsort, qsort::QsortParams::tiny()),
-                Workload::Water288 | Workload::Water1728 => {
-                    go!(water, water::WaterParams::tiny())
-                }
-                Workload::BarnesHut => go!(barnes, barnes::BarnesParams::tiny()),
-                Workload::Fft3d => go!(fft3d, fft3d::FftParams::tiny()),
-                Workload::Ilink => go!(ilink, ilink::IlinkParams::tiny()),
-            }
+        match w {
+            Workload::Ep => go!(ep, ep::EpParams::tiny()),
+            Workload::SorZero => go!(sor, sor::SorParams::tiny(true)),
+            Workload::SorNonzero => go!(sor, sor::SorParams::tiny(false)),
+            Workload::IsSmall | Workload::IsLarge => go!(is, is::IsParams::tiny()),
+            Workload::Tsp => go!(tsp, tsp::TspParams::tiny()),
+            Workload::Qsort => go!(qsort, qsort::QsortParams::tiny()),
+            Workload::Water288 | Workload::Water1728 => go!(water, water::WaterParams::tiny()),
+            Workload::BarnesHut => go!(barnes, barnes::BarnesParams::tiny()),
+            Workload::Fft3d => go!(fft3d, fft3d::FftParams::tiny()),
+            Workload::Ilink => go!(ilink, ilink::IlinkParams::tiny()),
         }
     }
 }
@@ -75,16 +66,28 @@ mod bench_harness {
 fn every_application_agrees_across_paradigms_at_three_processes() {
     for w in Workload::all() {
         let s = seq(w);
-        let t = run(w, System::TreadMarks, 3);
-        let m = run(w, System::Pvm, 3);
         let tol = s.checksum.abs() * 1e-6 + 1e-6;
-        assert!(
-            (t.checksum - s.checksum).abs() < tol,
-            "{}: TreadMarks {} vs sequential {}",
-            w.name(),
-            t.checksum,
-            s.checksum
+        let mut tmk_checksums = Vec::new();
+        for protocol in ProtocolKind::all() {
+            let t = run(w, System::TreadMarks(protocol), 3);
+            assert!(
+                (t.checksum - s.checksum).abs() < tol,
+                "{}: TreadMarks/{protocol} {} vs sequential {}",
+                w.name(),
+                t.checksum,
+                s.checksum
+            );
+            tmk_checksums.push(t.checksum);
+        }
+        // The two protocol backends are observationally identical: bit-equal
+        // application results, not merely within tolerance.
+        assert_eq!(
+            tmk_checksums[0],
+            tmk_checksums[1],
+            "{}: LRC and HLRC disagree",
+            w.name()
         );
+        let m = run(w, System::Pvm, 3);
         assert!(
             (m.checksum - s.checksum).abs() < tol,
             "{}: PVM {} vs sequential {}",
@@ -97,13 +100,24 @@ fn every_application_agrees_across_paradigms_at_three_processes() {
 
 #[test]
 fn single_process_runs_match_the_sequential_answer() {
-    for w in [Workload::Ep, Workload::IsSmall, Workload::Qsort, Workload::Fft3d] {
+    for w in [
+        Workload::Ep,
+        Workload::IsSmall,
+        Workload::Qsort,
+        Workload::Fft3d,
+    ] {
         let s = seq(w);
-        let t = run(w, System::TreadMarks, 1);
-        let tol = s.checksum.abs() * 1e-9 + 1e-9;
-        assert!((t.checksum - s.checksum).abs() < tol, "{}", w.name());
-        // A single DSM process exchanges no messages at all.
-        assert_eq!(t.messages, 0, "{}", w.name());
+        for protocol in ProtocolKind::all() {
+            let t = run(w, System::TreadMarks(protocol), 1);
+            let tol = s.checksum.abs() * 1e-9 + 1e-9;
+            assert!(
+                (t.checksum - s.checksum).abs() < tol,
+                "{} under {protocol}",
+                w.name()
+            );
+            // A single DSM process exchanges no messages at all.
+            assert_eq!(t.messages, 0, "{} under {protocol}", w.name());
+        }
     }
 }
 
@@ -112,17 +126,19 @@ fn treadmarks_always_sends_at_least_as_many_messages_as_pvm() {
     // The paper's across-the-board observation: the separation of
     // synchronization and data transfer plus the request/response protocol
     // means the DSM never sends fewer messages than hand-written message
-    // passing.
+    // passing — under either coherence protocol.
     for w in Workload::all() {
-        let t = run(w, System::TreadMarks, 4);
         let m = run(w, System::Pvm, 4);
-        assert!(
-            t.messages >= m.messages,
-            "{}: TreadMarks {} msgs < PVM {} msgs",
-            w.name(),
-            t.messages,
-            m.messages
-        );
+        for protocol in ProtocolKind::all() {
+            let t = run(w, System::TreadMarks(protocol), 4);
+            assert!(
+                t.messages >= m.messages,
+                "{}: TreadMarks/{protocol} {} msgs < PVM {} msgs",
+                w.name(),
+                t.messages,
+                m.messages
+            );
+        }
     }
 }
 
@@ -132,15 +148,17 @@ fn parallel_time_never_beats_the_work_bound() {
     // divided by the process count (no superlinear artefacts in the model).
     for w in [Workload::Ep, Workload::SorNonzero, Workload::Ilink] {
         let s = seq(w);
-        for n in [2usize, 4] {
-            let t = run(w, System::TreadMarks, n);
-            assert!(
-                t.time * (n as f64) * 1.02 >= s.time * 0.95,
-                "{} at {n} procs: {} * {n} < {}",
-                w.name(),
-                t.time,
-                s.time
-            );
+        for protocol in ProtocolKind::all() {
+            for n in [2usize, 4] {
+                let t = run(w, System::TreadMarks(protocol), n);
+                assert!(
+                    t.time * (n as f64) * 1.02 >= s.time * 0.95,
+                    "{} under {protocol} at {n} procs: {} * {n} < {}",
+                    w.name(),
+                    t.time,
+                    s.time
+                );
+            }
         }
     }
 }
