@@ -291,11 +291,13 @@ mod tests {
     }
 
     #[test]
-    fn large_key_range_hurts_treadmarks_more() {
+    fn large_key_range_costs_treadmarks_more_messages() {
         // The bucket array of IS-Large spans many pages, so every lock-
         // protected update and every read triggers one diff request per
-        // page; the TMK/PVM time ratio degrades relative to IS-Small.
-        // Keys stay much more numerous than buckets, as in the paper.
+        // page — IS-Large costs TreadMarks many more messages than
+        // IS-Small (the paper's claim, carried by the message-count
+        // assertion below).  At this tiny, latency-dominated input the
+        // *time* ratios do not yet diverge; the bracket documents that.
         let small = IsParams {
             keys: 1 << 15,
             buckets: 1 << 8,
@@ -312,12 +314,13 @@ mod tests {
         let pl = pvm(4, &large);
         let ratio_small = ts.time / ps.time;
         let ratio_large = tl.time / pl.time;
-        // Loose factor: virtual times are not bit-deterministic (thread
-        // interleaving affects shared-medium serialisation order); the
-        // message-count assertion below is the exact check.
+        // Virtual times are bit-deterministic, so the bracket is tight:
+        // ratio_large/ratio_small ~ 0.9 here (the paper's time divergence
+        // emerges at scaled inputs).
+        let rel = ratio_large / ratio_small;
         assert!(
-            ratio_large > 0.75 * ratio_small,
-            "small ratio {ratio_small}, large ratio {ratio_large}"
+            (0.85..1.0).contains(&rel),
+            "small ratio {ratio_small}, large ratio {ratio_large} (rel {rel})"
         );
         // The large key range must at least cost TreadMarks many more
         // messages per iteration (one diff request per bucket page).

@@ -354,21 +354,19 @@ pub fn pvm_body(pvm: &Pvm, p: &QsortParams) -> f64 {
     } else {
         loop {
             pvm.send(0, TAG_REQ, pvm.new_buffer());
-            let reply = loop {
-                if let Some(m) = pvm.nrecv(Some(0), TAG_TASK) {
-                    break Some(m);
-                }
-                if pvm.nrecv(Some(0), TAG_DONE).is_some() {
-                    break None;
-                }
+            // Block for the master's answer — a task or DONE — instead of
+            // busy-polling the two tags: the reply is in this process's
+            // virtual future, so a poll loop would never see it (and never
+            // advances the clock to it).
+            let m = pvm.recv_any(Some(0));
+            let reply = match m.tag() {
+                TAG_TASK => Some(m),
+                TAG_DONE => None,
+                other => unreachable!("slave got unexpected tag {other}"),
             };
             let Some(mut m) = reply else { break };
             let hdr = m.unpack_u64(3);
             let (start, len, kind) = (hdr[0] as usize, hdr[1] as usize, hdr[2]);
-            if kind == 2 {
-                pvm.proc().compute(POLL_BACKOFF);
-                continue;
-            }
             let mut sub = m.unpack_i32(len);
             let mut b = pvm.new_buffer();
             if kind == 1 {

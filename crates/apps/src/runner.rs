@@ -12,7 +12,7 @@
 //! * for the **PVM** versions, messages are the user-level sends and data is
 //!   the user data packed into them, as PVM itself counts.
 
-use cluster::{Cluster, ClusterConfig, Proc};
+use cluster::{Cluster, ClusterConfig, Proc, ProcStats};
 use msgpass::Pvm;
 use serde::Serialize;
 use treadmarks::{ProtocolKind, Tmk, TmkStats};
@@ -79,6 +79,11 @@ pub struct AppRun {
     /// Aggregated DSM runtime statistics (TreadMarks runs only).
     #[serde(skip)]
     pub tmk_stats: Option<TmkStats>,
+    /// Per-process transport statistics of the run (the full
+    /// [`cluster::ClusterReport`] view), for determinism checks and
+    /// per-process analyses.
+    #[serde(skip)]
+    pub proc_stats: Vec<ProcStats>,
 }
 
 impl AppRun {
@@ -131,6 +136,7 @@ where
         messages: rep.total_datagrams(),
         kilobytes: rep.total_kilobytes(),
         tmk_stats: Some(agg),
+        proc_stats: rep.stats,
     }
 }
 
@@ -156,6 +162,7 @@ where
         messages: user_messages,
         kilobytes: user_bytes as f64 / 1024.0,
         tmk_stats: None,
+        proc_stats: rep.stats,
     }
 }
 

@@ -585,13 +585,15 @@ pub fn pvm_body(pvm: &Pvm, p: &TspParams) -> f64 {
         let mut my_best = f64::INFINITY;
         loop {
             pvm.send(0, TAG_WORK_REQ, pvm.new_buffer());
-            let reply = loop {
-                if let Some(m) = pvm.nrecv(Some(0), TAG_WORK) {
-                    break Some(m);
-                }
-                if pvm.nrecv(Some(0), TAG_NOWORK).is_some() {
-                    break None;
-                }
+            // Block for the master's answer — work or NOWORK — instead of
+            // busy-polling the two tags: the reply is in this process's
+            // virtual future, so a poll loop would never see it (and never
+            // advances the clock to it).
+            let m = pvm.recv_any(Some(0));
+            let reply = match m.tag() {
+                TAG_WORK => Some(m),
+                TAG_NOWORK => None,
+                other => unreachable!("slave got unexpected tag {other}"),
             };
             let Some(mut m) = reply else { break };
             let header = m.unpack_f64(2);

@@ -9,7 +9,15 @@
 //! cargo run -p bench --release --bin reproduce -- --table1
 //! cargo run -p bench --release --bin reproduce -- --table2
 //! cargo run -p bench --release --bin reproduce -- --figure water-288
+//! cargo run -p bench --release --bin reproduce -- --json            # machine-readable dump
 //! ```
+//!
+//! `--json` replaces the human-readable tables with a machine-readable dump
+//! of every run (all workloads at 1/2/4/8 processes under each selected
+//! system), with every virtual time printed both as a decimal and as its
+//! raw f64 bit pattern.  Execution is deterministic — the cluster arbitrates
+//! all communication in virtual-time order — so two invocations emit
+//! byte-identical JSON; CI runs the dump twice and `diff`s the outputs.
 //!
 //! Output is plain text shaped like the paper's tables: Table 1 (sequential
 //! times and problem sizes), one speedup series per figure (each selected
@@ -118,6 +126,77 @@ fn table2(preset: Preset, procs: usize, systems: &[System]) {
     }
 }
 
+/// One JSON field per metric, with virtual times carried both as decimal
+/// (shortest round-trip) and as the raw f64 bit pattern, so a textual `diff`
+/// of two dumps is exactly a bit-identity check.
+fn json_run_record(w: Workload, run: &apps::AppRun) -> String {
+    let mut rec = format!(
+        "{{\"workload\": \"{}\", \"system\": \"{}\", \"nprocs\": {}, \
+         \"time\": {}, \"time_bits\": \"{:016x}\", \"checksum_bits\": \"{:016x}\", \
+         \"messages\": {}, \"kilobytes_bits\": \"{:016x}\", \
+         \"datagrams_received\": {}",
+        w.name(),
+        run.system,
+        run.nprocs,
+        run.time,
+        run.time.to_bits(),
+        run.checksum.to_bits(),
+        run.messages,
+        run.kilobytes.to_bits(),
+        run.proc_stats
+            .iter()
+            .map(|s| s.datagrams_received)
+            .sum::<u64>(),
+    );
+    if let Some(t) = &run.tmk_stats {
+        rec.push_str(&format!(
+            ", \"page_faults\": {}, \"diff_requests\": {}, \"diff_flushes\": {}, \
+             \"page_requests\": {}",
+            t.page_faults, t.diff_requests_sent, t.diff_flushes_sent, t.page_requests_sent
+        ));
+    }
+    rec.push('}');
+    rec
+}
+
+/// Machine-readable dump of the full reproduction: every workload at
+/// 1/2/4/8 processes under each selected system, plus the sequential
+/// baselines.  Deterministic execution makes the output byte-stable.
+fn json_dump(preset: Preset, systems: &[System]) {
+    println!("{{");
+    println!("  \"preset\": \"{preset:?}\",");
+    println!("  \"sequential\": [");
+    let seqs: Vec<String> = Workload::all()
+        .into_iter()
+        .map(|w| {
+            let seq = run_sequential(w, preset);
+            format!(
+                "    {{\"workload\": \"{}\", \"time\": {}, \"time_bits\": \"{:016x}\", \
+                 \"checksum_bits\": \"{:016x}\"}}",
+                w.name(),
+                seq.time,
+                seq.time.to_bits(),
+                seq.checksum.to_bits()
+            )
+        })
+        .collect();
+    println!("{}", seqs.join(",\n"));
+    println!("  ],");
+    println!("  \"runs\": [");
+    let mut recs = Vec::new();
+    for w in Workload::all() {
+        for n in [1usize, 2, 4, 8] {
+            for &sys in systems {
+                let run = run_parallel(w, sys, n, preset);
+                recs.push(format!("    {}", json_run_record(w, &run)));
+            }
+        }
+    }
+    println!("{}", recs.join(",\n"));
+    println!("  ]");
+    println!("}}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let preset = if args.iter().any(|a| a == "--full") {
@@ -155,6 +234,11 @@ fn main() {
         .map(|&p| System::TreadMarks(p))
         .chain(std::iter::once(System::Pvm))
         .collect();
+
+    if wants("--json") {
+        json_dump(preset, &systems);
+        return;
+    }
 
     let figure_arg = flag_value("--figure");
     let run_all = !wants("--table1") && !wants("--table2") && figure_arg.is_none();

@@ -19,6 +19,13 @@
 //! execution time, number of messages, and bytes transferred — are tracked
 //! per process in [`ProcStats`] and aggregated by [`Cluster::run`].
 //!
+//! Execution is **deterministic**: a conservative virtual-time arbiter (see
+//! `sched` and [`net`]) serialises every shared-medium acquisition and
+//! mailbox interaction in virtual-timestamp order, so two runs of the same
+//! program produce byte-identical times and counters, and a protocol
+//! deadlock is detected and reported (with its wait graph) the moment it
+//! occurs rather than after a wall-clock timeout.
+//!
 //! # Example
 //!
 //! ```
@@ -45,6 +52,7 @@
 pub mod config;
 pub mod net;
 pub mod proc;
+pub(crate) mod sched;
 pub mod stats;
 pub mod time;
 
@@ -68,14 +76,20 @@ pub struct Cluster;
 impl Cluster {
     /// Run `f` on `cfg.nprocs` simulated processes and collect the results.
     ///
-    /// The closure receives the [`Proc`] handle of its process.  Processes
-    /// execute concurrently on real threads; all *reported* time is virtual
-    /// time maintained by the cluster, so results are independent of the
-    /// physical core count of the host.
+    /// The closure receives the [`Proc`] handle of its process.  Each
+    /// process runs on its own OS thread, but the cluster's conservative
+    /// virtual-time arbiter serialises every shared-medium and mailbox
+    /// interaction in virtual-timestamp order (ties broken by rank), so all
+    /// reported times *and counters* are bit-identical across runs — the
+    /// outcome is a pure function of the program and the cost model, never
+    /// of OS scheduling or the physical core count of the host.
     ///
     /// # Panics
     ///
-    /// Panics if any process thread panics (the panic is propagated).
+    /// Panics if any process thread panics (the lowest-rank panic is
+    /// propagated), or if the run deadlocks — every process blocked in a
+    /// receive with no deliverable message — in which case the panic message
+    /// carries the full wait graph.
     pub fn run<F, R>(cfg: ClusterConfig, f: F) -> ClusterReport<R>
     where
         F: Fn(&Proc) -> R + Send + Sync,
@@ -92,9 +106,15 @@ impl Cluster {
                     let proc = Proc::new(id, Arc::clone(&core));
                     // A panicking process aborts the whole cluster: peers
                     // blocked on messages it will never send fail fast
-                    // instead of hanging the run.
-                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&proc))) {
-                        Ok(r) => (r, proc.into_stats()),
+                    // instead of hanging the run.  `into_stats` (which hands
+                    // the scheduling token back) runs inside the guard so a
+                    // deadlock detected at finish aborts the cluster too.
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let r = f(&proc);
+                        let stats = proc.into_stats();
+                        (r, stats)
+                    })) {
+                        Ok(pair) => pair,
                         Err(payload) => {
                             core.abort(id);
                             std::panic::resume_unwind(payload);
@@ -102,10 +122,38 @@ impl Cluster {
                     }
                 }));
             }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("cluster process panicked"))
-                .collect()
+            // Join every thread before propagating a failure, and prefer
+            // the *originating* panic over the typed `PeerAbort` panics of
+            // the peers it took down, so the surfaced message is the root
+            // cause (deterministically the lowest-rank originator).
+            let joined: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+            let mut out = Vec::with_capacity(joined.len());
+            let mut originator = None;
+            let mut victim = None;
+            for j in joined {
+                match j {
+                    Ok(pair) => out.push(pair),
+                    Err(payload) if payload.downcast_ref::<net::PeerAbort>().is_some() => {
+                        victim.get_or_insert(payload);
+                    }
+                    Err(payload) => {
+                        originator.get_or_insert(payload);
+                    }
+                }
+            }
+            if let Some(payload) = originator {
+                std::panic::resume_unwind(payload);
+            }
+            if let Some(payload) = victim {
+                // Every victim should be accompanied by its originator; if
+                // one ever surfaces alone, rethrow it readably.
+                let who = payload
+                    .downcast_ref::<net::PeerAbort>()
+                    .expect("checked above")
+                    .0;
+                panic!("cluster aborted: process {who} panicked");
+            }
+            out
         });
         let mut out_results = Vec::with_capacity(results.len());
         let mut out_stats = Vec::with_capacity(results.len());

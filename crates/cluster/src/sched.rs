@@ -1,0 +1,212 @@
+//! Conservative virtual-time arbitration: the pure decision logic of the
+//! deterministic discrete-event scheduler.
+//!
+//! The simulated cluster runs one OS thread per process, but OS thread
+//! interleaving must never influence the *virtual-time* outcome: every
+//! arrival time, idle time and message counter the paper's tables report has
+//! to be a pure function of the program and the cost model.  The transport
+//! therefore executes all shared-state interactions (seizing the shared
+//! medium, consuming or observing a mailbox) under a token discipline:
+//!
+//! * Between interactions a process runs freely — computation only touches
+//!   its own virtual clock.
+//! * At an interaction it *parks*, announcing the virtual time of its
+//!   pending action (its key), and waits.
+//! * When no process is running, the arbiter grants the token to the parked
+//!   process with the **minimum key**, ties broken by rank.  Only the token
+//!   holder may act, so the global order of transmissions and mailbox
+//!   observations is a deterministic function of virtual timestamps.
+//! * A process blocked in a receive with no matching message is not
+//!   runnable; it is promoted to a parked state (keyed by the time it would
+//!   consume the message) the moment a matching message is transmitted.
+//!
+//! This is the classic conservative (Chandy-Misra style) execution rule
+//! specialised to a star topology: granting the minimum virtual time is safe
+//! because every future action of a process with a later key carries a later
+//! or equal timestamp, and interrupt-style replies (which *can* depart in
+//! the past, like a SIGIO handler answering at the request's arrival time)
+//! are themselves ordered by the deterministic grant sequence.
+//!
+//! When no process is runnable and at least one is blocked in a receive, no
+//! message can ever be delivered again: that is a protocol deadlock, detected
+//! immediately and reported with the full wait graph (instead of the
+//! wall-clock timeout heuristic this module replaces).
+
+use crate::net::{Message, Tag};
+
+/// Scheduler state of one simulated process.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum PState {
+    /// Executing user code (holds the token after startup; during the
+    /// startup prologue every process is `Running` until its first
+    /// interaction).
+    Running,
+    /// Parked at an interaction point, runnable once granted.  `key` is the
+    /// virtual time of the pending action: the departure time of a transmit,
+    /// the consume time of a receive with a queued match, or the current
+    /// clock of a non-blocking observation.
+    Parked {
+        /// Virtual time of the pending action, seconds.
+        key: f64,
+    },
+    /// Blocked in a receive with no matching message queued.
+    RecvBlocked {
+        /// Source filter of the receive (`None` = any source).
+        src: Option<usize>,
+        /// Tag filter of the receive (`None` = any tag).
+        tag: Option<Tag>,
+        /// The receiver's virtual clock when it blocked.
+        clock: f64,
+    },
+    /// The process closure has returned (or the process panicked).
+    Finished,
+}
+
+/// Outcome of a scheduling decision over the current process states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Decision {
+    /// Grant the token to this rank (the minimum-key parked process).
+    Grant(usize),
+    /// Some process is still running; nothing to decide yet.
+    Wait,
+    /// Every process is finished; nothing left to schedule.
+    AllDone,
+    /// No process is runnable but at least one is blocked in a receive:
+    /// no message can ever be delivered again.
+    Deadlock,
+}
+
+/// The conservative scheduling rule: if anyone is running, wait; otherwise
+/// grant the parked process with the minimum `(key, rank)`; if nobody is
+/// parked but someone is receive-blocked, declare deadlock.
+pub(crate) fn choose(procs: &[PState]) -> Decision {
+    let mut best: Option<(f64, usize)> = None;
+    let mut blocked = false;
+    for (rank, p) in procs.iter().enumerate() {
+        match p {
+            PState::Running => return Decision::Wait,
+            PState::Parked { key } => {
+                // Strict `<` keeps the lowest rank on equal keys.
+                if best.is_none_or(|(k, _)| *key < k) {
+                    best = Some((*key, rank));
+                }
+            }
+            PState::RecvBlocked { .. } => blocked = true,
+            PState::Finished => {}
+        }
+    }
+    match best {
+        Some((_, rank)) => Decision::Grant(rank),
+        None if blocked => Decision::Deadlock,
+        None => Decision::AllDone,
+    }
+}
+
+/// Render the wait graph of a deadlocked cluster: every process's scheduler
+/// state, the filter each blocked receiver is waiting on, and the messages
+/// sitting undeliverable in its mailbox.
+pub(crate) fn wait_graph(
+    procs: &[PState],
+    mailboxes: &[std::collections::VecDeque<Message>],
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from(
+        "virtual-time deadlock: every process is blocked with no deliverable message\n",
+    );
+    for (rank, p) in procs.iter().enumerate() {
+        match p {
+            PState::RecvBlocked { src, tag, clock } => {
+                let queued: Vec<(usize, Tag, f64)> = mailboxes[rank]
+                    .iter()
+                    .map(|m| (m.src, m.tag, m.arrival))
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "  process {rank}: blocked at t={clock:.6} waiting for src={src:?} tag={tag:?}; \
+                     queued (src, tag, arrival): {queued:?}"
+                );
+            }
+            PState::Finished => {
+                let _ = writeln!(out, "  process {rank}: finished");
+            }
+            other => {
+                let _ = writeln!(out, "  process {rank}: {other:?}");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_minimum_key() {
+        let procs = vec![
+            PState::Parked { key: 2.0 },
+            PState::Parked { key: 1.0 },
+            PState::Parked { key: 3.0 },
+        ];
+        assert_eq!(choose(&procs), Decision::Grant(1));
+    }
+
+    #[test]
+    fn ties_break_by_rank() {
+        let procs = vec![PState::Parked { key: 1.0 }, PState::Parked { key: 1.0 }];
+        assert_eq!(choose(&procs), Decision::Grant(0));
+    }
+
+    #[test]
+    fn waits_while_anyone_runs() {
+        let procs = vec![PState::Parked { key: 0.0 }, PState::Running];
+        assert_eq!(choose(&procs), Decision::Wait);
+    }
+
+    #[test]
+    fn blocked_processes_are_not_runnable() {
+        let procs = vec![
+            PState::RecvBlocked {
+                src: None,
+                tag: None,
+                clock: 0.0,
+            },
+            PState::Parked { key: 9.0 },
+        ];
+        assert_eq!(choose(&procs), Decision::Grant(1));
+    }
+
+    #[test]
+    fn all_blocked_is_a_deadlock() {
+        let procs = vec![
+            PState::RecvBlocked {
+                src: Some(1),
+                tag: Some(7),
+                clock: 1.5,
+            },
+            PState::Finished,
+        ];
+        assert_eq!(choose(&procs), Decision::Deadlock);
+    }
+
+    #[test]
+    fn all_finished_is_done() {
+        assert_eq!(
+            choose(&[PState::Finished, PState::Finished]),
+            Decision::AllDone
+        );
+    }
+
+    #[test]
+    fn wait_graph_names_the_blocked_filter() {
+        let procs = vec![PState::RecvBlocked {
+            src: Some(3),
+            tag: Some(9),
+            clock: 0.25,
+        }];
+        let graph = wait_graph(&procs, &[std::collections::VecDeque::new()]);
+        assert!(graph.contains("process 0"));
+        assert!(graph.contains("src=Some(3)"));
+        assert!(graph.contains("tag=Some(9)"));
+    }
+}

@@ -29,6 +29,11 @@ pub struct ProcStats {
     pub bytes_sent: u64,
     /// Logical messages received.
     pub messages_received: u64,
+    /// Transport datagrams received (after MTU fragmentation).  Cluster-wide
+    /// this must equal the sum of `datagrams_sent` for messages that were
+    /// consumed, so Table-2 datagram counts can be cross-checked on the
+    /// receive side.
+    pub datagrams_received: u64,
     /// Payload bytes received.
     pub bytes_received: u64,
     /// The configured per-message latency, recorded for test introspection.

@@ -334,13 +334,16 @@ impl<'a> Tmk<'a> {
         }
     }
 
-    /// Serve every protocol request that has *already* arrived, without
-    /// blocking — the SIGIO-style request service of the real system,
-    /// invoked at synchronization entry points so that a process which
-    /// never blocks (e.g. a worker polling a task queue it holds the lock
-    /// token for) still serves its peers' requests.  A non-request message
-    /// (a reply racing ahead of its wait) is stashed for the wait that
-    /// expects it.
+    /// Serve every protocol request that has *already* arrived — by this
+    /// process's virtual clock, which is what the transport's causality
+    /// gate enforces — without blocking: the SIGIO-style request service of
+    /// the real system, invoked at synchronization entry points so that a
+    /// process which never blocks (e.g. a worker polling a task queue it
+    /// holds the lock token for) still serves its peers' requests.
+    /// Requests still in this process's virtual future are served once its
+    /// clock catches up (the worker keeps computing) or when it next blocks
+    /// in a receive.  A non-request message (a reply racing ahead of its
+    /// wait) is stashed for the wait that expects it.
     fn drain_requests(&self) {
         while let Some(m) = self.proc.try_recv_interrupt() {
             if is_request_tag(m.tag) {

@@ -8,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// synchronization operations, page faults, diff requests, and the amount of
 /// diff data moved.  (Message and byte totals are tracked by the `cluster`
 /// transport; these counters explain *why* those messages were sent.)
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TmkStats {
     /// Lock acquires satisfied locally because the token was already here.
     pub local_lock_acquires: u64,

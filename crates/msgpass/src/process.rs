@@ -91,8 +91,27 @@ impl<'a> Pvm<'a> {
         RecvBuffer::new(m.src, m.tag, m.payload)
     }
 
+    /// Blocking receive with a wildcard tag (`pvm_recv(src, -1)`): waits for
+    /// the next message from `src` (any source if `None`) whatever its tag.
+    /// Dispatch on [`RecvBuffer::tag`] afterwards.
+    ///
+    /// This is the idiomatic shape for "wait for either a task or a
+    /// shutdown" protocols; polling each tag in a busy loop instead would
+    /// never advance the caller's virtual clock, so under deterministic
+    /// virtual-time scheduling it could spin forever on a reply that is
+    /// still in the caller's virtual future.
+    pub fn recv_any(&self, src: Option<usize>) -> RecvBuffer {
+        let m = self.proc.recv_match(src, None);
+        self.charge_copy(m.payload.len());
+        RecvBuffer::new(m.src, m.tag, m.payload)
+    }
+
     /// Non-blocking receive (`pvm_nrecv`): returns `None` if no matching
-    /// message has arrived yet.
+    /// message has *arrived* by the caller's current virtual time.
+    ///
+    /// A queued message whose arrival is still in the caller's virtual
+    /// future stays invisible (the causality gate of the transport): a
+    /// process cannot react to data "before" it arrived.
     pub fn nrecv(&self, src: Option<usize>, tag: u32) -> Option<RecvBuffer> {
         let m = self.proc.try_recv(src, tag)?;
         self.charge_copy(m.payload.len());

@@ -1,0 +1,162 @@
+//! Determinism: under the conservative virtual-time arbiter, two runs of
+//! the same program must produce **byte-identical** results — every virtual
+//! time, every counter, on every process, under every system.  This is the
+//! property that turns the reproduction's Table 1/2 numbers into stable
+//! facts instead of thread-interleaving lottery tickets.
+
+use netws::apps::runner::{AppRun, System};
+use netws::apps::Workload;
+use netws::cluster::{Cluster, ClusterConfig, ProcStats};
+use netws::treadmarks::ProtocolKind;
+
+// The bench crate is not a dependency of the root package (it is a harness),
+// so re-derive the tiny-preset dispatch locally, as cross_system.rs does.
+fn run(w: Workload, sys: System, n: usize) -> AppRun {
+    use netws::apps::*;
+    macro_rules! go {
+        ($m:ident, $params:expr) => {
+            match sys {
+                System::TreadMarks(protocol) => $m::treadmarks_with(n, &$params, protocol),
+                System::Pvm => $m::pvm(n, &$params),
+            }
+        };
+    }
+    match w {
+        Workload::Ep => go!(ep, ep::EpParams::tiny()),
+        Workload::SorZero => go!(sor, sor::SorParams::tiny(true)),
+        Workload::SorNonzero => go!(sor, sor::SorParams::tiny(false)),
+        Workload::IsSmall | Workload::IsLarge => go!(is, is::IsParams::tiny()),
+        Workload::Tsp => go!(tsp, tsp::TspParams::tiny()),
+        Workload::Qsort => go!(qsort, qsort::QsortParams::tiny()),
+        Workload::Water288 | Workload::Water1728 => go!(water, water::WaterParams::tiny()),
+        Workload::BarnesHut => go!(barnes, barnes::BarnesParams::tiny()),
+        Workload::Fft3d => go!(fft3d, fft3d::FftParams::tiny()),
+        Workload::Ilink => go!(ilink, ilink::IlinkParams::tiny()),
+    }
+}
+
+/// Bitwise equality of two per-process stat records: every virtual time is
+/// compared by its f64 bit pattern, not within a tolerance.
+fn assert_proc_stats_identical(a: &ProcStats, b: &ProcStats, ctx: &str) {
+    assert_eq!(a.id, b.id, "{ctx}: rank");
+    for (name, x, y) in [
+        ("finish_time", a.finish_time, b.finish_time),
+        ("compute_time", a.compute_time, b.compute_time),
+        ("idle_time", a.idle_time, b.idle_time),
+        ("config_latency", a.config_latency, b.config_latency),
+    ] {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{ctx}: process {} {name} differs between runs: {x} vs {y}",
+            a.id
+        );
+    }
+    for (name, x, y) in [
+        ("messages_sent", a.messages_sent, b.messages_sent),
+        ("datagrams_sent", a.datagrams_sent, b.datagrams_sent),
+        ("bytes_sent", a.bytes_sent, b.bytes_sent),
+        (
+            "messages_received",
+            a.messages_received,
+            b.messages_received,
+        ),
+        (
+            "datagrams_received",
+            a.datagrams_received,
+            b.datagrams_received,
+        ),
+        ("bytes_received", a.bytes_received, b.bytes_received),
+    ] {
+        assert_eq!(x, y, "{ctx}: process {} {name} differs between runs", a.id);
+    }
+}
+
+fn assert_runs_identical(a: &AppRun, b: &AppRun, ctx: &str) {
+    assert_eq!(
+        a.checksum.to_bits(),
+        b.checksum.to_bits(),
+        "{ctx}: checksum differs"
+    );
+    assert_eq!(
+        a.time.to_bits(),
+        b.time.to_bits(),
+        "{ctx}: parallel time differs between runs: {} vs {}",
+        a.time,
+        b.time
+    );
+    assert_eq!(a.messages, b.messages, "{ctx}: message count differs");
+    assert_eq!(
+        a.kilobytes.to_bits(),
+        b.kilobytes.to_bits(),
+        "{ctx}: data volume differs"
+    );
+    assert_eq!(
+        a.tmk_stats, b.tmk_stats,
+        "{ctx}: DSM runtime counters differ"
+    );
+    assert_eq!(a.proc_stats.len(), b.proc_stats.len(), "{ctx}: nprocs");
+    for (pa, pb) in a.proc_stats.iter().zip(&b.proc_stats) {
+        assert_proc_stats_identical(pa, pb, ctx);
+    }
+}
+
+/// Every Tiny-preset application, run twice under each system (both DSM
+/// protocol backends and PVM), yields a bit-identical report: same times,
+/// same counters, on every process.
+#[test]
+fn every_app_is_bit_deterministic_under_every_system() {
+    let systems = [
+        System::TreadMarks(ProtocolKind::Lrc),
+        System::TreadMarks(ProtocolKind::Hlrc),
+        System::Pvm,
+    ];
+    for w in Workload::all() {
+        for sys in systems {
+            let first = run(w, sys, 4);
+            let second = run(w, sys, 4);
+            let ctx = format!("{} under {sys} at 4 processes", w.name());
+            assert_runs_identical(&first, &second, &ctx);
+        }
+    }
+}
+
+/// The raw transport is deterministic even under deliberate contention:
+/// many processes hammer one receiver through the shared medium, with
+/// interrupt-style service mixed in, and the full `ClusterReport` matches
+/// bit-for-bit across runs.
+#[test]
+fn contended_shared_medium_reports_are_bit_identical() {
+    use bytes::Bytes;
+    let run_once = || {
+        Cluster::run(ClusterConfig::calibrated_fddi(6), |p| {
+            if p.id() == 0 {
+                let mut total = 0usize;
+                for _ in 0..(5 * 8) {
+                    let m = p.recv_any();
+                    total += m.payload.len();
+                    p.send_at(m.src, 99, Bytes::from_static(b"ack"), m.arrival + 1e-5);
+                }
+                total
+            } else {
+                for i in 0..8u32 {
+                    p.compute(1e-4 * p.id() as f64);
+                    p.send(0, i, Bytes::from(vec![p.id() as u8; 700 * p.id()]));
+                    p.recv(Some(0), 99);
+                }
+                0
+            }
+        })
+    };
+    let a = run_once();
+    let b = run_once();
+    assert_eq!(a.results, b.results);
+    for (pa, pb) in a.stats.iter().zip(&b.stats) {
+        assert_proc_stats_identical(pa, pb, "contended transport");
+    }
+    // Receive-side datagram accounting closes the loop cluster-wide: all
+    // consumed traffic is seen by both ends.
+    let sent: u64 = a.stats.iter().map(|s| s.datagrams_sent).sum();
+    let received: u64 = a.stats.iter().map(|s| s.datagrams_received).sum();
+    assert_eq!(sent, received);
+}
