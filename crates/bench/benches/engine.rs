@@ -1,0 +1,95 @@
+//! Engine throughput: how fast the simulator simulates.
+//!
+//! Two figures of merit, printed per configuration alongside the criterion
+//! timings so the perf trajectory of the engine itself (PR 3 and onward) is
+//! measurable:
+//!
+//! * **events/sec** — transport messages processed per wall-clock second
+//!   (each message is one arbitrated send plus one arbitrated consume, the
+//!   engine's unit of scheduling work);
+//! * **virtual-seconds-per-wall-second** — how much simulated cluster time
+//!   one wall second buys.
+//!
+//! The `matrix_*` benches time the parallel run executor end-to-end at
+//! different worker counts over the same workload matrix; on a multi-core
+//! host the default-jobs variant is the one the `reproduce` binary ships.
+
+use apps::runner::System;
+use apps::Workload;
+use bench::{exec, run_matrix, run_parallel, Preset, RunKey};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+use treadmarks::ProtocolKind;
+
+fn transport_messages(run: &apps::AppRun) -> u64 {
+    run.proc_stats.iter().map(|s| s.messages_sent).sum()
+}
+
+fn engine_throughput(c: &mut Criterion) {
+    let configs = [
+        (Workload::SorZero, System::TreadMarks(ProtocolKind::Lrc), 4),
+        (Workload::Water288, System::TreadMarks(ProtocolKind::Lrc), 8),
+        (
+            Workload::Water288,
+            System::TreadMarks(ProtocolKind::Hlrc),
+            8,
+        ),
+        (Workload::Ep, System::Pvm, 8),
+    ];
+    for (w, sys, n) in configs {
+        let label = format!("engine/{}/{sys}/{n}p", w.name());
+        // Explicit throughput numbers (criterion's shim prints only times).
+        let started = Instant::now();
+        let iters = 5;
+        let mut events = 0u64;
+        let mut virtual_seconds = 0.0;
+        for _ in 0..iters {
+            let run = run_parallel(w, sys, n, Preset::Tiny);
+            events += transport_messages(&run);
+            virtual_seconds += run.time;
+        }
+        let wall = started.elapsed().as_secs_f64();
+        println!(
+            "{label}: {:.0} events/sec, {:.2} virtual-seconds/wall-second",
+            events as f64 / wall,
+            virtual_seconds / wall
+        );
+        c.bench_function(&label, |b| b.iter(|| run_parallel(w, sys, n, Preset::Tiny)));
+    }
+}
+
+fn executor_fanout(c: &mut Criterion) {
+    let keys: Vec<RunKey> = Workload::all()
+        .into_iter()
+        .flat_map(|w| {
+            System::all()
+                .into_iter()
+                .flat_map(move |sys| [2usize, 4].into_iter().map(move |n| (w, sys, n)))
+        })
+        .collect();
+    let mut job_counts = vec![1];
+    if exec::default_jobs() > 1 {
+        job_counts.push(exec::default_jobs());
+    }
+    for jobs in job_counts {
+        let label = format!("matrix_tiny_jobs_{jobs}");
+        let started = Instant::now();
+        let matrix = run_matrix(Preset::Tiny, &[], &keys, jobs);
+        let wall = started.elapsed().as_secs_f64();
+        let events: u64 = matrix.runs().map(|(_, r)| transport_messages(r)).sum();
+        let virtual_seconds: f64 = matrix.runs().map(|(_, r)| r.time).sum();
+        println!(
+            "{label}: {:.0} events/sec, {:.2} virtual-seconds/wall-second \
+             ({} runs in {wall:.2}s)",
+            events as f64 / wall,
+            virtual_seconds / wall,
+            matrix.len()
+        );
+        c.bench_function(&label, |b| {
+            b.iter(|| run_matrix(Preset::Tiny, &[], &keys, jobs))
+        });
+    }
+}
+
+criterion_group!(benches, engine_throughput, executor_fanout);
+criterion_main!(benches);

@@ -1,23 +1,38 @@
 //! Regenerate the tables and figures of the paper, under a selectable DSM
-//! coherence protocol.
+//! coherence protocol, fanning the independent runs out across cores.
 //!
 //! ```text
 //! cargo run -p bench --release --bin reproduce                       # both protocols, everything
 //! cargo run -p bench --release --bin reproduce -- --protocol hlrc   # HLRC backend only
-//! cargo run -p bench --release --bin reproduce -- --protocol lrc    # the paper's protocol only
+//! cargo run -p bench --release --bin reproduce -- --protocol lrc   # the paper's protocol only
 //! cargo run -p bench --release --bin reproduce -- --full            # paper-scale inputs
 //! cargo run -p bench --release --bin reproduce -- --table1
 //! cargo run -p bench --release --bin reproduce -- --table2
 //! cargo run -p bench --release --bin reproduce -- --figure water-288
 //! cargo run -p bench --release --bin reproduce -- --json            # machine-readable dump
+//! cargo run -p bench --release --bin reproduce -- --jobs 1          # serial execution
+//! cargo run -p bench --release --bin reproduce -- --bench-out BENCH_PR3.json
 //! ```
+//!
+//! Every run of the reproduction matrix is an independent deterministic
+//! simulation, so the harness computes the whole requested matrix first —
+//! on `--jobs N` worker threads (default: one per core) — and renders the
+//! output from the completed matrix afterwards.  Results are stored under
+//! their matrix keys, never in completion order, so stdout and JSON are
+//! **byte-identical for every `--jobs` value**; the determinism suite and
+//! the CI `perf-smoke` job assert exactly that.
 //!
 //! `--json` replaces the human-readable tables with a machine-readable dump
 //! of every run (all workloads at 1/2/4/8 processes under each selected
 //! system), with every virtual time printed both as a decimal and as its
-//! raw f64 bit pattern.  Execution is deterministic — the cluster arbitrates
-//! all communication in virtual-time order — so two invocations emit
-//! byte-identical JSON; CI runs the dump twice and `diff`s the outputs.
+//! raw f64 bit pattern.  CI runs the dump twice and `diff`s the outputs.
+//!
+//! `--bench-out FILE` additionally writes an engine-throughput report: the
+//! deterministic totals of the matrix (message counts, virtual seconds)
+//! followed by the wall-clock timing of *this* execution (events per
+//! second, virtual seconds simulated per wall second, worker count).  The
+//! `deterministic` section is byte-stable across runs and job counts; the
+//! `timing` section is this machine's measurement.
 //!
 //! Output is plain text shaped like the paper's tables: Table 1 (sequential
 //! times and problem sizes), one speedup series per figure (each selected
@@ -28,7 +43,7 @@
 
 use apps::runner::System;
 use apps::Workload;
-use bench::{problem_size, run_parallel, run_sequential, Preset};
+use bench::{exec, problem_size, run_matrix, run_record_json, Preset, RunKey, RunMatrix};
 use treadmarks::ProtocolKind;
 
 fn workload_by_name(name: &str) -> Option<Workload> {
@@ -37,25 +52,28 @@ fn workload_by_name(name: &str) -> Option<Workload> {
         .find(|w| w.name().eq_ignore_ascii_case(name))
 }
 
-fn table1(preset: Preset) {
-    println!("\nTable 1: Sequential Time of Applications ({preset:?} preset)");
+fn table1(matrix: &RunMatrix) {
+    println!(
+        "\nTable 1: Sequential Time of Applications ({:?} preset)",
+        matrix.preset
+    );
     println!(
         "{:<12} {:<34} {:>12}",
         "Program", "Problem Size", "Time (s)"
     );
     for w in Workload::all() {
-        let seq = run_sequential(w, preset);
+        let seq = matrix.sequential(w);
         println!(
             "{:<12} {:<34} {:>12.2}",
             w.name(),
-            problem_size(w, preset),
+            problem_size(w, matrix.preset),
             seq.time
         );
     }
 }
 
-fn figure(w: Workload, preset: Preset, max_procs: usize, systems: &[System]) {
-    let seq = run_sequential(w, preset);
+fn figure(matrix: &RunMatrix, w: Workload, max_procs: usize, systems: &[System]) {
+    let seq = matrix.sequential(w);
     println!(
         "\nFigure {}: {} speedups (sequential time {:.2}s)",
         w.figure(),
@@ -68,11 +86,8 @@ fn figure(w: Workload, preset: Preset, max_procs: usize, systems: &[System]) {
     }
     println!();
     for n in 1..=max_procs {
-        let runs: Vec<_> = systems
-            .iter()
-            .map(|&sys| run_parallel(w, sys, n, preset))
-            .collect();
-        for run in &runs {
+        for &sys in systems {
+            let run = matrix.run(w, sys, n);
             assert!(
                 (run.checksum - seq.checksum).abs() <= seq.checksum.abs() * 1e-6 + 1e-6,
                 "{}: {} checksum mismatch at {n} processes",
@@ -81,15 +96,18 @@ fn figure(w: Workload, preset: Preset, max_procs: usize, systems: &[System]) {
             );
         }
         print!("{n:>6}");
-        for run in &runs {
-            print!(" {:>12.2}", run.speedup(seq.time));
+        for &sys in systems {
+            print!(" {:>12.2}", matrix.run(w, sys, n).speedup(seq.time));
         }
         println!();
     }
 }
 
-fn table2(preset: Preset, procs: usize, systems: &[System]) {
-    println!("\nTable 2: Messages and Data at {procs} Processors ({preset:?} preset)");
+fn table2(matrix: &RunMatrix, procs: usize, systems: &[System]) {
+    println!(
+        "\nTable 2: Messages and Data at {procs} Processors ({:?} preset)",
+        matrix.preset
+    );
     print!("{:<12}", "Program");
     for sys in systems {
         print!(" {:>14} {:>14}", format!("{sys} msgs"), format!("{sys} KB"));
@@ -99,7 +117,7 @@ fn table2(preset: Preset, procs: usize, systems: &[System]) {
     for w in Workload::all() {
         print!("{:<12}", w.name());
         for &sys in systems {
-            let run = run_parallel(w, sys, procs, preset);
+            let run = matrix.run(w, sys, procs);
             print!(" {:>14} {:>14.0}", run.messages, run.kilobytes);
             if let (System::TreadMarks(protocol), Some(stats)) = (sys, &run.tmk_stats) {
                 protocol_lines.push(format!(
@@ -126,50 +144,17 @@ fn table2(preset: Preset, procs: usize, systems: &[System]) {
     }
 }
 
-/// One JSON field per metric, with virtual times carried both as decimal
-/// (shortest round-trip) and as the raw f64 bit pattern, so a textual `diff`
-/// of two dumps is exactly a bit-identity check.
-fn json_run_record(w: Workload, run: &apps::AppRun) -> String {
-    let mut rec = format!(
-        "{{\"workload\": \"{}\", \"system\": \"{}\", \"nprocs\": {}, \
-         \"time\": {}, \"time_bits\": \"{:016x}\", \"checksum_bits\": \"{:016x}\", \
-         \"messages\": {}, \"kilobytes_bits\": \"{:016x}\", \
-         \"datagrams_received\": {}",
-        w.name(),
-        run.system,
-        run.nprocs,
-        run.time,
-        run.time.to_bits(),
-        run.checksum.to_bits(),
-        run.messages,
-        run.kilobytes.to_bits(),
-        run.proc_stats
-            .iter()
-            .map(|s| s.datagrams_received)
-            .sum::<u64>(),
-    );
-    if let Some(t) = &run.tmk_stats {
-        rec.push_str(&format!(
-            ", \"page_faults\": {}, \"diff_requests\": {}, \"diff_flushes\": {}, \
-             \"page_requests\": {}",
-            t.page_faults, t.diff_requests_sent, t.diff_flushes_sent, t.page_requests_sent
-        ));
-    }
-    rec.push('}');
-    rec
-}
-
 /// Machine-readable dump of the full reproduction: every workload at
 /// 1/2/4/8 processes under each selected system, plus the sequential
 /// baselines.  Deterministic execution makes the output byte-stable.
-fn json_dump(preset: Preset, systems: &[System]) {
+fn json_dump(matrix: &RunMatrix, systems: &[System]) {
     println!("{{");
-    println!("  \"preset\": \"{preset:?}\",");
+    println!("  \"preset\": \"{:?}\",", matrix.preset);
     println!("  \"sequential\": [");
     let seqs: Vec<String> = Workload::all()
         .into_iter()
         .map(|w| {
-            let seq = run_sequential(w, preset);
+            let seq = matrix.sequential(w);
             format!(
                 "    {{\"workload\": \"{}\", \"time\": {}, \"time_bits\": \"{:016x}\", \
                  \"checksum_bits\": \"{:016x}\"}}",
@@ -187,14 +172,44 @@ fn json_dump(preset: Preset, systems: &[System]) {
     for w in Workload::all() {
         for n in [1usize, 2, 4, 8] {
             for &sys in systems {
-                let run = run_parallel(w, sys, n, preset);
-                recs.push(format!("    {}", json_run_record(w, &run)));
+                recs.push(format!("    {}", run_record_json(w, matrix.run(w, sys, n))));
             }
         }
     }
     println!("{}", recs.join(",\n"));
     println!("  ]");
     println!("}}");
+}
+
+/// The engine-throughput report written by `--bench-out`: deterministic
+/// matrix totals first (byte-stable across runs and job counts — CI diffs
+/// them), wall-clock timing of this execution second.
+fn bench_report(matrix: &RunMatrix, jobs: usize, wall_seconds: f64) -> String {
+    let mut events = 0u64; // transport messages processed (sent == consumed)
+    let mut virtual_seconds = 0.0f64;
+    let mut checksum_xor = 0u64;
+    for (_, run) in matrix.runs() {
+        events += run.proc_stats.iter().map(|s| s.messages_sent).sum::<u64>();
+        virtual_seconds += run.time;
+        checksum_xor ^= run.checksum.to_bits();
+    }
+    format!(
+        "{{\n  \"preset\": \"{:?}\",\n  \"deterministic\": {{\n    \"runs\": {},\n    \
+         \"total_messages\": {},\n    \"total_virtual_seconds\": {},\n    \
+         \"total_virtual_seconds_bits\": \"{:016x}\",\n    \"checksum_bits_xor\": \"{:016x}\"\n  }},\n  \
+         \"timing\": {{\n    \"jobs\": {},\n    \"wall_seconds\": {:.3},\n    \
+         \"events_per_second\": {:.0},\n    \"virtual_seconds_per_wall_second\": {:.2}\n  }}\n}}\n",
+        matrix.preset,
+        matrix.len(),
+        events,
+        virtual_seconds,
+        virtual_seconds.to_bits(),
+        checksum_xor,
+        jobs,
+        wall_seconds,
+        events as f64 / wall_seconds,
+        virtual_seconds / wall_seconds,
+    )
 }
 
 fn main() {
@@ -215,9 +230,11 @@ fn main() {
             .and_then(|i| args.get(i + 1))
     };
 
-    if args.last().map(String::as_str) == Some("--protocol") {
-        eprintln!("--protocol requires a value: lrc, hlrc or both");
-        std::process::exit(1);
+    for flag in ["--protocol", "--jobs", "--bench-out"] {
+        if args.last().map(String::as_str) == Some(flag) {
+            eprintln!("{flag} requires a value");
+            std::process::exit(1);
+        }
     }
     let protocols: Vec<ProtocolKind> = match flag_value("--protocol").map(String::as_str) {
         None | Some("both") | Some("all") => ProtocolKind::all().to_vec(),
@@ -234,21 +251,30 @@ fn main() {
         .map(|&p| System::TreadMarks(p))
         .chain(std::iter::once(System::Pvm))
         .collect();
+    let jobs: usize = match flag_value("--jobs") {
+        None => exec::default_jobs(),
+        Some(v) => match v.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("--jobs requires a positive integer, got '{v}'");
+                std::process::exit(1);
+            }
+        },
+    };
+    let bench_out = flag_value("--bench-out").cloned();
 
-    if wants("--json") {
-        json_dump(preset, &systems);
-        return;
-    }
-
+    let want_json = wants("--json");
     let figure_arg = flag_value("--figure");
-    let run_all = !wants("--table1") && !wants("--table2") && figure_arg.is_none();
-
-    if wants("--table1") || run_all {
-        table1(preset);
-    }
-    if let Some(name) = figure_arg {
+    let run_all = !want_json && !wants("--table1") && !wants("--table2") && figure_arg.is_none();
+    let want_table1 = wants("--table1") || run_all;
+    let want_table2 = wants("--table2") || run_all;
+    // `--json` dumps the full matrix and ignores `--figure`/`--table*`,
+    // exactly as it always has.
+    let figure_workloads: Vec<Workload> = if want_json || run_all {
+        Workload::all().to_vec()
+    } else if let Some(name) = figure_arg {
         match workload_by_name(name) {
-            Some(w) => figure(w, preset, max_procs, &systems),
+            Some(w) => vec![w],
             None => {
                 eprintln!("unknown workload '{name}'; known workloads:");
                 for w in Workload::all() {
@@ -257,12 +283,66 @@ fn main() {
                 std::process::exit(1);
             }
         }
-    } else if run_all {
-        for w in Workload::all() {
-            figure(w, preset, max_procs, &systems);
+    } else {
+        Vec::new()
+    };
+
+    // Assemble the requested matrix: sequential baselines plus parallel
+    // runs.  (Everything below renders from this precomputed matrix.)
+    let mut seq_workloads: Vec<Workload> = Vec::new();
+    if want_table1 || want_json {
+        seq_workloads.extend(Workload::all());
+    }
+    seq_workloads.extend(&figure_workloads);
+    let mut keys: Vec<RunKey> = Vec::new();
+    let proc_counts: &[usize] = if want_json { &[1, 2, 4, 8] } else { &[] };
+    for &w in &figure_workloads {
+        if want_json {
+            for &n in proc_counts {
+                for &sys in &systems {
+                    keys.push((w, sys, n));
+                }
+            }
+        } else {
+            for n in 1..=max_procs {
+                for &sys in &systems {
+                    keys.push((w, sys, n));
+                }
+            }
         }
     }
-    if wants("--table2") || run_all {
-        table2(preset, max_procs, &systems);
+    if want_table2 {
+        for w in Workload::all() {
+            for &sys in &systems {
+                keys.push((w, sys, max_procs));
+            }
+        }
+    }
+
+    let started = std::time::Instant::now();
+    let matrix = run_matrix(preset, &seq_workloads, &keys, jobs);
+    let wall_seconds = started.elapsed().as_secs_f64();
+
+    if want_json {
+        json_dump(&matrix, &systems);
+    } else {
+        if want_table1 {
+            table1(&matrix);
+        }
+        for &w in &figure_workloads {
+            figure(&matrix, w, max_procs, &systems);
+        }
+        if want_table2 {
+            table2(&matrix, max_procs, &systems);
+        }
+    }
+
+    if let Some(path) = bench_out {
+        let report = bench_report(&matrix, jobs, wall_seconds);
+        if let Err(err) = std::fs::write(&path, &report) {
+            eprintln!("cannot write {path}: {err}");
+            std::process::exit(1);
+        }
+        eprintln!("bench report written to {path}");
     }
 }

@@ -1,0 +1,158 @@
+//! The parallel run executor: fan independent deterministic simulations out
+//! across the host's cores with provably unchanged output.
+//!
+//! The reproduction matrix — workloads × systems × processor counts — is a
+//! large set of *independent* runs: each simulation owns its cluster, its
+//! mailboxes and its clocks, and (since the deterministic virtual-time
+//! arbiter of PR 2) its result is a pure function of its inputs.  Executing
+//! them one after another therefore leaves every core but one idle for no
+//! semantic reason.  [`run_ordered`] executes a list of such tasks on a
+//! fixed-size worker pool and returns the results **in task order**, so any
+//! consumer that prints or serialises the results serially produces output
+//! byte-identical to a serial execution — which the determinism suite
+//! asserts bit-for-bit.
+//!
+//! Scheduling is a single atomic cursor over the task list: workers claim
+//! the next unclaimed index, run it, and park the result in that index's
+//! slot.  Which worker runs which task (and in what wall-clock order) is
+//! nondeterministic; *nothing observable depends on it*.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads to use by default: one per available core.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Execute every task on a pool of `jobs` worker threads and return the
+/// results in task order.
+///
+/// `jobs <= 1` (or a single task) degenerates to a plain serial loop on the
+/// calling thread.  The pool never holds more threads than tasks.
+///
+/// # Panics
+///
+/// If a task panics, the queue is cancelled — workers finish their
+/// in-flight task and claim nothing more — and the panic is propagated to
+/// the caller.
+pub fn run_ordered<T, F>(jobs: usize, tasks: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = tasks.len();
+    let jobs = jobs.max(1).min(n.max(1));
+    if jobs <= 1 {
+        return tasks.into_iter().map(|f| f()).collect();
+    }
+    let tasks: Vec<Mutex<Option<F>>> = tasks.into_iter().map(|f| Mutex::new(Some(f))).collect();
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let cancelled = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let workers: Vec<_> = (0..jobs)
+            .map(|_| {
+                s.spawn(|| loop {
+                    if cancelled.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let task = tasks[i]
+                        .lock()
+                        .expect("task slot poisoned")
+                        .take()
+                        .expect("every index is claimed exactly once");
+                    let result = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(task))
+                    {
+                        Ok(r) => r,
+                        Err(payload) => {
+                            // Stop the queue: a 288-run matrix should
+                            // not grind on for its full wall time after
+                            // one run has already failed.
+                            cancelled.store(true, Ordering::Relaxed);
+                            std::panic::resume_unwind(payload);
+                        }
+                    };
+                    *slots[i].lock().expect("result slot poisoned") = Some(result);
+                })
+            })
+            .collect();
+        // Join every worker before propagating, and rethrow the original
+        // payload (the lowest-indexed worker's) rather than the scope's
+        // generic "a scoped thread panicked".
+        let mut first_panic = None;
+        for w in workers {
+            if let Err(payload) = w.join() {
+                first_panic.get_or_insert(payload);
+            }
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every task stored its result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_task_order_whatever_the_worker_count() {
+        let serial: Vec<usize> = run_ordered(1, (0..64).map(|i| move || i * i).collect());
+        for jobs in [2, 3, 8, 64, 1000] {
+            let parallel: Vec<usize> = run_ordered(jobs, (0..64).map(|i| move || i * i).collect());
+            assert_eq!(parallel, serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn zero_jobs_and_empty_task_lists_are_fine() {
+        let none: Vec<u8> = run_ordered(4, Vec::<fn() -> u8>::new());
+        assert!(none.is_empty());
+        let one: Vec<u8> = run_ordered(0, vec![|| 7u8]);
+        assert_eq!(one, vec![7]);
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        use std::sync::atomic::AtomicU32;
+        let counters: Vec<AtomicU32> = (0..100).map(|_| AtomicU32::new(0)).collect();
+        let tasks: Vec<_> = counters
+            .iter()
+            .map(|c| move || c.fetch_add(1, Ordering::Relaxed))
+            .collect();
+        let _ = run_ordered(7, tasks);
+        assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn a_panicking_task_propagates() {
+        let _ = run_ordered(
+            2,
+            vec![
+                Box::new(|| 1usize) as Box<dyn FnOnce() -> usize + Send>,
+                Box::new(|| panic!("boom")),
+            ],
+        );
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+}

@@ -9,6 +9,8 @@
 
 #![warn(missing_docs)]
 
+pub mod exec;
+
 use apps::runner::{AppRun, SeqRun, System};
 use apps::{barnes, ep, fft3d, ilink, is, qsort, sor, tsp, water, Workload};
 
@@ -66,6 +68,166 @@ pub fn run_parallel(w: Workload, sys: System, nprocs: usize, preset: Preset) -> 
         Workload::Fft3d => dispatch!(fft3d, fft_params(preset), sys, nprocs),
         Workload::Ilink => dispatch!(ilink, ilink_params(preset), sys, nprocs),
     }
+}
+
+/// One entry of a reproduction matrix: a workload under a system at a
+/// processor count.
+pub type RunKey = (Workload, System, usize);
+
+/// The precomputed results of a reproduction: every requested sequential
+/// baseline and parallel run, keyed for lookup.
+///
+/// A matrix is *computed* (possibly on many cores, see [`run_matrix`]) and
+/// then *rendered*: because every simulation is deterministic and the
+/// results are stored under their keys — never in completion order — the
+/// rendering is a pure function of the request, so serial and parallel
+/// computation produce byte-identical tables, figures and JSON.
+pub struct RunMatrix {
+    /// The preset the matrix was computed under.
+    pub preset: Preset,
+    seq: Vec<(Workload, SeqRun)>,
+    runs: Vec<(RunKey, AppRun)>,
+}
+
+impl RunMatrix {
+    /// The sequential baseline of `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix was not computed with `w`'s baseline.
+    pub fn sequential(&self, w: Workload) -> &SeqRun {
+        self.seq
+            .iter()
+            .find(|(k, _)| *k == w)
+            .map(|(_, s)| s)
+            .unwrap_or_else(|| panic!("{} baseline not in the matrix", w.name()))
+    }
+
+    /// The parallel run of `w` under `sys` at `nprocs` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if that run is not in the matrix.
+    pub fn run(&self, w: Workload, sys: System, nprocs: usize) -> &AppRun {
+        self.runs
+            .iter()
+            .find(|((kw, ks, kn), _)| *kw == w && *ks == sys && *kn == nprocs)
+            .map(|(_, r)| r)
+            .unwrap_or_else(|| panic!("{} under {sys} at {nprocs} not in the matrix", w.name()))
+    }
+
+    /// Every parallel run in the matrix, in request order.
+    pub fn runs(&self) -> impl Iterator<Item = (&RunKey, &AppRun)> {
+        self.runs.iter().map(|(k, r)| (k, r))
+    }
+
+    /// Number of parallel runs held.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// True if the matrix holds no parallel runs.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+}
+
+/// Compute a reproduction matrix — the sequential baseline of every workload
+/// in `seq_workloads` plus every run in `keys` — on `jobs` worker threads.
+///
+/// Each entry is an independent deterministic simulation; the executor in
+/// [`exec`] fans them out and delivers results in request order, so the
+/// returned matrix (and anything rendered from it) is bit-identical for
+/// every `jobs` value.  Duplicate keys are computed once.
+pub fn run_matrix(
+    preset: Preset,
+    seq_workloads: &[Workload],
+    keys: &[RunKey],
+    jobs: usize,
+) -> RunMatrix {
+    let mut seq_keys: Vec<Workload> = Vec::new();
+    for &w in seq_workloads {
+        if !seq_keys.contains(&w) {
+            seq_keys.push(w);
+        }
+    }
+    let mut run_keys: Vec<RunKey> = Vec::new();
+    for &k in keys {
+        if !run_keys.contains(&k) {
+            run_keys.push(k);
+        }
+    }
+    enum Task {
+        Seq(Workload),
+        Run(RunKey),
+    }
+    enum Done {
+        Seq(Workload, SeqRun),
+        // Boxed: an AppRun (with its per-process stats) dwarfs a SeqRun.
+        Run(RunKey, Box<AppRun>),
+    }
+    let tasks: Vec<Task> = seq_keys
+        .iter()
+        .map(|&w| Task::Seq(w))
+        .chain(run_keys.iter().map(|&k| Task::Run(k)))
+        .collect();
+    let closures: Vec<_> = tasks
+        .into_iter()
+        .map(|t| {
+            move || match t {
+                Task::Seq(w) => Done::Seq(w, run_sequential(w, preset)),
+                Task::Run((w, sys, n)) => {
+                    Done::Run((w, sys, n), Box::new(run_parallel(w, sys, n, preset)))
+                }
+            }
+        })
+        .collect();
+    let mut matrix = RunMatrix {
+        preset,
+        seq: Vec::with_capacity(seq_keys.len()),
+        runs: Vec::with_capacity(run_keys.len()),
+    };
+    for done in exec::run_ordered(jobs, closures) {
+        match done {
+            Done::Seq(w, s) => matrix.seq.push((w, s)),
+            Done::Run(k, r) => matrix.runs.push((k, *r)),
+        }
+    }
+    matrix
+}
+
+/// One JSON record per run with every virtual time carried both as decimal
+/// and as its raw f64 bit pattern, so a textual `diff` of two dumps is
+/// exactly a bit-identity check.  Shared by the `reproduce --json` dump and
+/// the parallel-vs-serial determinism tests.
+pub fn run_record_json(w: Workload, run: &AppRun) -> String {
+    let mut rec = format!(
+        "{{\"workload\": \"{}\", \"system\": \"{}\", \"nprocs\": {}, \
+         \"time\": {}, \"time_bits\": \"{:016x}\", \"checksum_bits\": \"{:016x}\", \
+         \"messages\": {}, \"kilobytes_bits\": \"{:016x}\", \
+         \"datagrams_received\": {}",
+        w.name(),
+        run.system,
+        run.nprocs,
+        run.time,
+        run.time.to_bits(),
+        run.checksum.to_bits(),
+        run.messages,
+        run.kilobytes.to_bits(),
+        run.proc_stats
+            .iter()
+            .map(|s| s.datagrams_received)
+            .sum::<u64>(),
+    );
+    if let Some(t) = &run.tmk_stats {
+        rec.push_str(&format!(
+            ", \"page_faults\": {}, \"diff_requests\": {}, \"diff_flushes\": {}, \
+             \"page_requests\": {}",
+            t.page_faults, t.diff_requests_sent, t.diff_flushes_sent, t.page_requests_sent
+        ));
+    }
+    rec.push('}');
+    rec
 }
 
 /// Problem-size description printed in the Table 1 reproduction.
@@ -243,6 +405,69 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The tentpole guarantee of the parallel executor: a matrix computed on
+    /// a worker pool is bit-identical — every virtual time, checksum and
+    /// counter, on every process of every run — to the same matrix computed
+    /// serially on one thread.
+    #[test]
+    fn parallel_matrix_is_bit_identical_to_serial() {
+        let workloads = [
+            Workload::Ep,
+            Workload::SorZero,
+            Workload::Tsp,
+            Workload::Water288,
+        ];
+        let keys: Vec<RunKey> = workloads
+            .iter()
+            .flat_map(|&w| {
+                System::all()
+                    .into_iter()
+                    .flat_map(move |sys| [1usize, 2, 4].into_iter().map(move |n| (w, sys, n)))
+            })
+            .collect();
+        let serial = run_matrix(Preset::Tiny, &workloads, &keys, 1);
+        let parallel = run_matrix(Preset::Tiny, &workloads, &keys, 4);
+        for &w in &workloads {
+            let (a, b) = (serial.sequential(w), parallel.sequential(w));
+            assert_eq!(a.time.to_bits(), b.time.to_bits(), "{} seq time", w.name());
+            assert_eq!(
+                a.checksum.to_bits(),
+                b.checksum.to_bits(),
+                "{} seq checksum",
+                w.name()
+            );
+        }
+        for &(w, sys, n) in &keys {
+            let (a, b) = (serial.run(w, sys, n), parallel.run(w, sys, n));
+            // f64 Debug output is shortest-round-trip, so Debug equality of
+            // the full record (times, counters, per-process stats) is
+            // bit-identity.
+            assert_eq!(
+                format!("{a:?}"),
+                format!("{b:?}"),
+                "{} under {sys} at {n} differs between serial and parallel execution",
+                w.name()
+            );
+            assert_eq!(
+                run_record_json(w, a),
+                run_record_json(w, b),
+                "{} under {sys} at {n}: JSON record differs",
+                w.name()
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_matrix_keys_are_computed_once() {
+        let w = Workload::Ep;
+        let sys = System::Pvm;
+        let keys = vec![(w, sys, 2), (w, sys, 2), (w, sys, 2)];
+        let m = run_matrix(Preset::Tiny, &[w], &keys, 2);
+        assert_eq!(m.len(), 1);
+        assert!(!m.is_empty());
+        assert!(m.run(w, sys, 2).time > 0.0);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! byte-identical times and counters.
 
 use crate::config::ClusterConfig;
-use crate::sched::{choose, wait_graph, Decision, PState};
+use crate::sched::{wait_graph, Arbiter, Decision, PState};
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::collections::VecDeque;
@@ -85,8 +85,9 @@ const LIVELOCK_GRANT_LIMIT: u64 = 100_000;
 struct SimState {
     /// Per-process incoming-message queues.
     mailboxes: Vec<VecDeque<Message>>,
-    /// Scheduler state of every process.
-    procs: Vec<PState>,
+    /// Scheduler state of every process, with the minimum-key parked
+    /// process maintained incrementally (no per-interaction O(n) scan).
+    arb: Arbiter,
     /// Virtual time until which the shared medium is busy (FDDI ring model).
     medium_free_at: f64,
     /// Consecutive grants since the last message transmission or
@@ -117,7 +118,7 @@ impl NetworkCore {
             cfg,
             state: Mutex::new(SimState {
                 mailboxes: (0..n).map(|_| VecDeque::new()).collect(),
-                procs: vec![PState::Running; n],
+                arb: Arbiter::new(n),
                 medium_free_at: 0.0,
                 futile_grants: 0,
                 aborted: None,
@@ -138,7 +139,7 @@ impl NetworkCore {
         if st.aborted.is_none() {
             st.aborted = Some(Abort::Panic(who));
         }
-        st.procs[who] = PState::Finished;
+        st.arb.set(who, PState::Finished);
         for cv in &self.wake {
             cv.notify_all();
         }
@@ -148,7 +149,7 @@ impl NetworkCore {
     /// runnable process.  Called when the process closure returns.
     pub fn finish(&self, id: usize) {
         let mut st = self.state.lock();
-        st.procs[id] = PState::Finished;
+        st.arb.set(id, PState::Finished);
         if st.aborted.is_none() {
             self.dispatch(&mut st);
         }
@@ -165,11 +166,11 @@ impl NetworkCore {
     /// cluster down if the decision is a deadlock.  Must be called whenever
     /// a process leaves the `Running` state.
     fn dispatch(&self, st: &mut SimState) {
-        match choose(&st.procs) {
+        match st.arb.decide() {
             Decision::Grant(rank) => {
                 st.futile_grants += 1;
                 if st.futile_grants >= LIVELOCK_GRANT_LIMIT {
-                    let graph = wait_graph(&st.procs, &st.mailboxes);
+                    let graph = wait_graph(st.arb.states(), &st.mailboxes);
                     let report = format!(
                         "virtual-time livelock: {LIVELOCK_GRANT_LIMIT} consecutive turns granted \
                          (next: process {rank}) without any message transmitted or consumed; \
@@ -182,12 +183,12 @@ impl NetworkCore {
                     }
                     return;
                 }
-                st.procs[rank] = PState::Running;
+                st.arb.set(rank, PState::Running);
                 self.wake[rank].notify_one();
             }
             Decision::Wait | Decision::AllDone => {}
             Decision::Deadlock => {
-                let graph = wait_graph(&st.procs, &st.mailboxes);
+                let graph = wait_graph(st.arb.states(), &st.mailboxes);
                 eprintln!("{graph}");
                 st.aborted = Some(Abort::Deadlock(graph));
                 for cv in &self.wake {
@@ -214,13 +215,13 @@ impl NetworkCore {
         if let Some(abort) = &st.aborted {
             Self::panic_aborted(abort);
         }
-        st.procs[me] = state;
+        st.arb.set(me, state);
         self.dispatch(&mut st);
         loop {
             if let Some(abort) = &st.aborted {
                 Self::panic_aborted(abort);
             }
-            if matches!(st.procs[me], PState::Running) {
+            if matches!(st.arb.state(me), PState::Running) {
                 return st;
             }
             self.wake[me].wait(&mut st);
@@ -272,12 +273,15 @@ impl NetworkCore {
             src: want_src,
             tag: want_tag,
             clock,
-        } = st.procs[dst]
+        } = st.arb.state(dst)
         {
             if want_src.is_none_or(|s| s == src) && want_tag.is_none_or(|t| t == tag) {
-                st.procs[dst] = PState::Parked {
-                    key: clock.max(arrival),
-                };
+                st.arb.set(
+                    dst,
+                    PState::Parked {
+                        key: clock.max(arrival),
+                    },
+                );
             }
         }
         (arrival, datagrams)

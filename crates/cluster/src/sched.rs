@@ -76,9 +76,13 @@ pub(crate) enum Decision {
     Deadlock,
 }
 
-/// The conservative scheduling rule: if anyone is running, wait; otherwise
-/// grant the parked process with the minimum `(key, rank)`; if nobody is
-/// parked but someone is receive-blocked, declare deadlock.
+/// The conservative scheduling rule as a pure scan: if anyone is running,
+/// wait; otherwise grant the parked process with the minimum `(key, rank)`;
+/// if nobody is parked but someone is receive-blocked, declare deadlock.
+///
+/// This is the *reference* implementation.  The hot path uses [`Arbiter`],
+/// which maintains the minimum incrementally; debug builds assert the two
+/// agree on every decision.
 pub(crate) fn choose(procs: &[PState]) -> Decision {
     let mut best: Option<(f64, usize)> = None;
     let mut blocked = false;
@@ -99,6 +103,132 @@ pub(crate) fn choose(procs: &[PState]) -> Decision {
         Some((_, rank)) => Decision::Grant(rank),
         None if blocked => Decision::Deadlock,
         None => Decision::AllDone,
+    }
+}
+
+/// A parked process's pending-action time as a totally ordered heap key.
+/// Virtual times are never NaN, so `total_cmp` is a plain numeric order.
+/// Equality goes through the same total order (not IEEE `==`) so `Eq` and
+/// `Ord` agree even on signed zeros.
+#[derive(Debug, Clone, Copy)]
+struct Key(f64);
+
+impl PartialEq for Key {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for Key {}
+
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Incremental arbiter: the same scheduling rule as [`choose`], but the
+/// minimum-key parked process is maintained in a lazy-deletion min-heap and
+/// the `Running`/`Parked`/`RecvBlocked` populations in counters, so a
+/// decision is O(log n) amortised instead of a fresh O(n) scan per
+/// interaction.
+///
+/// Every transition into `Parked` pushes a `(key, rank)` entry; entries are
+/// never eagerly removed.  An entry is *stale* once its process left the
+/// parked state or re-parked under a different key; stale entries are
+/// discarded when they surface at the top of the heap.  A process re-parked
+/// at an identical key may be represented twice — both entries then describe
+/// the same correct grant, so duplicates are harmless.
+pub(crate) struct Arbiter {
+    procs: Vec<PState>,
+    /// Min-heap over `(key, rank)` of (possibly stale) parked entries.
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(Key, usize)>>,
+    running: usize,
+    parked: usize,
+    blocked: usize,
+}
+
+impl Arbiter {
+    /// All `n` processes start `Running` (the startup prologue).
+    pub(crate) fn new(n: usize) -> Self {
+        Arbiter {
+            procs: vec![PState::Running; n],
+            heap: std::collections::BinaryHeap::with_capacity(2 * n),
+            running: n,
+            parked: 0,
+            blocked: 0,
+        }
+    }
+
+    /// Move process `rank` into `state`, keeping the cached populations and
+    /// the heap in sync.
+    pub(crate) fn set(&mut self, rank: usize, state: PState) {
+        match self.procs[rank] {
+            PState::Running => self.running -= 1,
+            PState::Parked { .. } => self.parked -= 1,
+            PState::RecvBlocked { .. } => self.blocked -= 1,
+            PState::Finished => {}
+        }
+        match state {
+            PState::Running => self.running += 1,
+            PState::Parked { key } => {
+                self.parked += 1;
+                self.heap.push(std::cmp::Reverse((Key(key), rank)));
+            }
+            PState::RecvBlocked { .. } => self.blocked += 1,
+            PState::Finished => {}
+        }
+        self.procs[rank] = state;
+    }
+
+    /// Scheduler state of process `rank`.
+    pub(crate) fn state(&self, rank: usize) -> PState {
+        self.procs[rank]
+    }
+
+    /// The states of every process (for the wait-graph report).
+    pub(crate) fn states(&self) -> &[PState] {
+        &self.procs
+    }
+
+    /// Run the scheduling rule over the cached minimum.
+    pub(crate) fn decide(&mut self) -> Decision {
+        let decision = self.decide_inner();
+        debug_assert_eq!(
+            decision,
+            choose(&self.procs),
+            "incremental arbiter diverged from the reference scan"
+        );
+        decision
+    }
+
+    fn decide_inner(&mut self) -> Decision {
+        if self.running > 0 {
+            return Decision::Wait;
+        }
+        while self.parked > 0 {
+            let &std::cmp::Reverse((key, rank)) =
+                self.heap.peek().expect("parked processes must be enqueued");
+            match self.procs[rank] {
+                PState::Parked { key: cur } if Key(cur) == key => {
+                    return Decision::Grant(rank);
+                }
+                _ => {
+                    self.heap.pop();
+                }
+            }
+        }
+        if self.blocked > 0 {
+            Decision::Deadlock
+        } else {
+            Decision::AllDone
+        }
     }
 }
 
@@ -195,6 +325,61 @@ mod tests {
             choose(&[PState::Finished, PState::Finished]),
             Decision::AllDone
         );
+    }
+
+    #[test]
+    fn arbiter_tracks_the_reference_scan_through_random_transitions() {
+        // Drive an Arbiter through a long pseudo-random transition sequence
+        // and require its decision to equal the O(n) reference scan at every
+        // step (release builds included — this is the release-mode version
+        // of the debug_assert in `decide`).
+        let n = 5;
+        let mut arb = Arbiter::new(n);
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut next = || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            seed >> 33
+        };
+        for step in 0..4000 {
+            let rank = next() as usize % n;
+            let state = match next() % 4 {
+                0 => PState::Running,
+                1 => PState::Parked {
+                    key: (next() % 16) as f64 * 0.25,
+                },
+                2 => PState::RecvBlocked {
+                    src: None,
+                    tag: None,
+                    clock: 0.0,
+                },
+                _ => PState::Finished,
+            };
+            arb.set(rank, state);
+            assert_eq!(
+                arb.decide(),
+                choose(arb.states()),
+                "divergence at step {step}"
+            );
+        }
+    }
+
+    #[test]
+    fn arbiter_discards_stale_entries_and_grants_the_new_minimum() {
+        let mut arb = Arbiter::new(3);
+        arb.set(0, PState::Parked { key: 1.0 });
+        arb.set(1, PState::Parked { key: 2.0 });
+        arb.set(2, PState::Parked { key: 3.0 });
+        assert_eq!(arb.decide(), Decision::Grant(0));
+        // Re-park process 0 *behind* the others: its old key-1.0 entry is
+        // stale and must not win again.
+        arb.set(0, PState::Parked { key: 9.0 });
+        assert_eq!(arb.decide(), Decision::Grant(1));
+        arb.set(1, PState::Finished);
+        assert_eq!(arb.decide(), Decision::Grant(2));
+        arb.set(2, PState::Running);
+        assert_eq!(arb.decide(), Decision::Wait);
     }
 
     #[test]

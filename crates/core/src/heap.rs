@@ -21,6 +21,65 @@ use cluster::config::PAGE_SIZE;
 /// An address in the shared heap (a byte offset).
 pub type SharedAddr = usize;
 
+/// A free list of page-sized buffers.
+///
+/// Twins are created on the first write of every interval and discarded when
+/// the interval closes, so a long run churns through page-sized allocations
+/// at interval rate.  The pool recycles those buffers: a retired twin (or
+/// any other page-sized buffer) goes back on the free list and the next
+/// twin is written into it instead of a fresh allocation.
+#[derive(Debug, Default)]
+pub struct PagePool {
+    free: Vec<Box<[u8]>>,
+}
+
+/// Retaining more free pages than this returns them to the allocator: the
+/// pool's job is to absorb the steady-state twin churn, not to hold the
+/// high-water mark of a burst forever.
+const POOL_CAP: usize = 64;
+
+impl PagePool {
+    /// A zero-filled page (recycled if one is available).
+    pub fn take_zeroed(&mut self) -> Box<[u8]> {
+        match self.free.pop() {
+            Some(mut b) => {
+                b.fill(0);
+                b
+            }
+            None => crate::page::new_page(),
+        }
+    }
+
+    /// A page holding a copy of `src` (recycled if one is available).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is not exactly one page long.
+    pub fn take_copy(&mut self, src: &[u8]) -> Box<[u8]> {
+        assert_eq!(src.len(), PAGE_SIZE, "pool buffers are one page");
+        match self.free.pop() {
+            Some(mut b) => {
+                b.copy_from_slice(src);
+                b
+            }
+            None => src.to_vec().into_boxed_slice(),
+        }
+    }
+
+    /// Return a retired page-sized buffer to the free list.
+    pub fn recycle(&mut self, buf: Box<[u8]>) {
+        debug_assert_eq!(buf.len(), PAGE_SIZE, "pool buffers are one page");
+        if self.free.len() < POOL_CAP {
+            self.free.push(buf);
+        }
+    }
+
+    /// Number of buffers currently on the free list.
+    pub fn free_buffers(&self) -> usize {
+        self.free.len()
+    }
+}
+
 impl<'a> Tmk<'a> {
     /// Allocate `bytes` of shared memory (8-byte aligned) and return its
     /// address.  Equivalent to `Tmk_malloc`.
@@ -50,7 +109,7 @@ impl<'a> Tmk<'a> {
             return;
         }
         self.ensure_valid(addr, src.len());
-        let pages: Vec<PageId> = self.st.borrow().pages_spanning(addr, src.len()).collect();
+        let pages = self.st.borrow().pages_spanning(addr, src.len());
         for p in pages {
             self.mark_dirty_charged(p);
         }
@@ -202,14 +261,23 @@ impl<'a> Tmk<'a> {
     /// write notices), so the scan repeats until the whole range is clean.
     /// No requests are served between this returning and the access itself,
     /// so the range stays valid for the caller.
+    ///
+    /// This is the software write/read trap on the hottest path of the
+    /// whole simulation (every shared access), so the all-valid case — the
+    /// overwhelming majority — must not allocate: pages are checked one at
+    /// a time in ascending order rather than collected into a vector.
     pub fn ensure_valid(&self, addr: SharedAddr, len: usize) {
         loop {
-            let invalid = self.st.borrow().invalid_pages(addr, len);
-            if invalid.is_empty() {
-                return;
+            let pages = self.st.borrow().pages_spanning(addr, len);
+            let mut faulted_any = false;
+            for page in pages {
+                if !self.st.borrow().is_valid(page) {
+                    self.fault_in(page);
+                    faulted_any = true;
+                }
             }
-            for page in invalid {
-                self.fault_in(page);
+            if !faulted_any {
+                return;
             }
         }
     }

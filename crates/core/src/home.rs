@@ -263,7 +263,7 @@ mod tests {
         let closed = writer.close_interval().unwrap();
         assert_eq!(closed.flushes.len(), 1);
         let (page, diff) = &closed.flushes[0];
-        home.apply_flush(*page, 0, closed.record.seq, diff);
+        home.apply_flush(*page, 0, closed.seq, diff);
 
         let (snapshot, applied) = home.page_snapshot(*page);
         assert!(snapshot[..64].iter().all(|&b| b == 9));

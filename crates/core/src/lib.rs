@@ -94,6 +94,14 @@ pub const REQUEST_SERVICE_COST: f64 = 50e-6;
 /// Local bookkeeping cost of a synchronization operation.
 pub const SYNC_OP_COST: f64 = 10e-6;
 
+/// Default barrier-time garbage-collection trigger: a GC runs at the first
+/// barrier at which the cluster-wide interval count has grown by this much
+/// since the previous collection (see [`Tmk::set_gc_threshold`]).  High
+/// enough that short runs never collect (their tables are bit-identical to a
+/// GC-free runtime); long runs hold memory bounded instead of accreting
+/// every diff and interval record forever.
+pub const DEFAULT_GC_INTERVAL_THRESHOLD: u64 = 4096;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +157,94 @@ mod tests {
         });
         let expect: f64 = (0..512).map(|i| i as f64).sum();
         assert!(rep.results.iter().all(|&s| (s - expect).abs() < 1e-9));
+    }
+
+    /// Many barrier rounds of rotating writers, with and without barrier-time
+    /// GC: the computed values must agree exactly, and with GC enabled the
+    /// retained protocol metadata must stay bounded instead of growing with
+    /// the round count.
+    fn gc_rounds(
+        protocol: ProtocolKind,
+        gc_threshold: u64,
+    ) -> ClusterReport<(f64, u64, usize, usize)> {
+        let n = 4;
+        let rounds = 48u32;
+        run_under(protocol, n, move |tmk| {
+            let a = tmk.malloc(8 * n);
+            tmk.set_gc_threshold(gc_threshold);
+            tmk.barrier(0);
+            for round in 0..rounds {
+                if tmk.id() == round as usize % n {
+                    let slot = a + 8 * tmk.id();
+                    let v = tmk.read_f64(slot);
+                    tmk.write_f64(slot, v + 1.0 + round as f64);
+                }
+                tmk.barrier(1 + round);
+            }
+            let mut sum = 0.0;
+            for r in 0..n {
+                sum += tmk.read_f64(a + 8 * r);
+            }
+            let st = tmk.st.borrow();
+            (
+                sum,
+                st.stats.gc_collections,
+                st.intervals_retained(),
+                st.diffs_held(),
+            )
+        })
+    }
+
+    #[test]
+    fn barrier_gc_bounds_metadata_and_preserves_results() {
+        for protocol in ProtocolKind::all() {
+            let without = gc_rounds(protocol, u64::MAX);
+            let with = gc_rounds(protocol, 8);
+            for (rank, (a, b)) in without.results.iter().zip(&with.results).enumerate() {
+                assert_eq!(
+                    a.0.to_bits(),
+                    b.0.to_bits(),
+                    "{protocol}: process {rank} result changed under GC"
+                );
+                assert_eq!(a.1, 0, "{protocol}: GC ran while disabled");
+                assert!(
+                    b.1 > 0,
+                    "{protocol}: no GC with a threshold of 8 over 48 rounds"
+                );
+                assert!(
+                    b.2 < a.2,
+                    "{protocol}: process {rank} retained intervals not reduced \
+                     ({} with GC vs {} without)",
+                    b.2,
+                    a.2
+                );
+                assert!(
+                    b.3 <= a.3,
+                    "{protocol}: process {rank} retained diffs grew under GC"
+                );
+            }
+            // LRC without GC accretes diffs forever; with GC the store is
+            // bounded by the inter-collection window.
+            if protocol == ProtocolKind::Lrc {
+                let max_diffs_with = with.results.iter().map(|r| r.3).max().unwrap();
+                let max_diffs_without = without.results.iter().map(|r| r.3).max().unwrap();
+                assert!(
+                    max_diffs_with * 2 < max_diffs_without,
+                    "GC barely shrank the diff store: {max_diffs_with} vs {max_diffs_without}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gc_is_deterministic() {
+        let a = gc_rounds(ProtocolKind::Lrc, 8);
+        let b = gc_rounds(ProtocolKind::Lrc, 8);
+        assert_eq!(a.results, b.results);
+        for (sa, sb) in a.stats.iter().zip(&b.stats) {
+            assert_eq!(sa.finish_time.to_bits(), sb.finish_time.to_bits());
+            assert_eq!(sa.messages_sent, sb.messages_sent);
+        }
     }
 
     #[test]

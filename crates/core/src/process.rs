@@ -23,10 +23,14 @@ use crate::protocol::ProtocolKind;
 use crate::state::DsmState;
 use crate::stats::TmkStats;
 use crate::vc::VectorClock;
-use crate::{DEFAULT_HEAP_BYTES, MEM_BANDWIDTH, REQUEST_SERVICE_COST, SYNC_OP_COST};
+use crate::{
+    DEFAULT_GC_INTERVAL_THRESHOLD, DEFAULT_HEAP_BYTES, MEM_BANDWIDTH, REQUEST_SERVICE_COST,
+    SYNC_OP_COST,
+};
+use cluster::config::PAGE_SIZE;
 use cluster::{Message, Proc};
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A TreadMarks endpoint bound to one simulated process.
 pub struct Tmk<'a> {
@@ -35,16 +39,20 @@ pub struct Tmk<'a> {
     /// Next barrier episode number on this process.
     barrier_epoch: Cell<u32>,
     /// Barrier-manager state: arrivals per episode (source, source clock).
-    arrivals: RefCell<HashMap<u32, Vec<(usize, VectorClock)>>>,
+    arrivals: RefCell<BTreeMap<u32, Vec<(usize, VectorClock)>>>,
     /// Virtual time at which each lock was last released here (prevents a
     /// grant from appearing to depart while the lock was still held).
-    lock_release_time: RefCell<HashMap<u32, f64>>,
+    lock_release_time: RefCell<BTreeMap<u32, f64>>,
     /// Replies that arrived while a nested wait was looking for a different
     /// tag (e.g. a diff response arriving while a flush triggered by serving
     /// a lock request awaits its acknowledgement).
     stashed: RefCell<Vec<Message>>,
     /// Exit-protocol counter at process 0.
     done_count: Cell<usize>,
+    /// Cluster-wide interval-count growth that triggers barrier-time GC.
+    gc_threshold: Cell<u64>,
+    /// `vc.sum()` at the last garbage collection.
+    last_gc_sum: Cell<u64>,
 }
 
 impl<'a> Tmk<'a> {
@@ -82,11 +90,22 @@ impl<'a> Tmk<'a> {
                 protocol,
             )),
             barrier_epoch: Cell::new(0),
-            arrivals: RefCell::new(HashMap::new()),
-            lock_release_time: RefCell::new(HashMap::new()),
+            arrivals: RefCell::new(BTreeMap::new()),
+            lock_release_time: RefCell::new(BTreeMap::new()),
             stashed: RefCell::new(Vec::new()),
             done_count: Cell::new(0),
+            gc_threshold: Cell::new(DEFAULT_GC_INTERVAL_THRESHOLD),
+            last_gc_sum: Cell::new(0),
         }
+    }
+
+    /// Set the barrier-time garbage-collection trigger: a GC runs at the
+    /// first barrier at which the cluster-wide interval count has grown by
+    /// at least `threshold` since the previous collection.  `u64::MAX`
+    /// disables GC.  Must be called identically on every process (SPMD, like
+    /// every other configuration of a run) before the first barrier.
+    pub fn set_gc_threshold(&self, threshold: u64) {
+        self.gc_threshold.set(threshold);
     }
 
     /// Rank of this process.
@@ -148,8 +167,10 @@ impl<'a> Tmk<'a> {
             st.stats.remote_lock_acquires += 1;
             st.lock_manager(id)
         };
-        let my_vc = self.st.borrow().vc.clone();
-        let payload = encode_lock_request(id, self.id(), &my_vc);
+        let payload = {
+            let st = self.st.borrow();
+            encode_lock_request(id, self.id(), &st.vc)
+        };
         if manager == self.id() {
             // We are the manager but do not hold the token: forward straight
             // to the last requester without a message to ourselves.
@@ -212,7 +233,12 @@ impl<'a> Tmk<'a> {
     /// carry the write notices the manager lacks, and the release messages
     /// carry the notices each departing process lacks, for a total of
     /// `2 * (nprocs - 1)` messages per barrier.
-    pub fn barrier(&self, _index: u32) {
+    pub fn barrier(&self, index: u32) {
+        self.barrier_inner(index);
+        self.maybe_gc();
+    }
+
+    fn barrier_inner(&self, _index: u32) {
         self.proc.compute(SYNC_OP_COST);
         let epoch = self.barrier_epoch.get();
         self.barrier_epoch.set(epoch + 1);
@@ -245,8 +271,8 @@ impl<'a> Tmk<'a> {
                 self.proc.compute(SYNC_OP_COST);
                 let payload = {
                     let st = self.st.borrow();
-                    let records = st.records_not_covered_by(&src_vc);
-                    encode_barrier(epoch, &st.vc, &records)
+                    let wires = st.record_wires_not_covered_by(&src_vc);
+                    encode_barrier_preencoded(epoch, &st.vc, &wires)
                 };
                 self.proc.send(src, TAG_BARRIER_RELEASE, payload);
             }
@@ -256,8 +282,8 @@ impl<'a> Tmk<'a> {
         } else {
             let payload = {
                 let st = self.st.borrow();
-                let records = st.records_not_covered_by(&st.last_barrier_vc);
-                encode_barrier(epoch, &st.vc, &records)
+                let wires = st.record_wires_not_covered_by(&st.last_barrier_vc);
+                encode_barrier_preencoded(epoch, &st.vc, &wires)
             };
             self.proc.send(0, TAG_BARRIER_ARRIVE, payload);
             let reply = self.wait_reply(TAG_BARRIER_RELEASE);
@@ -329,7 +355,7 @@ impl<'a> Tmk<'a> {
         let closed = self.st.borrow_mut().close_interval();
         if let Some(closed) = closed {
             if !closed.flushes.is_empty() {
-                self.hlrc_flush(closed.record.seq, closed.flushes);
+                self.hlrc_flush(closed.seq, closed.flushes);
             }
         }
     }
@@ -434,10 +460,7 @@ impl<'a> Tmk<'a> {
                 let (payload, bytes, first_serves) = {
                     let mut st = self.st.borrow_mut();
                     st.stats.diff_requests_served += 1;
-                    let (diffs, first_serves) =
-                        st.diffs_for_request(page, requester, &applied_vc, &global_vc);
-                    let bytes: usize = diffs.iter().map(|d| d.diff.encoded_len()).sum();
-                    (encode_diff_response(page, &diffs), bytes, first_serves)
+                    st.encode_diffs_for_request(page, requester, &applied_vc, &global_vc)
                 };
                 // Diffs served for the first time are created now (the lazy
                 // diff creation of the real system): scan the page and twin.
@@ -508,14 +531,49 @@ impl<'a> Tmk<'a> {
         self.close_interval_charged();
         let payload = {
             let mut st = self.st.borrow_mut();
-            let records = st.records_not_covered_by(req_vc);
-            let vc = st.vc.clone();
             let ls = st.lock_state_mut(lock);
             assert!(ls.have_token && !ls.in_cs, "granting a lock we cannot give");
             ls.have_token = false;
-            encode_lock_grant(lock, &vc, &records)
+            let wires = st.record_wires_not_covered_by(req_vc);
+            encode_lock_grant_preencoded(lock, &st.vc, &wires)
         };
         self.proc
             .send_at(requester, TAG_LOCK_GRANT, payload, depart);
+    }
+
+    /// Barrier-time garbage collection, the paper's own GC point.
+    ///
+    /// Triggered — identically on every process, because the clocks merge at
+    /// the barrier that just completed — when the cluster-wide interval
+    /// count has grown past the configured threshold since the last
+    /// collection.  Under LRC every process first *validates* all its
+    /// invalid pages (applying every outstanding diff at or below the
+    /// merged clock), then a synchronization barrier guarantees no peer is
+    /// still validating, and only then is metadata at or below the clock
+    /// dropped; without the validate-and-sync, a peer's in-flight diff
+    /// request could name a diff already collected.  Under HLRC diffs are
+    /// never retained and page homes stay current, so the interval logs are
+    /// truncated directly.
+    fn maybe_gc(&self) {
+        if self.nprocs() == 1 {
+            return;
+        }
+        let sum = self.st.borrow().vc.sum();
+        if sum - self.last_gc_sum.get() < self.gc_threshold.get() {
+            return;
+        }
+        if self.protocol() == ProtocolKind::Lrc {
+            let npages = (self.st.borrow().heap_size() / PAGE_SIZE) as u32;
+            for page in 0..npages {
+                if !self.st.borrow().is_valid(page) {
+                    self.fault_in(page);
+                }
+            }
+            self.barrier_inner(u32::MAX);
+        }
+        let horizon = self.st.borrow().vc.clone();
+        debug_assert_eq!(horizon.sum(), sum, "GC must not create intervals");
+        self.st.borrow_mut().gc(&horizon);
+        self.last_gc_sum.set(sum);
     }
 }

@@ -7,22 +7,26 @@
 //! performs the actual message exchanges; keeping the state machine free of
 //! networking makes the consistency logic unit-testable in isolation.
 
+use crate::heap::PagePool;
 use crate::home::home_of;
 use crate::page::{new_page, Diff, PageId};
-use crate::proto::{IntervalRecord, WireDiff};
+use crate::proto::{record_wire, vc_wire, DiffResponsePart, IntervalRecord, WireDiff};
 use crate::protocol::ProtocolKind;
 use crate::stats::TmkStats;
 use crate::vc::VectorClock;
+use bytes::Bytes;
 use cluster::config::PAGE_SIZE;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// The result of closing an interval: the write-notice record to publish,
 /// and — under the home-based protocol — the diffs that must be flushed to
 /// remote homes before the synchronization operation proceeds.
 #[derive(Debug)]
 pub struct ClosedInterval {
-    /// The interval record (write notices) of the closed interval.
-    pub record: IntervalRecord,
+    /// Sequence number of the closed interval on this process.  The record
+    /// itself is stored once, in the creator's interval log — retrieve it
+    /// with [`DsmState::interval_record`] when needed.
+    pub seq: u32,
     /// Diffs destined for remote homes (always empty under LRC, where diffs
     /// stay with their writer; empty under HLRC for pages homed locally,
     /// whose master copy is the writer's own).
@@ -38,10 +42,29 @@ pub struct ClosedInterval {
 #[derive(Debug)]
 struct StoredDiff {
     vc: VectorClock,
+    /// The clock's wire encoding, computed once at store time and spliced
+    /// into every diff response that serves this diff.
+    vc_wire: Bytes,
     diff: Diff,
     /// Whether the creation scan has been charged (true for fetched diffs,
     /// whose cost was paid by their creator).
     scan_charged: bool,
+}
+
+/// One entry of a process's interval log: the record plus its wire encoding,
+/// computed once when the record enters the log (created locally or received
+/// from its creator) and spliced into every message that later carries it.
+#[derive(Debug)]
+struct LoggedInterval {
+    record: IntervalRecord,
+    wire: Bytes,
+}
+
+impl LoggedInterval {
+    fn new(record: IntervalRecord) -> Self {
+        let wire = record_wire(&record);
+        LoggedInterval { record, wire }
+    }
 }
 
 /// A pending write notice: an interval known to have modified a page, whose
@@ -105,10 +128,19 @@ pub struct DsmState {
     pub vc: VectorClock,
     /// The merged clock distributed at the last barrier release.
     pub last_barrier_vc: VectorClock,
-    /// All interval records known, indexed `[creator][seq - 1]`.
-    intervals: Vec<Vec<IntervalRecord>>,
-    /// Diffs held locally (created or fetched), keyed by (page, creator, seq).
-    diffs: HashMap<(PageId, usize, u32), StoredDiff>,
+    /// All interval records retained, indexed
+    /// `[creator][seq - 1 - interval_base[creator]]`: garbage collection
+    /// (see [`DsmState::gc`]) truncates the front of each log and advances
+    /// the base.
+    intervals: Vec<Vec<LoggedInterval>>,
+    /// Number of leading intervals of each creator already garbage
+    /// collected from `intervals`.
+    interval_base: Vec<u32>,
+    /// Diffs held locally (created or fetched), keyed by (page, creator,
+    /// seq).  Ordered so (a) iteration order can never silently depend on
+    /// hash order and (b) serving a request is a range scan over one page's
+    /// keys instead of a sweep over every diff held.
+    diffs: BTreeMap<(PageId, usize, u32), StoredDiff>,
     /// Shared pages (crate-visible so the protocol backends in [`crate::home`]
     /// can maintain master copies).
     pub(crate) pages: Vec<PageSlot>,
@@ -118,10 +150,13 @@ pub struct DsmState {
     heap_next: usize,
     /// Size of the shared heap in bytes.
     heap_bytes: usize,
-    /// Per-lock token state.
-    locks: HashMap<u32, LockState>,
-    /// Manager-side lock state for locks this process manages.
-    lock_managers: HashMap<u32, LockManagerState>,
+    /// Per-lock token state (ordered: determinism must never silently
+    /// depend on hash-iteration order).
+    locks: BTreeMap<u32, LockState>,
+    /// Manager-side lock state for locks this process manages (ordered).
+    lock_managers: BTreeMap<u32, LockManagerState>,
+    /// Recycled page-sized buffers for twin churn.
+    pub(crate) pool: PagePool,
     /// Runtime statistics.
     pub stats: TmkStats,
 }
@@ -150,14 +185,16 @@ impl DsmState {
             protocol,
             vc: VectorClock::new(nprocs),
             last_barrier_vc: VectorClock::new(nprocs),
-            intervals: vec![Vec::new(); nprocs],
-            diffs: HashMap::new(),
+            intervals: (0..nprocs).map(|_| Vec::new()).collect(),
+            interval_base: vec![0; nprocs],
+            diffs: BTreeMap::new(),
             pages,
             dirty_pages: Vec::new(),
             heap_next: 0,
             heap_bytes: npages * PAGE_SIZE,
-            locks: HashMap::new(),
-            lock_managers: HashMap::new(),
+            locks: BTreeMap::new(),
+            lock_managers: BTreeMap::new(),
+            pool: PagePool::default(),
             stats: TmkStats::default(),
         }
     }
@@ -257,16 +294,26 @@ impl DsmState {
     /// the first write (the multiple-writer protocol's write trap).
     /// Returns `true` if a twin was created by this call.
     pub fn mark_dirty(&mut self, page: PageId) -> bool {
-        let slot = &mut self.pages[page as usize];
+        let DsmState {
+            pages,
+            pool,
+            dirty_pages,
+            stats,
+            ..
+        } = self;
+        let slot = &mut pages[page as usize];
         assert!(slot.valid, "writing an invalid page without a fault");
         if slot.dirty {
             return false;
         }
-        let data = slot.data.get_or_insert_with(new_page);
-        slot.twin = Some(data.clone());
+        let data = match &mut slot.data {
+            Some(data) => data,
+            None => slot.data.insert(pool.take_zeroed()),
+        };
+        slot.twin = Some(pool.take_copy(data));
         slot.dirty = true;
-        self.dirty_pages.push(page);
-        self.stats.twins_created += 1;
+        dirty_pages.push(page);
+        stats.twins_created += 1;
         true
     }
 
@@ -302,6 +349,7 @@ impl DsmState {
         }
         let seq = self.vc.increment(self.me);
         let vc = self.vc.clone();
+        let interval_vc_wire = vc_wire(&vc);
         let mut pages = std::mem::take(&mut self.dirty_pages);
         pages.sort_unstable();
         pages.dedup();
@@ -314,10 +362,12 @@ impl DsmState {
             // Under HLRC the home's own writes are already in its master
             // copy: no diff is needed for a page homed here, ever.
             if self.protocol == ProtocolKind::Hlrc && home == self.me {
+                self.pool.recycle(twin);
                 continue;
             }
             let data = slot.data.as_ref().expect("dirty page must have data");
             let diff = Diff::create(&twin, data);
+            self.pool.recycle(twin);
             self.stats.diffs_created += 1;
             self.stats.diff_bytes_created += diff.encoded_len() as u64;
             match self.protocol {
@@ -326,6 +376,7 @@ impl DsmState {
                         (page, self.me, seq),
                         StoredDiff {
                             vc: vc.clone(),
+                            vc_wire: interval_vc_wire.clone(),
                             diff,
                             scan_charged: false,
                         },
@@ -348,9 +399,29 @@ impl DsmState {
             vc,
             pages,
         };
-        debug_assert_eq!(self.intervals[self.me].len() as u32, seq - 1);
-        self.intervals[self.me].push(record.clone());
-        Some(ClosedInterval { record, flushes })
+        debug_assert_eq!(
+            self.interval_base[self.me] + self.intervals[self.me].len() as u32,
+            seq - 1
+        );
+        // The record is stored exactly once — in the creator's own log —
+        // and retrieved by index when published; no shadow copy travels in
+        // the return value.
+        self.intervals[self.me].push(LoggedInterval::new(record));
+        Some(ClosedInterval { seq, flushes })
+    }
+
+    /// The retained interval record `seq` of `creator`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval is unknown or already garbage collected.
+    pub fn interval_record(&self, creator: usize, seq: u32) -> &IntervalRecord {
+        let base = self.interval_base[creator];
+        assert!(
+            seq > base,
+            "interval ({creator}, {seq}) was garbage collected"
+        );
+        &self.intervals[creator][(seq - 1 - base) as usize].record
     }
 
     /// Incorporate a write-notice record received from another process:
@@ -361,12 +432,12 @@ impl DsmState {
             return;
         }
         debug_assert_eq!(
-            self.intervals[rec.creator].len() as u32,
+            self.interval_base[rec.creator] + self.intervals[rec.creator].len() as u32,
             rec.seq - 1,
             "interval records of one creator must arrive contiguously"
         );
         self.vc.set(rec.creator, rec.seq);
-        self.intervals[rec.creator].push(rec.clone());
+        self.intervals[rec.creator].push(LoggedInterval::new(rec.clone()));
         self.stats.write_notices_received += rec.pages.len() as u64;
         for &page in &rec.pages {
             // Under HLRC the home's copy is the master copy: flushes keep it
@@ -402,8 +473,38 @@ impl DsmState {
         for creator in 0..self.nprocs {
             let known = self.vc.get(creator);
             let have = other.get(creator);
+            let base = self.interval_base[creator];
+            assert!(
+                have >= base,
+                "peer clock ({creator}:{have}) predates the GC horizon {base}"
+            );
             for seq in (have + 1)..=known {
-                out.push(self.intervals[creator][(seq - 1) as usize].clone());
+                out.push(
+                    self.intervals[creator][(seq - 1 - base) as usize]
+                        .record
+                        .clone(),
+                );
+            }
+        }
+        out
+    }
+
+    /// The pre-encoded wire buffers of
+    /// [`records_not_covered_by`](Self::records_not_covered_by), in the same
+    /// order: what the hot send paths splice into grants and barrier
+    /// messages instead of cloning and re-serialising each record.
+    pub(crate) fn record_wires_not_covered_by(&self, other: &VectorClock) -> Vec<&Bytes> {
+        let mut out = Vec::new();
+        for creator in 0..self.nprocs {
+            let known = self.vc.get(creator);
+            let have = other.get(creator);
+            let base = self.interval_base[creator];
+            assert!(
+                have >= base,
+                "peer clock ({creator}:{have}) predates the GC horizon {base}"
+            );
+            for seq in (have + 1)..=known {
+                out.push(&self.intervals[creator][(seq - 1 - base) as usize].wire);
             }
         }
         out
@@ -420,7 +521,7 @@ impl DsmState {
     pub fn diff_request_targets(&self, page: PageId) -> Vec<usize> {
         let notices = &self.pages[page as usize].notices;
         // Latest pending interval per writer.
-        let mut latest: HashMap<usize, &Notice> = HashMap::new();
+        let mut latest: BTreeMap<usize, &Notice> = BTreeMap::new();
         for n in notices {
             match latest.get(&n.creator) {
                 Some(cur) if cur.seq >= n.seq => {}
@@ -463,31 +564,81 @@ impl DsmState {
         applied_vc: &VectorClock,
         global_vc: &VectorClock,
     ) -> (Vec<WireDiff>, usize) {
-        let mut first_serves = 0usize;
-        let mut out: Vec<WireDiff> = self
-            .diffs
-            .iter_mut()
-            .filter(|((p, creator, seq), _)| {
-                *p == page
-                    && *creator != requester
-                    && *seq > applied_vc.get(*creator)
-                    && global_vc.covers(*creator, *seq)
-            })
-            .map(|((_, creator, seq), stored)| {
-                if !stored.scan_charged {
-                    stored.scan_charged = true;
-                    first_serves += 1;
-                }
+        let (keys, first_serves) = self.served_diff_keys(page, requester, applied_vc, global_vc);
+        let out = keys
+            .into_iter()
+            .map(|(_, creator, seq)| {
+                let stored = &self.diffs[&(page, creator, seq)];
                 WireDiff {
-                    creator: *creator,
-                    seq: *seq,
+                    creator,
+                    seq,
                     vc: stored.vc.clone(),
                     diff: stored.diff.clone(),
                 }
             })
             .collect();
-        out.sort_by_key(|d| (d.vc.sum(), d.creator, d.seq));
         (out, first_serves)
+    }
+
+    /// Serve a diff request straight into its wire encoding: the same
+    /// selection as [`diffs_for_request`](Self::diffs_for_request), but the
+    /// response payload is built from the stored diffs and their pre-encoded
+    /// clocks by reference — no `Diff` or `VectorClock` clones.  Returns the
+    /// payload, the summed encoded size of the served diffs (the responder's
+    /// copy cost), and the number of first-time serves (whose creation scan
+    /// the caller charges — lazy diff creation).
+    pub fn encode_diffs_for_request(
+        &mut self,
+        page: PageId,
+        requester: usize,
+        applied_vc: &VectorClock,
+        global_vc: &VectorClock,
+    ) -> (Bytes, usize, usize) {
+        let (keys, first_serves) = self.served_diff_keys(page, requester, applied_vc, global_vc);
+        let mut diff_bytes = 0usize;
+        let parts: Vec<DiffResponsePart<'_>> = keys
+            .iter()
+            .map(|&(_, creator, seq)| {
+                let stored = &self.diffs[&(page, creator, seq)];
+                diff_bytes += stored.diff.encoded_len();
+                (creator, seq, &stored.vc_wire, &stored.diff)
+            })
+            .collect();
+        let payload = crate::proto::encode_diff_response_preencoded(page, &parts);
+        (payload, diff_bytes, first_serves)
+    }
+
+    /// The diffs this process would serve for `page`, as `(hb1 sort key,
+    /// creator, seq)` in response order, marking first-time serves as
+    /// scan-charged.  A range scan over the page's keys in the ordered diff
+    /// store — not a sweep over every diff held.
+    fn served_diff_keys(
+        &mut self,
+        page: PageId,
+        requester: usize,
+        applied_vc: &VectorClock,
+        global_vc: &VectorClock,
+    ) -> (Vec<(u64, usize, u32)>, usize) {
+        let mut first_serves = 0usize;
+        let mut keys: Vec<(u64, usize, u32)> = Vec::new();
+        for (&(_, creator, seq), stored) in self
+            .diffs
+            .range_mut((page, 0, 0)..=(page, usize::MAX, u32::MAX))
+        {
+            if creator == requester
+                || seq <= applied_vc.get(creator)
+                || !global_vc.covers(creator, seq)
+            {
+                continue;
+            }
+            if !stored.scan_charged {
+                stored.scan_charged = true;
+                first_serves += 1;
+            }
+            keys.push((stored.vc.sum(), creator, seq));
+        }
+        keys.sort_unstable();
+        (keys, first_serves)
     }
 
     /// The per-page applied clock sent in a diff request for `page`.
@@ -536,7 +687,8 @@ impl DsmState {
             self.stats.diff_bytes_received += wd.diff.encoded_len() as u64;
             self.diffs
                 .entry((page, wd.creator, wd.seq))
-                .or_insert(StoredDiff {
+                .or_insert_with(|| StoredDiff {
+                    vc_wire: vc_wire(&wd.vc),
                     vc: wd.vc,
                     diff: wd.diff,
                     scan_charged: true,
@@ -566,7 +718,46 @@ impl DsmState {
 
     /// Number of diffs currently held for `page` (for tests and ablations).
     pub fn diffs_held_for(&self, page: PageId) -> usize {
-        self.diffs.keys().filter(|(p, _, _)| *p == page).count()
+        self.diffs
+            .range((page, 0, 0)..=(page, usize::MAX, u32::MAX))
+            .count()
+    }
+
+    /// Total number of diffs currently held (for tests and the GC trigger).
+    pub fn diffs_held(&self) -> usize {
+        self.diffs.len()
+    }
+
+    /// Total number of interval records currently retained (for tests).
+    pub fn intervals_retained(&self) -> usize {
+        self.intervals.iter().map(Vec::len).sum()
+    }
+
+    // ------------------------------------------------------------------- gc
+
+    /// Garbage-collect protocol metadata covered by `up_to` — the paper's
+    /// barrier-time GC: once every process has validated its pages up to a
+    /// cluster-wide clock (which the barrier protocol in
+    /// `process.rs` arranges), interval records and stored diffs at or below
+    /// that clock can never be requested again and are dropped.  Without
+    /// this, `intervals` and `diffs` grow without bound for the lifetime of
+    /// a run — the diff garbage the paper itself calls out.
+    pub fn gc(&mut self, up_to: &VectorClock) {
+        for creator in 0..self.nprocs {
+            let covered = up_to.get(creator);
+            let base = self.interval_base[creator];
+            let drop_n = (covered.saturating_sub(base) as usize).min(self.intervals[creator].len());
+            if drop_n > 0 {
+                self.intervals[creator].drain(..drop_n);
+                self.interval_base[creator] = base + drop_n as u32;
+                self.stats.intervals_collected += drop_n as u64;
+            }
+        }
+        let before = self.diffs.len();
+        self.diffs
+            .retain(|&(_, creator, seq), _| seq > up_to.get(creator));
+        self.stats.diffs_collected += (before - self.diffs.len()) as u64;
+        self.stats.gc_collections += 1;
     }
 
     // ---------------------------------------------------------------- locks
@@ -612,6 +803,12 @@ mod tests {
 
     fn state(me: usize, n: usize) -> DsmState {
         DsmState::new(me, n, 1 << 20)
+    }
+
+    /// Close the open interval and return a clone of its logged record.
+    fn close_record(s: &mut DsmState) -> IntervalRecord {
+        let seq = s.close_interval().expect("interval must close").seq;
+        s.interval_record(s.me, seq).clone()
     }
 
     #[test]
@@ -662,7 +859,7 @@ mod tests {
         let addr = s.malloc(16, 8);
         s.mark_dirty(s.page_of(addr));
         s.write_bytes(addr, &[1; 16]);
-        let rec = s.close_interval().expect("interval must close").record;
+        let rec = close_record(&mut s);
         assert_eq!(rec.creator, 0);
         assert_eq!(rec.seq, 1);
         assert_eq!(rec.pages, vec![s.page_of(addr)]);
@@ -680,7 +877,7 @@ mod tests {
         let _ = reader.malloc(16, 8);
         writer.mark_dirty(writer.page_of(addr));
         writer.write_bytes(addr, &[7; 16]);
-        let rec = writer.close_interval().unwrap().record;
+        let rec = close_record(&mut writer);
 
         assert!(reader.is_valid(reader.page_of(addr)));
         reader.apply_interval_record(&rec);
@@ -700,7 +897,7 @@ mod tests {
         let page = writer.page_of(addr);
         writer.mark_dirty(page);
         writer.write_bytes(addr, &[42u8; 1024]);
-        let rec = writer.close_interval().unwrap().record;
+        let rec = close_record(&mut writer);
         reader.apply_interval_record(&rec);
 
         assert_eq!(reader.diff_request_targets(page), vec![0]);
@@ -737,7 +934,7 @@ mod tests {
 
         p0.mark_dirty(page);
         p0.write_bytes(addr, &[1u8; 512]);
-        let rec0 = p0.close_interval().unwrap().record;
+        let rec0 = close_record(&mut p0);
 
         p1.apply_interval_record(&rec0);
         let diffs = p0
@@ -751,7 +948,7 @@ mod tests {
         p1.apply_wire_diffs(page, diffs);
         p1.mark_dirty(page);
         p1.write_bytes(addr, &[2u8; 512]);
-        let rec1 = p1.close_interval().unwrap().record;
+        let rec1 = close_record(&mut p1);
 
         p2.apply_interval_record(&rec0);
         p2.apply_interval_record(&rec1);
@@ -786,10 +983,10 @@ mod tests {
         let page = 0;
         p0.mark_dirty(page);
         p0.write_bytes(0, &[1u8; 100]);
-        let rec0 = p0.close_interval().unwrap().record;
+        let rec0 = close_record(&mut p0);
         p1.mark_dirty(page);
         p1.write_bytes(2000, &[2u8; 100]);
-        let rec1 = p1.close_interval().unwrap().record;
+        let rec1 = close_record(&mut p1);
 
         p2.apply_interval_records(&[rec0, rec1]);
         let mut targets = p2.diff_request_targets(page);
@@ -865,7 +1062,7 @@ mod tests {
         let page = 0;
         p0.mark_dirty(page);
         p0.write_bytes(0, &[5u8; 64]);
-        let rec0 = p0.close_interval().unwrap().record;
+        let rec0 = close_record(&mut p0);
 
         p1.mark_dirty(page);
         p1.write_bytes(1000, &[6u8; 64]);
@@ -881,7 +1078,7 @@ mod tests {
             )
             .0;
         p1.apply_wire_diffs(page, diffs);
-        let rec1 = p1.close_interval().unwrap().record;
+        let rec1 = close_record(&mut p1);
         assert_eq!(rec1.pages, vec![0]);
         let d = p1
             .diffs_for_request(0, 0, &rec0.vc, &p1.vc_snapshot_for_test())

@@ -48,6 +48,12 @@ pub struct TmkStats {
     pub page_requests_served: u64,
     /// HLRC: bytes of full pages fetched from homes.
     pub page_bytes_fetched: u64,
+    /// Barrier-time garbage collections performed.
+    pub gc_collections: u64,
+    /// Interval records dropped by garbage collection.
+    pub intervals_collected: u64,
+    /// Stored diffs dropped by garbage collection.
+    pub diffs_collected: u64,
 }
 
 impl TmkStats {
@@ -73,6 +79,9 @@ impl TmkStats {
         self.page_requests_sent += other.page_requests_sent;
         self.page_requests_served += other.page_requests_served;
         self.page_bytes_fetched += other.page_bytes_fetched;
+        self.gc_collections += other.gc_collections;
+        self.intervals_collected += other.intervals_collected;
+        self.diffs_collected += other.diffs_collected;
     }
 
     /// Fault-service request round-trips: diff requests under LRC plus

@@ -121,6 +121,47 @@ fn every_app_is_bit_deterministic_under_every_system() {
     }
 }
 
+/// The parallel run executor cannot change results: a reproduction matrix
+/// computed on a 4-thread worker pool is bit-identical — every virtual time
+/// and counter, on every process of every run, and the rendered JSON
+/// records — to the same matrix computed serially.
+#[test]
+fn parallel_executor_matches_serial_bit_for_bit() {
+    use bench::{run_matrix, run_record_json, Preset, RunKey};
+    let workloads = [Workload::Qsort, Workload::IsSmall, Workload::BarnesHut];
+    let keys: Vec<RunKey> = workloads
+        .iter()
+        .flat_map(|&w| {
+            System::all()
+                .into_iter()
+                .flat_map(move |sys| [2usize, 4].into_iter().map(move |n| (w, sys, n)))
+        })
+        .collect();
+    let serial = run_matrix(Preset::Tiny, &workloads, &keys, 1);
+    let parallel = run_matrix(Preset::Tiny, &workloads, &keys, 4);
+    for &(w, sys, n) in &keys {
+        let (a, b) = (serial.run(w, sys, n), parallel.run(w, sys, n));
+        let ctx = format!(
+            "{} under {sys} at {n} processes (serial vs parallel)",
+            w.name()
+        );
+        assert_runs_identical(a, b, &ctx);
+        assert_eq!(
+            run_record_json(w, a),
+            run_record_json(w, b),
+            "{ctx}: JSON record differs"
+        );
+    }
+    for &w in &workloads {
+        assert_eq!(
+            serial.sequential(w).time.to_bits(),
+            parallel.sequential(w).time.to_bits(),
+            "{}: sequential baseline differs",
+            w.name()
+        );
+    }
+}
+
 /// The raw transport is deterministic even under deliberate contention:
 /// many processes hammer one receiver through the shared medium, with
 /// interrupt-style service mixed in, and the full `ClusterReport` matches
