@@ -11,7 +11,8 @@
 //! Because the communication is negligible relative to the computation, both
 //! systems achieve near-linear speedup (Figure 1 of the paper).
 
-use crate::runner::{block_range, run_pvm, run_treadmarks_with, AppRun, SeqRun};
+use crate::runner::{block_range, run_pvm_on, run_treadmarks_on, AppRun, SeqRun};
+use cluster::ClusterConfig;
 use msgpass::Pvm;
 use treadmarks::{ProtocolKind, Tmk};
 
@@ -186,12 +187,18 @@ pub fn treadmarks(nprocs: usize, p: &EpParams) -> AppRun {
     treadmarks_with(nprocs, p, ProtocolKind::Lrc)
 }
 
-/// Run the TreadMarks version under the given coherence protocol.
+/// Run the TreadMarks version under the given coherence protocol on the
+/// paper's calibrated FDDI testbed.
 pub fn treadmarks_with(nprocs: usize, p: &EpParams, protocol: ProtocolKind) -> AppRun {
+    treadmarks_on(&ClusterConfig::calibrated_fddi(nprocs), p, protocol)
+}
+
+/// Run the TreadMarks version under the given coherence protocol on an
+/// arbitrary cluster model (see `cluster::NetPreset` and the scenario
+/// subsystem).
+pub fn treadmarks_on(cfg: &ClusterConfig, p: &EpParams, protocol: ProtocolKind) -> AppRun {
     let p = p.clone();
-    run_treadmarks_with(nprocs, 1 << 20, protocol, move |tmk| {
-        treadmarks_body(tmk, &p)
-    })
+    run_treadmarks_on(cfg, 1 << 20, protocol, move |tmk| treadmarks_body(tmk, &p))
 }
 
 /// PVM version: private tabulation; process 0 receives every other process's
@@ -230,10 +237,15 @@ pub fn pvm_body(pvm: &Pvm, p: &EpParams) -> f64 {
     }
 }
 
-/// Run the PVM version on `nprocs` processes.
+/// Run the PVM version on the paper's calibrated FDDI testbed.
 pub fn pvm(nprocs: usize, p: &EpParams) -> AppRun {
+    pvm_on(&ClusterConfig::calibrated_fddi(nprocs), p)
+}
+
+/// Run the PVM version on an arbitrary cluster model.
+pub fn pvm_on(cfg: &ClusterConfig, p: &EpParams) -> AppRun {
     let p = p.clone();
-    run_pvm(nprocs, move |pvm| pvm_body(pvm, &p))
+    run_pvm_on(cfg, move |pvm| pvm_body(pvm, &p))
 }
 
 #[cfg(test)]

@@ -22,7 +22,8 @@
 //! (sparse genarrays spanning several pages, per-family re-initialisation) —
 //! see README.md §Design notes.
 
-use crate::runner::{run_pvm, run_treadmarks_with, AppRun, SeqRun};
+use crate::runner::{run_pvm_on, run_treadmarks_on, AppRun, SeqRun};
+use cluster::ClusterConfig;
 use msgpass::Pvm;
 use treadmarks::{ProtocolKind, Tmk};
 
@@ -252,17 +253,30 @@ pub fn treadmarks(nprocs: usize, p: &IlinkParams) -> AppRun {
     treadmarks_with(nprocs, p, ProtocolKind::Lrc)
 }
 
-/// Run the TreadMarks version under the given coherence protocol.
+/// Run the TreadMarks version under the given coherence protocol on the
+/// paper's calibrated FDDI testbed.
 pub fn treadmarks_with(nprocs: usize, p: &IlinkParams, protocol: ProtocolKind) -> AppRun {
-    let p = p.clone();
-    let heap = (p.genarray * 8 + (1 << 20)).next_power_of_two();
-    run_treadmarks_with(nprocs, heap, protocol, move |tmk| treadmarks_body(tmk, &p))
+    treadmarks_on(&ClusterConfig::calibrated_fddi(nprocs), p, protocol)
 }
 
-/// Run the PVM version.
-pub fn pvm(nprocs: usize, p: &IlinkParams) -> AppRun {
+/// Run the TreadMarks version under the given coherence protocol on an
+/// arbitrary cluster model (see `cluster::NetPreset` and the scenario
+/// subsystem).
+pub fn treadmarks_on(cfg: &ClusterConfig, p: &IlinkParams, protocol: ProtocolKind) -> AppRun {
     let p = p.clone();
-    run_pvm(nprocs, move |pvm| pvm_body(pvm, &p))
+    let heap = (p.genarray * 8 + (1 << 20)).next_power_of_two();
+    run_treadmarks_on(cfg, heap, protocol, move |tmk| treadmarks_body(tmk, &p))
+}
+
+/// Run the PVM version on the paper's calibrated FDDI testbed.
+pub fn pvm(nprocs: usize, p: &IlinkParams) -> AppRun {
+    pvm_on(&ClusterConfig::calibrated_fddi(nprocs), p)
+}
+
+/// Run the PVM version on an arbitrary cluster model.
+pub fn pvm_on(cfg: &ClusterConfig, p: &IlinkParams) -> AppRun {
+    let p = p.clone();
+    run_pvm_on(cfg, move |pvm| pvm_body(pvm, &p))
 }
 
 #[cfg(test)]

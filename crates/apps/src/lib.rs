@@ -22,7 +22,7 @@
 //! work model (see README.md §Design notes) so that speedups are deterministic
 //! and independent of the host machine.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod barnes;
 pub mod ep;

@@ -104,10 +104,8 @@ where
 }
 
 /// Run `body` on `nprocs` TreadMarks processes over the calibrated FDDI
-/// cluster under the given coherence protocol and gather the paper's
-/// metrics.  The body returns the process's local checksum *contribution*;
-/// the contributions are summed into the run's checksum (so a gather that
-/// the paper's programs do not perform is not needed just for validation).
+/// cluster under the given coherence protocol.  Convenience wrapper over
+/// [`run_treadmarks_on`] for the paper's own testbed.
 pub fn run_treadmarks_with<F>(
     nprocs: usize,
     heap_bytes: usize,
@@ -117,8 +115,31 @@ pub fn run_treadmarks_with<F>(
 where
     F: Fn(&Tmk) -> f64 + Send + Sync,
 {
-    let cfg = ClusterConfig::calibrated_fddi(nprocs);
-    let rep = Cluster::run(cfg, move |p| {
+    run_treadmarks_on(
+        &ClusterConfig::calibrated_fddi(nprocs),
+        heap_bytes,
+        protocol,
+        body,
+    )
+}
+
+/// Run `body` on TreadMarks processes over an arbitrary cluster model —
+/// the scenario subsystem's entry point — under the given coherence
+/// protocol, and gather the paper's metrics.  The body returns the
+/// process's local checksum *contribution*; the contributions are summed
+/// into the run's checksum (so a gather that the paper's programs do not
+/// perform is not needed just for validation).
+pub fn run_treadmarks_on<F>(
+    cfg: &ClusterConfig,
+    heap_bytes: usize,
+    protocol: ProtocolKind,
+    body: F,
+) -> AppRun
+where
+    F: Fn(&Tmk) -> f64 + Send + Sync,
+{
+    let nprocs = cfg.nprocs;
+    let rep = Cluster::run(cfg.clone(), move |p| {
         let tmk = Tmk::with_heap_and_protocol(p, heap_bytes, protocol);
         let checksum = body(&tmk);
         tmk.exit();
@@ -140,14 +161,23 @@ where
     }
 }
 
-/// Run `body` on `nprocs` PVM processes over the calibrated FDDI cluster and
-/// gather the paper's metrics.
+/// Run `body` on `nprocs` PVM processes over the calibrated FDDI cluster.
+/// Convenience wrapper over [`run_pvm_on`] for the paper's own testbed.
 pub fn run_pvm<F>(nprocs: usize, body: F) -> AppRun
 where
     F: Fn(&Pvm) -> f64 + Send + Sync,
 {
-    let cfg = ClusterConfig::calibrated_fddi(nprocs);
-    let rep = Cluster::run(cfg, move |p| {
+    run_pvm_on(&ClusterConfig::calibrated_fddi(nprocs), body)
+}
+
+/// Run `body` on PVM processes over an arbitrary cluster model — the
+/// scenario subsystem's entry point — and gather the paper's metrics.
+pub fn run_pvm_on<F>(cfg: &ClusterConfig, body: F) -> AppRun
+where
+    F: Fn(&Pvm) -> f64 + Send + Sync,
+{
+    let nprocs = cfg.nprocs;
+    let rep = Cluster::run(cfg.clone(), move |p| {
         let pvm = Pvm::new(p);
         let checksum = body(&pvm);
         (checksum, pvm.user_stats())
@@ -232,6 +262,54 @@ mod tests {
         assert!(run.messages > 0);
         assert!(run.time > 0.0);
         assert!(run.tmk_stats.is_some());
+    }
+
+    #[test]
+    fn runners_honour_an_arbitrary_cluster_model() {
+        // The same two-process exchange on Ethernet and on the ideal net:
+        // identical answers, very different virtual times — proof that the
+        // full ClusterConfig (not just nprocs) reaches the simulation.
+        let body = |tmk: &Tmk| {
+            let a = tmk.malloc(8);
+            if tmk.id() == 0 {
+                tmk.write_f64(a, 7.0);
+            }
+            tmk.barrier(0);
+            let v = tmk.read_f64(a);
+            tmk.barrier(1);
+            if tmk.id() == 0 {
+                v
+            } else {
+                0.0
+            }
+        };
+        let slow = run_treadmarks_on(
+            &ClusterConfig::ethernet_10mbit(2),
+            1 << 20,
+            ProtocolKind::Lrc,
+            body,
+        );
+        let fast = run_treadmarks_on(&ClusterConfig::ideal(2), 1 << 20, ProtocolKind::Lrc, body);
+        assert_eq!(slow.checksum, 7.0);
+        assert_eq!(fast.checksum, 7.0);
+        assert!(
+            slow.time > 10.0 * fast.time,
+            "Ethernet {} vs ideal {}",
+            slow.time,
+            fast.time
+        );
+        let pvm_run = run_pvm_on(&ClusterConfig::atm_155mbit(2), |pvm| {
+            if pvm.id() == 0 {
+                let mut b = pvm.new_buffer();
+                b.pack_f64(&[2.5]);
+                pvm.send(1, 1, b);
+                0.0
+            } else {
+                pvm.recv(Some(0), 1).unpack_f64(1)[0]
+            }
+        });
+        assert_eq!(pvm_run.checksum, 2.5);
+        assert_eq!(pvm_run.nprocs, 2);
     }
 
     #[test]

@@ -17,7 +17,8 @@
 //! The row width is chosen so that one shared row occupies one and a half
 //! pages, as in the paper.
 
-use crate::runner::{block_range, run_pvm, run_treadmarks_with, AppRun, SeqRun};
+use crate::runner::{block_range, run_pvm_on, run_treadmarks_on, AppRun, SeqRun};
+use cluster::ClusterConfig;
 use msgpass::Pvm;
 use treadmarks::{ProtocolKind, Tmk};
 
@@ -253,6 +254,14 @@ pub fn pvm_body(pvm: &Pvm, p: &SorParams) -> f64 {
     let n = pvm.nprocs();
     let me = pvm.id();
     let my_rows = block_range(p.rows, n, me);
+    // With more processes than rows the tail ranks own nothing: they
+    // contribute no work, no checksum, and — crucially — take no part in
+    // the boundary exchange.  `block_range` packs the owning ranks
+    // contiguously at the front, so the active topology is 0..active.
+    let active = n.min(p.rows);
+    if my_rows.is_empty() {
+        return 0.0;
+    }
     let lo = my_rows.start.saturating_sub(1);
     let hi = (my_rows.end + 1).min(p.rows);
     let span = hi - lo;
@@ -270,7 +279,7 @@ pub fn pvm_body(pvm: &Pvm, p: &SorParams) -> f64 {
     }
 
     let up_neighbour = if me > 0 { Some(me - 1) } else { None };
-    let down_neighbour = if me + 1 < n { Some(me + 1) } else { None };
+    let down_neighbour = if me + 1 < active { Some(me + 1) } else { None };
 
     for iter in 0..p.iters {
         for colour in 0..2u32 {
@@ -352,17 +361,30 @@ pub fn treadmarks(nprocs: usize, p: &SorParams) -> AppRun {
     treadmarks_with(nprocs, p, ProtocolKind::Lrc)
 }
 
-/// Run the TreadMarks version under the given coherence protocol.
+/// Run the TreadMarks version under the given coherence protocol on the
+/// paper's calibrated FDDI testbed.
 pub fn treadmarks_with(nprocs: usize, p: &SorParams, protocol: ProtocolKind) -> AppRun {
-    let p = p.clone();
-    let heap = (p.rows * p.cols * 8 + (1 << 20)).next_power_of_two();
-    run_treadmarks_with(nprocs, heap, protocol, move |tmk| treadmarks_body(tmk, &p))
+    treadmarks_on(&ClusterConfig::calibrated_fddi(nprocs), p, protocol)
 }
 
-/// Run the PVM version.
-pub fn pvm(nprocs: usize, p: &SorParams) -> AppRun {
+/// Run the TreadMarks version under the given coherence protocol on an
+/// arbitrary cluster model (see `cluster::NetPreset` and the scenario
+/// subsystem).
+pub fn treadmarks_on(cfg: &ClusterConfig, p: &SorParams, protocol: ProtocolKind) -> AppRun {
     let p = p.clone();
-    run_pvm(nprocs, move |pvm| pvm_body(pvm, &p))
+    let heap = (p.rows * p.cols * 8 + (1 << 20)).next_power_of_two();
+    run_treadmarks_on(cfg, heap, protocol, move |tmk| treadmarks_body(tmk, &p))
+}
+
+/// Run the PVM version on the paper's calibrated FDDI testbed.
+pub fn pvm(nprocs: usize, p: &SorParams) -> AppRun {
+    pvm_on(&ClusterConfig::calibrated_fddi(nprocs), p)
+}
+
+/// Run the PVM version on an arbitrary cluster model.
+pub fn pvm_on(cfg: &ClusterConfig, p: &SorParams) -> AppRun {
+    let p = p.clone();
+    run_pvm_on(cfg, move |pvm| pvm_body(pvm, &p))
 }
 
 #[cfg(test)]

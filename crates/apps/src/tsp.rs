@@ -17,7 +17,8 @@
 //!   behalf of the slaves, and tracks the best tour; slaves only exchange
 //!   solvable tours and best-tour updates with the master.
 
-use crate::runner::{run_pvm, run_treadmarks_with, AppRun, SeqRun};
+use crate::runner::{run_pvm_on, run_treadmarks_on, AppRun, SeqRun};
+use cluster::ClusterConfig;
 use msgpass::Pvm;
 use treadmarks::{ProtocolKind, Tmk};
 
@@ -620,17 +621,30 @@ pub fn treadmarks(nprocs: usize, p: &TspParams) -> AppRun {
     treadmarks_with(nprocs, p, ProtocolKind::Lrc)
 }
 
-/// Run the TreadMarks version under the given coherence protocol.
+/// Run the TreadMarks version under the given coherence protocol on the
+/// paper's calibrated FDDI testbed.
 pub fn treadmarks_with(nprocs: usize, p: &TspParams, protocol: ProtocolKind) -> AppRun {
-    let p = p.clone();
-    let heap = (POOL_SLOTS * (SLOT_BYTES + 16) + (1 << 20)).next_power_of_two();
-    run_treadmarks_with(nprocs, heap, protocol, move |tmk| treadmarks_body(tmk, &p))
+    treadmarks_on(&ClusterConfig::calibrated_fddi(nprocs), p, protocol)
 }
 
-/// Run the PVM version.
-pub fn pvm(nprocs: usize, p: &TspParams) -> AppRun {
+/// Run the TreadMarks version under the given coherence protocol on an
+/// arbitrary cluster model (see `cluster::NetPreset` and the scenario
+/// subsystem).
+pub fn treadmarks_on(cfg: &ClusterConfig, p: &TspParams, protocol: ProtocolKind) -> AppRun {
     let p = p.clone();
-    run_pvm(nprocs, move |pvm| pvm_body(pvm, &p))
+    let heap = (POOL_SLOTS * (SLOT_BYTES + 16) + (1 << 20)).next_power_of_two();
+    run_treadmarks_on(cfg, heap, protocol, move |tmk| treadmarks_body(tmk, &p))
+}
+
+/// Run the PVM version on the paper's calibrated FDDI testbed.
+pub fn pvm(nprocs: usize, p: &TspParams) -> AppRun {
+    pvm_on(&ClusterConfig::calibrated_fddi(nprocs), p)
+}
+
+/// Run the PVM version on an arbitrary cluster model.
+pub fn pvm_on(cfg: &ClusterConfig, p: &TspParams) -> AppRun {
+    let p = p.clone();
+    run_pvm_on(cfg, move |pvm| pvm_body(pvm, &p))
 }
 
 #[cfg(test)]

@@ -15,7 +15,8 @@
 //!   their accumulated force contributions to the owners afterwards — two
 //!   user-level messages per pair of interacting processes.
 
-use crate::runner::{block_range, run_pvm, run_treadmarks_with, AppRun, SeqRun};
+use crate::runner::{block_range, run_pvm_on, run_treadmarks_on, AppRun, SeqRun};
+use cluster::ClusterConfig;
 use msgpass::Pvm;
 use treadmarks::{ProtocolKind, Tmk};
 
@@ -315,17 +316,30 @@ pub fn treadmarks(nprocs: usize, p: &WaterParams) -> AppRun {
     treadmarks_with(nprocs, p, ProtocolKind::Lrc)
 }
 
-/// Run the TreadMarks version under the given coherence protocol.
+/// Run the TreadMarks version under the given coherence protocol on the
+/// paper's calibrated FDDI testbed.
 pub fn treadmarks_with(nprocs: usize, p: &WaterParams, protocol: ProtocolKind) -> AppRun {
-    let p = p.clone();
-    let heap = (p.molecules * 48 + (1 << 20)).next_power_of_two();
-    run_treadmarks_with(nprocs, heap, protocol, move |tmk| treadmarks_body(tmk, &p))
+    treadmarks_on(&ClusterConfig::calibrated_fddi(nprocs), p, protocol)
 }
 
-/// Run the PVM version.
-pub fn pvm(nprocs: usize, p: &WaterParams) -> AppRun {
+/// Run the TreadMarks version under the given coherence protocol on an
+/// arbitrary cluster model (see `cluster::NetPreset` and the scenario
+/// subsystem).
+pub fn treadmarks_on(cfg: &ClusterConfig, p: &WaterParams, protocol: ProtocolKind) -> AppRun {
     let p = p.clone();
-    run_pvm(nprocs, move |pvm| pvm_body(pvm, &p))
+    let heap = (p.molecules * 48 + (1 << 20)).next_power_of_two();
+    run_treadmarks_on(cfg, heap, protocol, move |tmk| treadmarks_body(tmk, &p))
+}
+
+/// Run the PVM version on the paper's calibrated FDDI testbed.
+pub fn pvm(nprocs: usize, p: &WaterParams) -> AppRun {
+    pvm_on(&ClusterConfig::calibrated_fddi(nprocs), p)
+}
+
+/// Run the PVM version on an arbitrary cluster model.
+pub fn pvm_on(cfg: &ClusterConfig, p: &WaterParams) -> AppRun {
+    let p = p.clone();
+    run_pvm_on(cfg, move |pvm| pvm_body(pvm, &p))
 }
 
 #[cfg(test)]

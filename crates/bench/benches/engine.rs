@@ -62,9 +62,11 @@ fn executor_fanout(c: &mut Criterion) {
     let keys: Vec<RunKey> = Workload::all()
         .into_iter()
         .flat_map(|w| {
-            System::all()
-                .into_iter()
-                .flat_map(move |sys| [2usize, 4].into_iter().map(move |n| (w, sys, n)))
+            System::all().into_iter().flat_map(move |sys| {
+                [2usize, 4]
+                    .into_iter()
+                    .map(move |n| RunKey::fddi(w, sys, n))
+            })
         })
         .collect();
     let mut job_counts = vec![1];

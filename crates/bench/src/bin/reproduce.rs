@@ -1,14 +1,19 @@
-//! Regenerate the tables and figures of the paper, under a selectable DSM
-//! coherence protocol, fanning the independent runs out across cores.
+//! Regenerate the tables and figures of the paper — on the paper's testbed
+//! or on any scenario the cluster model can express — fanning the
+//! independent runs out across cores.
 //!
 //! ```text
 //! cargo run -p bench --release --bin reproduce                       # both protocols, everything
 //! cargo run -p bench --release --bin reproduce -- --protocol hlrc   # HLRC backend only
-//! cargo run -p bench --release --bin reproduce -- --protocol lrc   # the paper's protocol only
 //! cargo run -p bench --release --bin reproduce -- --full            # paper-scale inputs
 //! cargo run -p bench --release --bin reproduce -- --table1
 //! cargo run -p bench --release --bin reproduce -- --table2
 //! cargo run -p bench --release --bin reproduce -- --figure water-288
+//! cargo run -p bench --release --bin reproduce -- --net atm         # 155 Mbit switched ATM
+//! cargo run -p bench --release --bin reproduce -- --procs 16        # past the paper's 8
+//! cargo run -p bench --release --bin reproduce -- --scenario examples/scenarios/atm_16procs.toml
+//! cargo run -p bench --release --bin reproduce -- sweep --vary procs      # speedup past 8
+//! cargo run -p bench --release --bin reproduce -- sweep --vary bandwidth  # runtime vs bandwidth
 //! cargo run -p bench --release --bin reproduce -- --json            # machine-readable dump
 //! cargo run -p bench --release --bin reproduce -- --jobs 1          # serial execution
 //! cargo run -p bench --release --bin reproduce -- --bench-out BENCH_PR3.json
@@ -22,37 +27,40 @@
 //! **byte-identical for every `--jobs` value**; the determinism suite and
 //! the CI `perf-smoke` job assert exactly that.
 //!
+//! The scenario flags compose: `--net {fddi,ethernet,atm,ideal}` swaps the
+//! interconnect preset, `--procs N` lifts the top processor count (counts
+//! beyond 8 step by powers of two to keep the figures readable),
+//! `--workload NAME` (repeatable) restricts the workload set, and
+//! `--scenario FILE` loads all of the above — plus per-field cost-model
+//! overrides — from a TOML or JSON file (schema: docs/EXPERIMENTS.md;
+//! commented examples: `examples/scenarios/`).  Explicit CLI flags override
+//! the scenario file.
+//!
+//! `sweep --vary {procs,bandwidth,latency}` renders sensitivity figures
+//! instead of the reproduction: speedup versus processor count past the
+//! paper's 8, or runtime versus a ×0.25…×4 scaling of one interconnect
+//! field, per workload × system (see `bench::sweep`).
+//!
 //! `--json` replaces the human-readable tables with a machine-readable dump
-//! of every run (all workloads at 1/2/4/8 processes under each selected
-//! system), with every virtual time printed both as a decimal and as its
-//! raw f64 bit pattern.  CI runs the dump twice and `diff`s the outputs.
-//!
-//! `--bench-out FILE` additionally writes an engine-throughput report: the
-//! deterministic totals of the matrix (message counts, virtual seconds)
-//! followed by the wall-clock timing of *this* execution (events per
-//! second, virtual seconds simulated per wall second, worker count).  The
-//! `deterministic` section is byte-stable across runs and job counts; the
-//! `timing` section is this machine's measurement.
-//!
-//! Output is plain text shaped like the paper's tables: Table 1 (sequential
-//! times and problem sizes), one speedup series per figure (each selected
-//! DSM protocol and PVM at 1–8 processors), and Table 2 (messages and
-//! kilobytes at 8 processors under each system), followed — for TreadMarks
-//! runs — by the per-protocol runtime counters (faults, diff or page
-//! traffic, flushes) that explain the message counts.
+//! of every run, with every virtual time printed both as a decimal and as
+//! its raw f64 bit pattern.  CI runs the dump twice and `diff`s the
+//! outputs.  `--bench-out FILE` additionally writes an engine-throughput
+//! report: the deterministic totals of the matrix followed by the
+//! wall-clock timing of *this* execution.  The `deterministic` section is
+//! byte-stable across runs and job counts; the `timing` section is this
+//! machine's measurement.
 
 use apps::runner::System;
 use apps::Workload;
-use bench::{exec, problem_size, run_matrix, run_record_json, Preset, RunKey, RunMatrix};
+use bench::scenario::{workload_by_name, ResolvedScenario};
+use bench::sweep::{Sweep, Vary};
+use bench::{
+    exec, problem_size, proc_series, run_matrix, run_record_json, Preset, RunKey, RunMatrix,
+};
+use cluster::{NetModel, NetPreset, Scenario};
 use treadmarks::ProtocolKind;
 
-fn workload_by_name(name: &str) -> Option<Workload> {
-    Workload::all()
-        .into_iter()
-        .find(|w| w.name().eq_ignore_ascii_case(name))
-}
-
-fn table1(matrix: &RunMatrix) {
+fn table1(matrix: &RunMatrix, workloads: &[Workload]) {
     println!(
         "\nTable 1: Sequential Time of Applications ({:?} preset)",
         matrix.preset
@@ -61,7 +69,7 @@ fn table1(matrix: &RunMatrix) {
         "{:<12} {:<34} {:>12}",
         "Program", "Problem Size", "Time (s)"
     );
-    for w in Workload::all() {
+    for &w in workloads {
         let seq = matrix.sequential(w);
         println!(
             "{:<12} {:<34} {:>12.2}",
@@ -72,12 +80,13 @@ fn table1(matrix: &RunMatrix) {
     }
 }
 
-fn figure(matrix: &RunMatrix, w: Workload, max_procs: usize, systems: &[System]) {
+fn figure(matrix: &RunMatrix, w: Workload, net: NetModel, max_procs: usize, systems: &[System]) {
     let seq = matrix.sequential(w);
     println!(
-        "\nFigure {}: {} speedups (sequential time {:.2}s)",
+        "\nFigure {}: {} speedups (net {}, sequential time {:.2}s)",
         w.figure(),
         w.name(),
+        net.label(),
         seq.time
     );
     print!("{:>6}", "procs");
@@ -85,9 +94,9 @@ fn figure(matrix: &RunMatrix, w: Workload, max_procs: usize, systems: &[System])
         print!(" {sys:>12}");
     }
     println!();
-    for n in 1..=max_procs {
+    for n in proc_series(max_procs) {
         for &sys in systems {
-            let run = matrix.run(w, sys, n);
+            let run = matrix.run(&RunKey::new(w, sys, net, n));
             assert!(
                 (run.checksum - seq.checksum).abs() <= seq.checksum.abs() * 1e-6 + 1e-6,
                 "{}: {} checksum mismatch at {n} processes",
@@ -97,15 +106,25 @@ fn figure(matrix: &RunMatrix, w: Workload, max_procs: usize, systems: &[System])
         }
         print!("{n:>6}");
         for &sys in systems {
-            print!(" {:>12.2}", matrix.run(w, sys, n).speedup(seq.time));
+            print!(
+                " {:>12.2}",
+                matrix.run(&RunKey::new(w, sys, net, n)).speedup(seq.time)
+            );
         }
         println!();
     }
 }
 
-fn table2(matrix: &RunMatrix, procs: usize, systems: &[System]) {
+fn table2(
+    matrix: &RunMatrix,
+    net: NetModel,
+    procs: usize,
+    systems: &[System],
+    workloads: &[Workload],
+) {
     println!(
-        "\nTable 2: Messages and Data at {procs} Processors ({:?} preset)",
+        "\nTable 2: Messages and Data at {procs} Processors (net {}, {:?} preset)",
+        net.label(),
         matrix.preset
     );
     print!("{:<12}", "Program");
@@ -114,10 +133,10 @@ fn table2(matrix: &RunMatrix, procs: usize, systems: &[System]) {
     }
     println!();
     let mut protocol_lines: Vec<String> = Vec::new();
-    for w in Workload::all() {
+    for &w in workloads {
         print!("{:<12}", w.name());
         for &sys in systems {
-            let run = matrix.run(w, sys, procs);
+            let run = matrix.run(&RunKey::new(w, sys, net, procs));
             print!(" {:>14} {:>14.0}", run.messages, run.kilobytes);
             if let (System::TreadMarks(protocol), Some(stats)) = (sys, &run.tmk_stats) {
                 protocol_lines.push(format!(
@@ -144,16 +163,23 @@ fn table2(matrix: &RunMatrix, procs: usize, systems: &[System]) {
     }
 }
 
-/// Machine-readable dump of the full reproduction: every workload at
-/// 1/2/4/8 processes under each selected system, plus the sequential
+/// Machine-readable dump of the full reproduction: every selected workload
+/// at each processor count under each selected system, plus the sequential
 /// baselines.  Deterministic execution makes the output byte-stable.
-fn json_dump(matrix: &RunMatrix, systems: &[System]) {
+fn json_dump(
+    matrix: &RunMatrix,
+    net: NetModel,
+    proc_counts: &[usize],
+    systems: &[System],
+    workloads: &[Workload],
+) {
     println!("{{");
     println!("  \"preset\": \"{:?}\",", matrix.preset);
+    println!("  \"net\": \"{}\",", net.label());
     println!("  \"sequential\": [");
-    let seqs: Vec<String> = Workload::all()
-        .into_iter()
-        .map(|w| {
+    let seqs: Vec<String> = workloads
+        .iter()
+        .map(|&w| {
             let seq = matrix.sequential(w);
             format!(
                 "    {{\"workload\": \"{}\", \"time\": {}, \"time_bits\": \"{:016x}\", \
@@ -169,10 +195,11 @@ fn json_dump(matrix: &RunMatrix, systems: &[System]) {
     println!("  ],");
     println!("  \"runs\": [");
     let mut recs = Vec::new();
-    for w in Workload::all() {
-        for n in [1usize, 2, 4, 8] {
+    for &w in workloads {
+        for &n in proc_counts {
             for &sys in systems {
-                recs.push(format!("    {}", run_record_json(w, matrix.run(w, sys, n))));
+                let key = RunKey::new(w, sys, net, n);
+                recs.push(format!("    {}", run_record_json(&key, matrix.run(&key))));
             }
         }
     }
@@ -212,16 +239,17 @@ fn bench_report(matrix: &RunMatrix, jobs: usize, wall_seconds: f64) -> String {
     )
 }
 
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(1);
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let preset = if args.iter().any(|a| a == "--full") {
-        Preset::Paper
-    } else if args.iter().any(|a| a == "--tiny") {
-        Preset::Tiny
-    } else {
-        Preset::Scaled
-    };
-    let max_procs = 8;
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let sweep_mode = args.first().map(String::as_str) == Some("sweep");
+    if sweep_mode {
+        args.remove(0);
+    }
 
     let wants = |flag: &str| args.iter().any(|a| a == flag);
     let flag_value = |flag: &str| {
@@ -229,40 +257,166 @@ fn main() {
             .position(|a| a == flag)
             .and_then(|i| args.get(i + 1))
     };
-
-    for flag in ["--protocol", "--jobs", "--bench-out"] {
+    const VALUE_FLAGS: [&str; 9] = [
+        "--protocol",
+        "--jobs",
+        "--bench-out",
+        "--net",
+        "--procs",
+        "--scenario",
+        "--vary",
+        "--workload",
+        "--figure",
+    ];
+    for flag in VALUE_FLAGS {
         if args.last().map(String::as_str) == Some(flag) {
-            eprintln!("{flag} requires a value");
-            std::process::exit(1);
+            fail(format!("{flag} requires a value"));
         }
     }
-    let protocols: Vec<ProtocolKind> = match flag_value("--protocol").map(String::as_str) {
-        None | Some("both") | Some("all") => ProtocolKind::all().to_vec(),
-        Some(name) => match name.parse() {
-            Ok(kind) => vec![kind],
-            Err(err) => {
-                eprintln!("{err}");
-                std::process::exit(1);
+    // `sweep` is only a subcommand in first position; catch it anywhere
+    // else (except as a flag's value, e.g. a `--bench-out sweep` filename)
+    // rather than silently running the full reproduction.
+    if !sweep_mode {
+        for (i, arg) in args.iter().enumerate() {
+            let is_flag_value = i > 0 && VALUE_FLAGS.contains(&args[i - 1].as_str());
+            if arg == "sweep" && !is_flag_value {
+                fail("`sweep` must be the first argument: `reproduce sweep --vary ...`");
             }
+        }
+    }
+
+    // Defaults shared by the CLI and scenario resolution: sweeps default
+    // to a top of 16 processes so `--vary procs` goes past the paper's 8
+    // even when a scenario file leaves `procs` unset.
+    let default_procs = if sweep_mode { 16 } else { 8 };
+
+    // The scenario file (if any) supplies defaults; explicit CLI flags
+    // override its individual fields below.
+    let scenario: Option<ResolvedScenario> = flag_value("--scenario").map(|path| {
+        let parsed = Scenario::from_path(std::path::Path::new(path)).unwrap_or_else(|e| fail(e));
+        ResolvedScenario::resolve(&parsed, Preset::Scaled, default_procs)
+            .unwrap_or_else(|e| fail(e))
+    });
+
+    let preset = if wants("--full") {
+        Preset::Paper
+    } else if wants("--tiny") {
+        Preset::Tiny
+    } else {
+        scenario
+            .as_ref()
+            .map(|s| s.preset)
+            .unwrap_or(Preset::Scaled)
+    };
+    let net: NetModel = match flag_value("--net") {
+        Some(name) => match name.parse::<NetPreset>() {
+            Ok(preset) => NetModel::preset(preset),
+            Err(e) => fail(e),
+        },
+        None => scenario
+            .as_ref()
+            .map(|s| s.net)
+            .unwrap_or(NetModel::preset(NetPreset::Fddi)),
+    };
+    let max_procs: usize = match flag_value("--procs") {
+        Some(v) => match v.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => fail(format!("--procs requires a positive integer, got '{v}'")),
+        },
+        None => scenario
+            .as_ref()
+            .map(|s| s.max_procs)
+            .unwrap_or(default_procs),
+    };
+    let systems: Vec<System> = match flag_value("--protocol").map(String::as_str) {
+        None => scenario
+            .as_ref()
+            .map(|s| s.systems.clone())
+            .unwrap_or_else(|| System::all().to_vec()),
+        Some("both") | Some("all") => ProtocolKind::all()
+            .iter()
+            .map(|&p| System::TreadMarks(p))
+            .chain(std::iter::once(System::Pvm))
+            .collect(),
+        Some(name) => match name.parse::<ProtocolKind>() {
+            Ok(kind) => vec![System::TreadMarks(kind), System::Pvm],
+            Err(err) => fail(err),
         },
     };
-    let systems: Vec<System> = protocols
-        .iter()
-        .map(|&p| System::TreadMarks(p))
-        .chain(std::iter::once(System::Pvm))
-        .collect();
     let jobs: usize = match flag_value("--jobs") {
         None => exec::default_jobs(),
         Some(v) => match v.parse() {
             Ok(n) if n >= 1 => n,
-            _ => {
-                eprintln!("--jobs requires a positive integer, got '{v}'");
-                std::process::exit(1);
-            }
+            _ => fail(format!("--jobs requires a positive integer, got '{v}'")),
         },
     };
     let bench_out = flag_value("--bench-out").cloned();
 
+    // `--workload` (repeatable) narrows the set; a scenario file's subset
+    // applies when no explicit flag does.
+    let workload_flags: Vec<Workload> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| *a == "--workload")
+        .map(|(i, _)| {
+            let name = args.get(i + 1).expect("checked above");
+            workload_by_name(name).unwrap_or_else(|e| fail(e))
+        })
+        .collect();
+    let selected_workloads: Vec<Workload> = if !workload_flags.is_empty() {
+        Workload::all()
+            .into_iter()
+            .filter(|w| workload_flags.contains(w))
+            .collect()
+    } else {
+        scenario
+            .as_ref()
+            .map(|s| s.workloads.clone())
+            .unwrap_or_else(|| Workload::all().to_vec())
+    };
+
+    if sweep_mode {
+        // The reproduction-only output selectors have no sweep rendering;
+        // reject them rather than silently printing the ASCII figures to a
+        // consumer that asked for a table or the JSON dump.
+        for flag in ["--json", "--table1", "--table2", "--figure"] {
+            if wants(flag) {
+                fail(format!(
+                    "{flag} only applies to the reproduction; sweep renders its own figures \
+                     (use --workload to narrow a sweep)"
+                ));
+            }
+        }
+        let vary: Vary = match flag_value("--vary") {
+            Some(v) => v.parse().unwrap_or_else(|e: String| fail(e)),
+            None => Vary::Procs,
+        };
+        let sweep = Sweep {
+            vary,
+            preset,
+            base: net,
+            workloads: selected_workloads,
+            systems,
+            max_procs,
+        };
+        let keys = sweep.keys();
+        let started = std::time::Instant::now();
+        let matrix = run_matrix(preset, &sweep.workloads, &keys, jobs);
+        let wall_seconds = started.elapsed().as_secs_f64();
+        print!("{}", sweep.render(&matrix));
+        if let Some(path) = bench_out {
+            let report = bench_report(&matrix, jobs, wall_seconds);
+            if let Err(err) = std::fs::write(&path, &report) {
+                fail(format!("cannot write {path}: {err}"));
+            }
+            eprintln!("bench report written to {path}");
+        }
+        return;
+    }
+
+    if wants("--vary") {
+        fail("--vary only applies to sweep mode; run `reproduce sweep --vary ...`");
+    }
     let want_json = wants("--json");
     let figure_arg = flag_value("--figure");
     let run_all = !want_json && !wants("--table1") && !wants("--table2") && figure_arg.is_none();
@@ -271,17 +425,11 @@ fn main() {
     // `--json` dumps the full matrix and ignores `--figure`/`--table*`,
     // exactly as it always has.
     let figure_workloads: Vec<Workload> = if want_json || run_all {
-        Workload::all().to_vec()
+        selected_workloads.clone()
     } else if let Some(name) = figure_arg {
         match workload_by_name(name) {
-            Some(w) => vec![w],
-            None => {
-                eprintln!("unknown workload '{name}'; known workloads:");
-                for w in Workload::all() {
-                    eprintln!("  {}", w.name());
-                }
-                std::process::exit(1);
-            }
+            Ok(w) => vec![w],
+            Err(e) => fail(e),
         }
     } else {
         Vec::new()
@@ -291,30 +439,41 @@ fn main() {
     // runs.  (Everything below renders from this precomputed matrix.)
     let mut seq_workloads: Vec<Workload> = Vec::new();
     if want_table1 || want_json {
-        seq_workloads.extend(Workload::all());
+        seq_workloads.extend(&selected_workloads);
     }
     seq_workloads.extend(&figure_workloads);
     let mut keys: Vec<RunKey> = Vec::new();
-    let proc_counts: &[usize] = if want_json { &[1, 2, 4, 8] } else { &[] };
+    // The JSON dump reports powers of two (the paper's 1/2/4/8, extended
+    // by --procs) plus the requested top count itself; the figures report
+    // the full paper series plus the extension.
+    let json_procs: Vec<usize> = {
+        let mut counts = Vec::new();
+        let mut p = 1usize;
+        while p <= max_procs {
+            counts.push(p);
+            p *= 2;
+        }
+        if counts.last() != Some(&max_procs) {
+            counts.push(max_procs);
+        }
+        counts
+    };
     for &w in &figure_workloads {
-        if want_json {
-            for &n in proc_counts {
-                for &sys in &systems {
-                    keys.push((w, sys, n));
-                }
-            }
+        let counts = if want_json {
+            json_procs.clone()
         } else {
-            for n in 1..=max_procs {
-                for &sys in &systems {
-                    keys.push((w, sys, n));
-                }
+            proc_series(max_procs)
+        };
+        for n in counts {
+            for &sys in &systems {
+                keys.push(RunKey::new(w, sys, net, n));
             }
         }
     }
     if want_table2 {
-        for w in Workload::all() {
+        for &w in &selected_workloads {
             for &sys in &systems {
-                keys.push((w, sys, max_procs));
+                keys.push(RunKey::new(w, sys, net, max_procs));
             }
         }
     }
@@ -324,24 +483,23 @@ fn main() {
     let wall_seconds = started.elapsed().as_secs_f64();
 
     if want_json {
-        json_dump(&matrix, &systems);
+        json_dump(&matrix, net, &json_procs, &systems, &selected_workloads);
     } else {
         if want_table1 {
-            table1(&matrix);
+            table1(&matrix, &selected_workloads);
         }
         for &w in &figure_workloads {
-            figure(&matrix, w, max_procs, &systems);
+            figure(&matrix, w, net, max_procs, &systems);
         }
         if want_table2 {
-            table2(&matrix, max_procs, &systems);
+            table2(&matrix, net, max_procs, &systems, &selected_workloads);
         }
     }
 
     if let Some(path) = bench_out {
         let report = bench_report(&matrix, jobs, wall_seconds);
         if let Err(err) = std::fs::write(&path, &report) {
-            eprintln!("cannot write {path}: {err}");
-            std::process::exit(1);
+            fail(format!("cannot write {path}: {err}"));
         }
         eprintln!("bench report written to {path}");
     }

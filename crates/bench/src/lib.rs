@@ -1,18 +1,28 @@
 //! The reproduction harness: maps every table and figure of the paper onto
-//! the applications in the [`apps`] crate and runs them under both systems.
+//! the applications in the [`apps`] crate and runs them under both systems —
+//! on the paper's testbed or on any scenario the cluster model can express.
 //!
 //! The `reproduce` binary (`cargo run -p bench --release --bin reproduce`)
-//! regenerates Table 1 (sequential times), Figures 1–12 (speedup curves for
-//! 1–8 processors) and Table 2 (messages and kilobytes at 8 processors).
-//! The criterion benches in `benches/` measure the runtime primitives and
-//! the protocol and runtime ablations described in README.md.
+//! regenerates Table 1 (sequential times), Figures 1–12 (speedup curves) and
+//! Table 2 (messages and kilobytes at the top processor count).  The
+//! scenario subsystem widens the single-testbed reproduction into a
+//! question-answering machine: `--net` swaps the interconnect preset,
+//! `--procs` lifts the processor count past the paper's 8, `--scenario FILE`
+//! loads a declarative testbed description ([`scenario`]), and
+//! `reproduce sweep` fans a sensitivity matrix — speedup versus processors,
+//! runtime versus bandwidth or latency — across cores ([`sweep`]).  The
+//! criterion benches in `benches/` measure the runtime primitives and the
+//! protocol and runtime ablations described in README.md.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod exec;
+pub mod scenario;
+pub mod sweep;
 
 use apps::runner::{AppRun, SeqRun, System};
 use apps::{barnes, ep, fft3d, ilink, is, qsort, sor, tsp, water, Workload};
+use cluster::{ClusterConfig, NetModel, NetPreset};
 
 /// Problem-size preset used by the harness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,11 +35,26 @@ pub enum Preset {
     Paper,
 }
 
+impl std::str::FromStr for Preset {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "tiny" => Ok(Preset::Tiny),
+            "scaled" => Ok(Preset::Scaled),
+            "paper" | "full" => Ok(Preset::Paper),
+            other => Err(format!(
+                "unknown preset '{other}'; known presets: tiny, scaled, paper"
+            )),
+        }
+    }
+}
+
 macro_rules! dispatch {
-    ($mod:ident, $params:expr, $sys:expr, $nprocs:expr) => {
+    ($mod:ident, $params:expr, $sys:expr, $cfg:expr) => {
         match $sys {
-            System::TreadMarks(protocol) => $mod::treadmarks_with($nprocs, &$params, protocol),
-            System::Pvm => $mod::pvm($nprocs, &$params),
+            System::TreadMarks(protocol) => $mod::treadmarks_on($cfg, &$params, protocol),
+            System::Pvm => $mod::pvm_on($cfg, &$params),
         }
     };
 }
@@ -52,27 +77,91 @@ pub fn run_sequential(w: Workload, preset: Preset) -> SeqRun {
     }
 }
 
-/// Run a workload on `nprocs` processes under one of the two systems.
+/// Run a workload on `nprocs` processes under one of the two systems, on
+/// the paper's calibrated FDDI testbed.  See [`run_parallel_on`] for other
+/// interconnects.
 pub fn run_parallel(w: Workload, sys: System, nprocs: usize, preset: Preset) -> AppRun {
+    run_parallel_on(w, sys, &ClusterConfig::calibrated_fddi(nprocs), preset)
+}
+
+/// Run a workload under one of the two systems on an arbitrary cluster
+/// model (`cfg.nprocs` processes over `cfg`'s interconnect).
+pub fn run_parallel_on(w: Workload, sys: System, cfg: &ClusterConfig, preset: Preset) -> AppRun {
     match w {
-        Workload::Ep => dispatch!(ep, ep_params(preset), sys, nprocs),
-        Workload::SorZero => dispatch!(sor, sor_params(preset, true), sys, nprocs),
-        Workload::SorNonzero => dispatch!(sor, sor_params(preset, false), sys, nprocs),
-        Workload::IsSmall => dispatch!(is, is_params(preset, false), sys, nprocs),
-        Workload::IsLarge => dispatch!(is, is_params(preset, true), sys, nprocs),
-        Workload::Tsp => dispatch!(tsp, tsp_params(preset), sys, nprocs),
-        Workload::Qsort => dispatch!(qsort, qsort_params(preset), sys, nprocs),
-        Workload::Water288 => dispatch!(water, water_params(preset, false), sys, nprocs),
-        Workload::Water1728 => dispatch!(water, water_params(preset, true), sys, nprocs),
-        Workload::BarnesHut => dispatch!(barnes, barnes_params(preset), sys, nprocs),
-        Workload::Fft3d => dispatch!(fft3d, fft_params(preset), sys, nprocs),
-        Workload::Ilink => dispatch!(ilink, ilink_params(preset), sys, nprocs),
+        Workload::Ep => dispatch!(ep, ep_params(preset), sys, cfg),
+        Workload::SorZero => dispatch!(sor, sor_params(preset, true), sys, cfg),
+        Workload::SorNonzero => dispatch!(sor, sor_params(preset, false), sys, cfg),
+        Workload::IsSmall => dispatch!(is, is_params(preset, false), sys, cfg),
+        Workload::IsLarge => dispatch!(is, is_params(preset, true), sys, cfg),
+        Workload::Tsp => dispatch!(tsp, tsp_params(preset), sys, cfg),
+        Workload::Qsort => dispatch!(qsort, qsort_params(preset), sys, cfg),
+        Workload::Water288 => dispatch!(water, water_params(preset, false), sys, cfg),
+        Workload::Water1728 => dispatch!(water, water_params(preset, true), sys, cfg),
+        Workload::BarnesHut => dispatch!(barnes, barnes_params(preset), sys, cfg),
+        Workload::Fft3d => dispatch!(fft3d, fft_params(preset), sys, cfg),
+        Workload::Ilink => dispatch!(ilink, ilink_params(preset), sys, cfg),
     }
 }
 
-/// One entry of a reproduction matrix: a workload under a system at a
-/// processor count.
-pub type RunKey = (Workload, System, usize);
+/// One entry of a reproduction matrix: a workload under a system, on an
+/// interconnect model, at a processor count.
+///
+/// The interconnect is part of the key so that a single matrix (and the
+/// executor fanning it out) can hold the same workload under several
+/// network models at once — exactly what a bandwidth or latency sweep is.
+/// Equality is exact: [`NetModel`] compares overridden floats by bit
+/// pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunKey {
+    /// The application and input set.
+    pub workload: Workload,
+    /// The runtime system (a DSM protocol backend, or PVM).
+    pub system: System,
+    /// The interconnect model the cluster runs over.
+    pub net: NetModel,
+    /// Number of simulated processes.
+    pub nprocs: usize,
+}
+
+impl RunKey {
+    /// A run on an arbitrary interconnect model.
+    pub fn new(workload: Workload, system: System, net: NetModel, nprocs: usize) -> Self {
+        RunKey {
+            workload,
+            system,
+            net,
+            nprocs,
+        }
+    }
+
+    /// A run on the paper's testbed (the calibrated FDDI preset).
+    pub fn fddi(workload: Workload, system: System, nprocs: usize) -> Self {
+        RunKey::new(workload, system, NetModel::preset(NetPreset::Fddi), nprocs)
+    }
+
+    /// The cluster configuration this key describes.
+    pub fn config(&self) -> ClusterConfig {
+        self.net.config(self.nprocs)
+    }
+}
+
+/// The processor counts a figure reports for a top count of `max`: every
+/// count through 8 exactly as the paper plots it, then powers of two (and
+/// `max` itself) beyond — `proc_series(16)` is `1..=8, 16` and
+/// `proc_series(32)` is `1..=8, 16, 32`, keeping the beyond-the-paper
+/// figures readable instead of 32 rows deep.
+pub fn proc_series(max: usize) -> Vec<usize> {
+    let mut series: Vec<usize> = (1..=max.min(8)).collect();
+    let mut p = 16;
+    while p < max {
+        series.push(p);
+        p *= 2;
+    }
+    if max > 8 {
+        series.push(max);
+    }
+    series
+}
 
 /// The precomputed results of a reproduction: every requested sequential
 /// baseline and parallel run, keyed for lookup.
@@ -103,17 +192,25 @@ impl RunMatrix {
             .unwrap_or_else(|| panic!("{} baseline not in the matrix", w.name()))
     }
 
-    /// The parallel run of `w` under `sys` at `nprocs` processes.
+    /// The parallel run stored under `key`.
     ///
     /// # Panics
     ///
     /// Panics if that run is not in the matrix.
-    pub fn run(&self, w: Workload, sys: System, nprocs: usize) -> &AppRun {
+    pub fn run(&self, key: &RunKey) -> &AppRun {
         self.runs
             .iter()
-            .find(|((kw, ks, kn), _)| *kw == w && *ks == sys && *kn == nprocs)
+            .find(|(k, _)| k == key)
             .map(|(_, r)| r)
-            .unwrap_or_else(|| panic!("{} under {sys} at {nprocs} not in the matrix", w.name()))
+            .unwrap_or_else(|| {
+                panic!(
+                    "{} under {} on {} at {} processes not in the matrix",
+                    key.workload.name(),
+                    key.system,
+                    key.net.label(),
+                    key.nprocs
+                )
+            })
     }
 
     /// Every parallel run in the matrix, in request order.
@@ -139,6 +236,28 @@ impl RunMatrix {
 /// [`exec`] fans them out and delivers results in request order, so the
 /// returned matrix (and anything rendered from it) is bit-identical for
 /// every `jobs` value.  Duplicate keys are computed once.
+///
+/// # Example
+///
+/// One workload, two systems, two interconnects, computed on two workers:
+///
+/// ```
+/// use apps::runner::System;
+/// use apps::Workload;
+/// use bench::{run_matrix, Preset, RunKey};
+/// use cluster::{NetModel, NetPreset};
+///
+/// let atm = NetModel::preset(NetPreset::Atm);
+/// let keys = [
+///     RunKey::fddi(Workload::Ep, System::Pvm, 2),
+///     RunKey::new(Workload::Ep, System::Pvm, atm, 2),
+/// ];
+/// let matrix = run_matrix(Preset::Tiny, &[Workload::Ep], &keys, 2);
+/// let seq = matrix.sequential(Workload::Ep);
+/// // Same answer on both networks, and the paper's ring is never faster.
+/// assert_eq!(matrix.run(&keys[0]).checksum, seq.checksum);
+/// assert!(matrix.run(&keys[0]).time >= matrix.run(&keys[1]).time);
+/// ```
 pub fn run_matrix(
     preset: Preset,
     seq_workloads: &[Workload],
@@ -176,9 +295,15 @@ pub fn run_matrix(
         .map(|t| {
             move || match t {
                 Task::Seq(w) => Done::Seq(w, run_sequential(w, preset)),
-                Task::Run((w, sys, n)) => {
-                    Done::Run((w, sys, n), Box::new(run_parallel(w, sys, n, preset)))
-                }
+                Task::Run(key) => Done::Run(
+                    key,
+                    Box::new(run_parallel_on(
+                        key.workload,
+                        key.system,
+                        &key.config(),
+                        preset,
+                    )),
+                ),
             }
         })
         .collect();
@@ -200,14 +325,15 @@ pub fn run_matrix(
 /// and as its raw f64 bit pattern, so a textual `diff` of two dumps is
 /// exactly a bit-identity check.  Shared by the `reproduce --json` dump and
 /// the parallel-vs-serial determinism tests.
-pub fn run_record_json(w: Workload, run: &AppRun) -> String {
+pub fn run_record_json(key: &RunKey, run: &AppRun) -> String {
     let mut rec = format!(
-        "{{\"workload\": \"{}\", \"system\": \"{}\", \"nprocs\": {}, \
+        "{{\"workload\": \"{}\", \"system\": \"{}\", \"net\": \"{}\", \"nprocs\": {}, \
          \"time\": {}, \"time_bits\": \"{:016x}\", \"checksum_bits\": \"{:016x}\", \
          \"messages\": {}, \"kilobytes_bits\": \"{:016x}\", \
          \"datagrams_received\": {}",
-        w.name(),
+        key.workload.name(),
         run.system,
+        key.net.label(),
         run.nprocs,
         run.time,
         run.time.to_bits(),
@@ -422,9 +548,11 @@ mod tests {
         let keys: Vec<RunKey> = workloads
             .iter()
             .flat_map(|&w| {
-                System::all()
-                    .into_iter()
-                    .flat_map(move |sys| [1usize, 2, 4].into_iter().map(move |n| (w, sys, n)))
+                System::all().into_iter().flat_map(move |sys| {
+                    [1usize, 2, 4]
+                        .into_iter()
+                        .map(move |n| RunKey::fddi(w, sys, n))
+                })
             })
             .collect();
         let serial = run_matrix(Preset::Tiny, &workloads, &keys, 1);
@@ -439,35 +567,64 @@ mod tests {
                 w.name()
             );
         }
-        for &(w, sys, n) in &keys {
-            let (a, b) = (serial.run(w, sys, n), parallel.run(w, sys, n));
+        for key in &keys {
+            let (a, b) = (serial.run(key), parallel.run(key));
             // f64 Debug output is shortest-round-trip, so Debug equality of
             // the full record (times, counters, per-process stats) is
             // bit-identity.
             assert_eq!(
                 format!("{a:?}"),
                 format!("{b:?}"),
-                "{} under {sys} at {n} differs between serial and parallel execution",
-                w.name()
+                "{key:?} differs between serial and parallel execution"
             );
             assert_eq!(
-                run_record_json(w, a),
-                run_record_json(w, b),
-                "{} under {sys} at {n}: JSON record differs",
-                w.name()
+                run_record_json(key, a),
+                run_record_json(key, b),
+                "{key:?}: JSON record differs"
             );
         }
     }
 
     #[test]
     fn duplicate_matrix_keys_are_computed_once() {
-        let w = Workload::Ep;
-        let sys = System::Pvm;
-        let keys = vec![(w, sys, 2), (w, sys, 2), (w, sys, 2)];
-        let m = run_matrix(Preset::Tiny, &[w], &keys, 2);
+        let key = RunKey::fddi(Workload::Ep, System::Pvm, 2);
+        let keys = vec![key, key, key];
+        let m = run_matrix(Preset::Tiny, &[Workload::Ep], &keys, 2);
         assert_eq!(m.len(), 1);
         assert!(!m.is_empty());
-        assert!(m.run(w, sys, 2).time > 0.0);
+        assert!(m.run(&key).time > 0.0);
+    }
+
+    #[test]
+    fn one_matrix_holds_the_same_run_under_several_nets() {
+        use cluster::NetPreset;
+        let w = Workload::Ep;
+        let sys = System::Pvm;
+        let keys: Vec<RunKey> = NetPreset::all()
+            .into_iter()
+            .map(|p| RunKey::new(w, sys, NetModel::preset(p), 2))
+            .collect();
+        let m = run_matrix(Preset::Tiny, &[], &keys, 2);
+        assert_eq!(m.len(), 4, "four presets, four distinct matrix entries");
+        // Identical answers on every interconnect; distinct virtual times
+        // on the distinctly-priced ones.
+        let checksums: Vec<u64> = keys.iter().map(|k| m.run(k).checksum.to_bits()).collect();
+        assert!(checksums.windows(2).all(|w| w[0] == w[1]));
+        let ethernet = m.run(&keys[1]).time;
+        let atm = m.run(&keys[2]).time;
+        assert!(
+            ethernet > atm,
+            "ethernet {ethernet} not slower than atm {atm}"
+        );
+    }
+
+    #[test]
+    fn proc_series_matches_the_paper_below_eight_and_doubles_beyond() {
+        assert_eq!(proc_series(4), vec![1, 2, 3, 4]);
+        assert_eq!(proc_series(8), vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(proc_series(16), vec![1, 2, 3, 4, 5, 6, 7, 8, 16]);
+        assert_eq!(proc_series(32), vec![1, 2, 3, 4, 5, 6, 7, 8, 16, 32]);
+        assert_eq!(proc_series(24), vec![1, 2, 3, 4, 5, 6, 7, 8, 16, 24]);
     }
 
     #[test]

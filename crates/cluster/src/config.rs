@@ -3,7 +3,14 @@
 //! The constants in [`ClusterConfig::calibrated_fddi`] approximate the
 //! testbed of the paper: 8 HP-735 workstations on a 100 Mbit/s FDDI ring,
 //! user-level UDP (TreadMarks) or direct TCP (PVM), 4 KB virtual memory
-//! pages.  README.md §Design notes documents the calibration.
+//! pages.  docs/ARCHITECTURE.md documents the calibration.
+//!
+//! The paper measured exactly one interconnect; this module also models the
+//! *what-if* networks the study's conclusions are most often asked about:
+//! a named preset per interconnect ([`NetPreset`]), per-field overrides on
+//! top of a preset ([`Overrides`]), and the combination of the two as a
+//! comparable identity ([`NetModel`]) that the reproduction harness keys
+//! its run matrices and sweeps on.
 
 use serde::{Deserialize, Serialize};
 
@@ -23,6 +30,23 @@ pub const PAGE_SIZE: usize = 4096;
 /// * the message arrives at the receiver `latency + occupancy` after it was
 ///   put on the wire, and the receiver pays
 ///   [`recv_overhead`](Self::recv_overhead) when it consumes it.
+///
+/// # Example
+///
+/// Pick an interconnect preset, tweak one knob, and cost a message:
+///
+/// ```
+/// use cluster::{ClusterConfig, NetPreset};
+///
+/// // The paper's testbed: 8 workstations on the 100 Mbit/s FDDI ring.
+/// let fddi = ClusterConfig::calibrated_fddi(8);
+/// // The same cluster on switched 155 Mbit/s ATM, via the preset registry.
+/// let atm = NetPreset::Atm.config(8);
+/// // ATM moves a 64 KB page set faster than the ring...
+/// assert!(atm.one_way(64 * 1024) < fddi.one_way(64 * 1024));
+/// // ...and, being switched, does not serialise senders over one medium.
+/// assert!(fddi.shared_medium && !atm.shared_medium);
+/// ```
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ClusterConfig {
     /// Number of simulated processes (workstations).
@@ -61,6 +85,47 @@ impl ClusterConfig {
         }
     }
 
+    /// A 10 Mbit/s shared-bus Ethernet (10BASE-T era, CSMA/CD): the
+    /// commodity alternative to the paper's FDDI ring.  Same workstation
+    /// software stack (per-message and per-fragment CPU costs match the
+    /// FDDI calibration), but ~1.1 MB/s effective bandwidth, the classic
+    /// 1500-byte MTU, and a slightly longer small-message latency; the bus
+    /// is a shared medium, so concurrent senders serialise just as on the
+    /// ring — only nine times slower per byte.
+    pub fn ethernet_10mbit(nprocs: usize) -> Self {
+        ClusterConfig {
+            nprocs,
+            latency: 500e-6,
+            fragment_overhead: 150e-6,
+            bandwidth: 1.1e6,
+            mtu: 1500,
+            send_overhead: 80e-6,
+            recv_overhead: 80e-6,
+            shared_medium: true,
+        }
+    }
+
+    /// A 155 Mbit/s switched ATM fabric (OC-3): the upgrade path the
+    /// mid-90s NOW projects actually took.  ~16 MB/s effective bandwidth
+    /// after SONET framing and the AAL5 cell tax, the RFC 1626 default
+    /// 9180-byte IP MTU, a shorter small-message latency (no token
+    /// rotation), hardware segmentation (cheaper per-fragment cost) — and
+    /// crucially **no shared medium**: the switch gives every
+    /// source-destination pair its own path, so senders no longer
+    /// serialise.
+    pub fn atm_155mbit(nprocs: usize) -> Self {
+        ClusterConfig {
+            nprocs,
+            latency: 250e-6,
+            fragment_overhead: 100e-6,
+            bandwidth: 16.0e6,
+            mtu: 9180,
+            send_overhead: 80e-6,
+            recv_overhead: 80e-6,
+            shared_medium: false,
+        }
+    }
+
     /// An idealised network with negligible cost.  Used by functional tests
     /// that only care about answers, not about performance modelling.
     pub fn ideal(nprocs: usize) -> Self {
@@ -94,6 +159,262 @@ impl ClusterConfig {
     /// End-to-end one-way cost of a message that finds the medium idle.
     pub fn one_way(&self, bytes: usize) -> f64 {
         self.latency + self.occupancy(bytes)
+    }
+}
+
+/// The named interconnect presets the scenario subsystem can select.
+///
+/// Each preset is a calibrated [`ClusterConfig`] constructor; the names are
+/// what `reproduce --net <name>` and the `net = "<name>"` key of a scenario
+/// file accept (see [`crate::scenario`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetPreset {
+    /// The paper's testbed: 100 Mbit/s FDDI ring
+    /// ([`ClusterConfig::calibrated_fddi`]).
+    Fddi,
+    /// 10 Mbit/s shared-bus Ethernet
+    /// ([`ClusterConfig::ethernet_10mbit`]).
+    Ethernet,
+    /// 155 Mbit/s switched ATM ([`ClusterConfig::atm_155mbit`]).
+    Atm,
+    /// Idealised full-bisection network with negligible cost
+    /// ([`ClusterConfig::ideal`]).
+    Ideal,
+}
+
+impl NetPreset {
+    /// Every preset, in documentation order.
+    pub fn all() -> [NetPreset; 4] {
+        [
+            NetPreset::Fddi,
+            NetPreset::Ethernet,
+            NetPreset::Atm,
+            NetPreset::Ideal,
+        ]
+    }
+
+    /// The canonical name: what the CLI and scenario files print and parse.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NetPreset::Fddi => "fddi",
+            NetPreset::Ethernet => "ethernet",
+            NetPreset::Atm => "atm",
+            NetPreset::Ideal => "ideal",
+        }
+    }
+
+    /// Build the preset's calibrated configuration for `nprocs` processes.
+    pub fn config(&self, nprocs: usize) -> ClusterConfig {
+        match self {
+            NetPreset::Fddi => ClusterConfig::calibrated_fddi(nprocs),
+            NetPreset::Ethernet => ClusterConfig::ethernet_10mbit(nprocs),
+            NetPreset::Atm => ClusterConfig::atm_155mbit(nprocs),
+            NetPreset::Ideal => ClusterConfig::ideal(nprocs),
+        }
+    }
+}
+
+impl std::fmt::Display for NetPreset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for NetPreset {
+    type Err = String;
+
+    /// Parse a preset name; long aliases (`ethernet_10mbit`, `atm_155mbit`,
+    /// `fddi_100mbit`) are accepted alongside the canonical short names.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "fddi" | "fddi_100mbit" => Ok(NetPreset::Fddi),
+            "ethernet" | "ether" | "ethernet_10mbit" => Ok(NetPreset::Ethernet),
+            "atm" | "atm_155mbit" => Ok(NetPreset::Atm),
+            "ideal" | "full-bisection" => Ok(NetPreset::Ideal),
+            other => Err(format!(
+                "unknown net preset '{other}'; known presets: fddi, ethernet, atm, ideal"
+            )),
+        }
+    }
+}
+
+/// Per-field overrides applied on top of a [`NetPreset`]: every `Some`
+/// replaces the preset's value, every `None` keeps it.  This is the
+/// `[overrides]` table of a scenario file and the lever the sensitivity
+/// sweeps turn (`sweep --vary bandwidth|latency` scales exactly one field).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Overrides {
+    /// Replace [`ClusterConfig::latency`].
+    pub latency: Option<f64>,
+    /// Replace [`ClusterConfig::fragment_overhead`].
+    pub fragment_overhead: Option<f64>,
+    /// Replace [`ClusterConfig::bandwidth`].
+    pub bandwidth: Option<f64>,
+    /// Replace [`ClusterConfig::mtu`].
+    pub mtu: Option<usize>,
+    /// Replace [`ClusterConfig::send_overhead`].
+    pub send_overhead: Option<f64>,
+    /// Replace [`ClusterConfig::recv_overhead`].
+    pub recv_overhead: Option<f64>,
+    /// Replace [`ClusterConfig::shared_medium`].
+    pub shared_medium: Option<bool>,
+}
+
+impl Overrides {
+    /// True if no field is overridden.
+    ///
+    /// (This and the other `Overrides` walkers destructure the struct
+    /// exhaustively, so adding a field is a compile error here rather than
+    /// a silently-ignored override.)
+    pub fn is_empty(&self) -> bool {
+        let Overrides {
+            latency,
+            fragment_overhead,
+            bandwidth,
+            mtu,
+            send_overhead,
+            recv_overhead,
+            shared_medium,
+        } = self;
+        latency.is_none()
+            && fragment_overhead.is_none()
+            && bandwidth.is_none()
+            && mtu.is_none()
+            && send_overhead.is_none()
+            && recv_overhead.is_none()
+            && shared_medium.is_none()
+    }
+
+    /// Apply every `Some` field to `cfg`.
+    pub fn apply(&self, cfg: &mut ClusterConfig) {
+        let Overrides {
+            latency,
+            fragment_overhead,
+            bandwidth,
+            mtu,
+            send_overhead,
+            recv_overhead,
+            shared_medium,
+        } = *self;
+        if let Some(v) = latency {
+            cfg.latency = v;
+        }
+        if let Some(v) = fragment_overhead {
+            cfg.fragment_overhead = v;
+        }
+        if let Some(v) = bandwidth {
+            cfg.bandwidth = v;
+        }
+        if let Some(v) = mtu {
+            cfg.mtu = v;
+        }
+        if let Some(v) = send_overhead {
+            cfg.send_overhead = v;
+        }
+        if let Some(v) = recv_overhead {
+            cfg.recv_overhead = v;
+        }
+        if let Some(v) = shared_medium {
+            cfg.shared_medium = v;
+        }
+    }
+}
+
+impl PartialEq for Overrides {
+    fn eq(&self, other: &Self) -> bool {
+        // Floats are compared by bit pattern: an override identity must be
+        // usable as a run-matrix key, where NaN != NaN and -0.0 != 0.0
+        // semantics would silently merge or split entries.
+        let bits = |v: Option<f64>| v.map(f64::to_bits);
+        let Overrides {
+            latency,
+            fragment_overhead,
+            bandwidth,
+            mtu,
+            send_overhead,
+            recv_overhead,
+            shared_medium,
+        } = *other;
+        bits(self.latency) == bits(latency)
+            && bits(self.fragment_overhead) == bits(fragment_overhead)
+            && bits(self.bandwidth) == bits(bandwidth)
+            && self.mtu == mtu
+            && bits(self.send_overhead) == bits(send_overhead)
+            && bits(self.recv_overhead) == bits(recv_overhead)
+            && self.shared_medium == shared_medium
+    }
+}
+
+impl Eq for Overrides {}
+
+/// The comparable identity of an interconnect model: a preset plus the
+/// overrides applied to it.  [`NetModel`]s key run matrices and sweep
+/// points, so equality is exact (floats by bit pattern, via [`Overrides`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetModel {
+    /// The base preset.
+    pub preset: NetPreset,
+    /// Field overrides applied on top of it.
+    pub overrides: Overrides,
+}
+
+impl NetModel {
+    /// A bare preset with no overrides.
+    pub fn preset(preset: NetPreset) -> Self {
+        NetModel {
+            preset,
+            overrides: Overrides::default(),
+        }
+    }
+
+    /// Materialise the configuration for `nprocs` processes.
+    pub fn config(&self, nprocs: usize) -> ClusterConfig {
+        let mut cfg = self.preset.config(nprocs);
+        self.overrides.apply(&mut cfg);
+        cfg
+    }
+
+    /// Compact human-readable label: the preset name, plus any overridden
+    /// fields as `key=value` pairs (`fddi`, `atm{bandwidth=8e6}`).  Values
+    /// print in Rust's shortest-round-trip float form, so equal models
+    /// always label identically.
+    pub fn label(&self) -> String {
+        let Overrides {
+            latency,
+            fragment_overhead,
+            bandwidth,
+            mtu,
+            send_overhead,
+            recv_overhead,
+            shared_medium,
+        } = self.overrides;
+        let mut parts: Vec<String> = Vec::new();
+        if let Some(v) = latency {
+            parts.push(format!("latency={v}"));
+        }
+        if let Some(v) = fragment_overhead {
+            parts.push(format!("fragment_overhead={v}"));
+        }
+        if let Some(v) = bandwidth {
+            parts.push(format!("bandwidth={v}"));
+        }
+        if let Some(v) = mtu {
+            parts.push(format!("mtu={v}"));
+        }
+        if let Some(v) = send_overhead {
+            parts.push(format!("send_overhead={v}"));
+        }
+        if let Some(v) = recv_overhead {
+            parts.push(format!("recv_overhead={v}"));
+        }
+        if let Some(v) = shared_medium {
+            parts.push(format!("shared_medium={v}"));
+        }
+        if parts.is_empty() {
+            self.preset.name().to_string()
+        } else {
+            format!("{}{{{}}}", self.preset.name(), parts.join(","))
+        }
     }
 }
 
@@ -136,5 +457,66 @@ mod tests {
     fn ideal_network_is_cheap() {
         let cfg = ClusterConfig::ideal(4);
         assert!(cfg.one_way(1 << 20) < 1e-3);
+    }
+
+    #[test]
+    fn preset_ordering_matches_link_speeds() {
+        // A bulk transfer orders the interconnects exactly by link speed:
+        // Ethernet slower than FDDI, FDDI slower than ATM, ATM slower than
+        // the ideal net.
+        let bytes = 1 << 20;
+        let ethernet = ClusterConfig::ethernet_10mbit(8).one_way(bytes);
+        let fddi = ClusterConfig::calibrated_fddi(8).one_way(bytes);
+        let atm = ClusterConfig::atm_155mbit(8).one_way(bytes);
+        let ideal = ClusterConfig::ideal(8).one_way(bytes);
+        assert!(ethernet > fddi && fddi > atm && atm > ideal);
+    }
+
+    #[test]
+    fn preset_names_round_trip_through_parsing() {
+        for preset in NetPreset::all() {
+            assert_eq!(preset.name().parse::<NetPreset>(), Ok(preset));
+            assert_eq!(preset.to_string(), preset.name());
+            assert_eq!(preset.config(4).nprocs, 4);
+        }
+        assert_eq!("ethernet_10mbit".parse(), Ok(NetPreset::Ethernet));
+        assert_eq!("ATM_155MBIT".parse(), Ok(NetPreset::Atm));
+        assert!("token-ring".parse::<NetPreset>().is_err());
+    }
+
+    #[test]
+    fn overrides_apply_only_set_fields() {
+        let overrides = Overrides {
+            bandwidth: Some(8e6),
+            shared_medium: Some(false),
+            ..Overrides::default()
+        };
+        let model = NetModel {
+            preset: NetPreset::Fddi,
+            overrides,
+        };
+        let base = NetPreset::Fddi.config(8);
+        let cfg = model.config(8);
+        assert_eq!(cfg.bandwidth, 8e6);
+        assert!(!cfg.shared_medium);
+        assert_eq!(cfg.latency, base.latency);
+        assert_eq!(cfg.mtu, base.mtu);
+        assert!(!overrides.is_empty() && Overrides::default().is_empty());
+    }
+
+    #[test]
+    fn net_model_labels_and_equality() {
+        let plain = NetModel::preset(NetPreset::Atm);
+        assert_eq!(plain.label(), "atm");
+        let tweaked = NetModel {
+            preset: NetPreset::Atm,
+            overrides: Overrides {
+                bandwidth: Some(8e6),
+                ..Overrides::default()
+            },
+        };
+        assert_eq!(tweaked.label(), "atm{bandwidth=8000000}");
+        assert_ne!(plain, tweaked);
+        assert_eq!(tweaked, tweaked);
     }
 }

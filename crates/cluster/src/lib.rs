@@ -47,18 +47,20 @@
 //! assert!(report.stats[1].finish_time > 0.010);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod config;
 pub mod net;
 pub mod proc;
+pub mod scenario;
 pub(crate) mod sched;
 pub mod stats;
 pub mod time;
 
-pub use config::ClusterConfig;
+pub use config::{ClusterConfig, NetModel, NetPreset, Overrides};
 pub use net::{Message, Tag};
 pub use proc::Proc;
+pub use scenario::Scenario;
 pub use stats::{ClusterReport, ProcStats};
 pub use time::VirtualClock;
 

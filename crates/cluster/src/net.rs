@@ -9,7 +9,7 @@
 //!
 //! All shared state — mailboxes, the shared-medium reservation, and the
 //! per-process scheduler states — lives behind one lock, and every
-//! interaction goes through the conservative arbiter in [`crate::sched`]:
+//! interaction goes through the conservative arbiter in `crate::sched`:
 //! a process may transmit, consume, or observe messages only while it holds
 //! the minimum virtual time among runnable processes.  Medium-acquisition
 //! order is therefore a pure function of virtual timestamps (ties broken by

@@ -1,0 +1,930 @@
+//! Scenario files: declarative descriptions of a simulated testbed.
+//!
+//! A scenario file names an interconnect preset, optional per-field
+//! overrides on top of it, a processor count, and — opaquely to this crate
+//! — the benchmark preset, workload subset and system subset the
+//! reproduction harness should run (the harness resolves those strings; the
+//! cluster crate only owns the network model).  Both TOML and JSON carriers
+//! are accepted; `examples/scenarios/` in the repository root holds
+//! commented examples and docs/EXPERIMENTS.md documents every key.
+//!
+//! The canonical TOML shape:
+//!
+//! ```toml
+//! name = "atm-16"
+//! net = "atm"              # fddi | ethernet | atm | ideal
+//! procs = 16
+//! preset = "scaled"        # tiny | scaled | paper (harness-interpreted)
+//! workloads = ["EP", "Water-288"]
+//! systems = ["lrc", "hlrc", "pvm"]
+//!
+//! [overrides]              # every key optional; replaces the preset value
+//! bandwidth = 8.0e6        # bytes/second
+//! latency = 250.0e-6       # seconds
+//! shared_medium = false
+//! ```
+//!
+//! The build environment has no crates.io access and the `serde` shim is
+//! declare-only, so this module carries its own small reader for the two
+//! carriers (a line-oriented TOML subset: comments, one `[section]` level,
+//! scalar and single-line-array values — and a recursive-descent JSON
+//! subset: one nesting level of objects, scalars, arrays of scalars).
+//! [`Scenario::to_toml`] re-serialises canonically; parse → serialise →
+//! parse is the identity, which the round-trip tests assert.
+//!
+//! # Example
+//!
+//! ```
+//! use cluster::scenario::Scenario;
+//!
+//! let s = Scenario::parse_toml(r#"
+//!     name = "slow-ring"
+//!     net = "fddi"
+//!     procs = 16
+//!     [overrides]
+//!     bandwidth = 5.25e6
+//! "#).unwrap();
+//! assert_eq!(s.procs, Some(16));
+//! let cfg = s.cluster_config(8); // 8 is the fallback when procs is absent
+//! assert_eq!(cfg.nprocs, 16);
+//! assert_eq!(cfg.bandwidth, 5.25e6);
+//! // Canonical re-serialisation round-trips.
+//! assert_eq!(Scenario::parse_toml(&s.to_toml()).unwrap(), s);
+//! ```
+
+use crate::config::{ClusterConfig, NetModel, NetPreset, Overrides};
+use std::path::Path;
+
+/// A parsed scenario file.
+///
+/// The network-model half ([`net`](Self::net), [`overrides`](Self::overrides),
+/// [`procs`](Self::procs)) is interpreted by this crate; the harness half
+/// ([`preset`](Self::preset), [`workloads`](Self::workloads),
+/// [`systems`](Self::systems)) is carried as opaque strings for the
+/// reproduction harness to resolve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scenario {
+    /// Display name of the scenario (defaults to empty).
+    pub name: String,
+    /// The interconnect preset to start from (defaults to FDDI).
+    pub net: NetPreset,
+    /// Processor count; `None` leaves the caller's default in force.
+    pub procs: Option<usize>,
+    /// Benchmark problem-size preset name (`tiny` / `scaled` / `paper`);
+    /// opaque to this crate.
+    pub preset: Option<String>,
+    /// Workload subset by harness name; empty means "all".
+    pub workloads: Vec<String>,
+    /// System subset (`lrc` / `hlrc` / `pvm`); empty means "all".
+    pub systems: Vec<String>,
+    /// Field overrides applied on top of [`net`](Self::net).
+    pub overrides: Overrides,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario {
+            name: String::new(),
+            net: NetPreset::Fddi,
+            procs: None,
+            preset: None,
+            workloads: Vec::new(),
+            systems: Vec::new(),
+            overrides: Overrides::default(),
+        }
+    }
+}
+
+/// Why a scenario file failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioError(String);
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "scenario: {}", self.0)
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ScenarioError> {
+    Err(ScenarioError(msg.into()))
+}
+
+/// A parsed right-hand-side value, shared by the TOML and JSON readers.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Num(f64),
+    Bool(bool),
+    List(Vec<Value>),
+}
+
+impl Value {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::Num(_) => "number",
+            Value::Bool(_) => "boolean",
+            Value::List(_) => "array",
+        }
+    }
+
+    fn as_str(&self, key: &str) -> Result<&str, ScenarioError> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => err(format!(
+                "'{key}' must be a string, got {}",
+                other.type_name()
+            )),
+        }
+    }
+
+    fn as_f64(&self, key: &str) -> Result<f64, ScenarioError> {
+        match self {
+            Value::Num(n) => Ok(*n),
+            other => err(format!(
+                "'{key}' must be a number, got {}",
+                other.type_name()
+            )),
+        }
+    }
+
+    fn as_nonneg_f64(&self, key: &str) -> Result<f64, ScenarioError> {
+        let n = self.as_f64(key)?;
+        if n >= 0.0 {
+            Ok(n)
+        } else {
+            err(format!("'{key}' must not be negative, got {n}"))
+        }
+    }
+
+    fn as_positive_f64(&self, key: &str) -> Result<f64, ScenarioError> {
+        let n = self.as_f64(key)?;
+        if n > 0.0 {
+            Ok(n)
+        } else {
+            err(format!("'{key}' must be positive, got {n}"))
+        }
+    }
+
+    fn as_usize(&self, key: &str) -> Result<usize, ScenarioError> {
+        let n = self.as_f64(key)?;
+        if n.fract() == 0.0 && n >= 1.0 && n <= u32::MAX as f64 {
+            Ok(n as usize)
+        } else {
+            err(format!("'{key}' must be a positive integer, got {n}"))
+        }
+    }
+
+    fn as_bool(&self, key: &str) -> Result<bool, ScenarioError> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => err(format!(
+                "'{key}' must be a boolean, got {}",
+                other.type_name()
+            )),
+        }
+    }
+
+    fn as_string_list(&self, key: &str) -> Result<Vec<String>, ScenarioError> {
+        match self {
+            Value::List(items) => items
+                .iter()
+                .map(|v| v.as_str(key).map(String::from))
+                .collect(),
+            other => err(format!(
+                "'{key}' must be an array of strings, got {}",
+                other.type_name()
+            )),
+        }
+    }
+}
+
+impl Scenario {
+    /// Load a scenario from a file, picking the carrier by extension:
+    /// `.json` parses as JSON, everything else as TOML.
+    pub fn from_path(path: &Path) -> Result<Self, ScenarioError> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => return err(format!("cannot read {}: {e}", path.display())),
+        };
+        let is_json = path
+            .extension()
+            .is_some_and(|e| e.eq_ignore_ascii_case("json"));
+        if is_json {
+            Self::parse_json(&text)
+        } else {
+            Self::parse_toml(&text)
+        }
+        .map_err(|e| ScenarioError(format!("{}: {}", path.display(), e.0)))
+    }
+
+    /// Parse the TOML carrier (see the module docs for the accepted subset).
+    pub fn parse_toml(text: &str) -> Result<Self, ScenarioError> {
+        let mut scenario = Scenario::default();
+        let mut section: Option<String> = None;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            let at = |msg: String| ScenarioError(format!("line {}: {msg}", lineno + 1));
+            if let Some(rest) = line.strip_prefix('[') {
+                let Some(name) = rest.strip_suffix(']') else {
+                    return Err(at(format!("malformed section header '{line}'")));
+                };
+                let name = name.trim();
+                if name != "overrides" {
+                    return Err(at(format!(
+                        "unknown section '[{name}]'; only [overrides] exists"
+                    )));
+                }
+                section = Some(name.to_string());
+                continue;
+            }
+            let Some((key, rhs)) = line.split_once('=') else {
+                return Err(at(format!("expected 'key = value', got '{line}'")));
+            };
+            let key = key.trim();
+            let value = parse_toml_value(rhs.trim()).map_err(|e| at(e.0))?;
+            scenario
+                .set(section.as_deref(), key, &value)
+                .map_err(|e| at(e.0))?;
+        }
+        Ok(scenario)
+    }
+
+    /// Parse the JSON carrier: one top-level object, with `"overrides"` as
+    /// an optional nested object and the remaining keys as in TOML.
+    pub fn parse_json(text: &str) -> Result<Self, ScenarioError> {
+        let mut scenario = Scenario::default();
+        let pairs = json::parse_object(text)?;
+        for (key, value) in pairs {
+            match value {
+                json::Json::Object(inner) => {
+                    if key != "overrides" {
+                        return err(format!(
+                            "unknown object-valued key '{key}'; only \"overrides\" nests"
+                        ));
+                    }
+                    for (k, v) in inner {
+                        let v = v.into_value(&k)?;
+                        scenario.set(Some("overrides"), &k, &v)?;
+                    }
+                }
+                other => {
+                    let v = other.into_value(&key)?;
+                    scenario.set(None, &key, &v)?;
+                }
+            }
+        }
+        Ok(scenario)
+    }
+
+    /// Assign one parsed key; `section` is `None` at top level.
+    fn set(
+        &mut self,
+        section: Option<&str>,
+        key: &str,
+        value: &Value,
+    ) -> Result<(), ScenarioError> {
+        match section {
+            None => match key {
+                "name" => self.name = value.as_str(key)?.to_string(),
+                "net" => {
+                    self.net = value.as_str(key)?.parse().map_err(ScenarioError)?;
+                }
+                "procs" | "nprocs" => self.procs = Some(value.as_usize(key)?),
+                "preset" => self.preset = Some(value.as_str(key)?.to_string()),
+                "workloads" => self.workloads = value.as_string_list(key)?,
+                "systems" => self.systems = value.as_string_list(key)?,
+                other => {
+                    return err(format!(
+                        "unknown key '{other}'; known keys: name, net, procs, preset, \
+                         workloads, systems, [overrides]"
+                    ))
+                }
+            },
+            // Time costs may be zero (the ideal preset's are), but never
+            // negative; a zero bandwidth would make occupancy infinite and
+            // surface as a baffling virtual-time deadlock, so it must be
+            // strictly positive.
+            Some("overrides") => match key {
+                "latency" => self.overrides.latency = Some(value.as_nonneg_f64(key)?),
+                "fragment_overhead" => {
+                    self.overrides.fragment_overhead = Some(value.as_nonneg_f64(key)?)
+                }
+                "bandwidth" => self.overrides.bandwidth = Some(value.as_positive_f64(key)?),
+                "mtu" => self.overrides.mtu = Some(value.as_usize(key)?),
+                "send_overhead" => self.overrides.send_overhead = Some(value.as_nonneg_f64(key)?),
+                "recv_overhead" => self.overrides.recv_overhead = Some(value.as_nonneg_f64(key)?),
+                "shared_medium" => self.overrides.shared_medium = Some(value.as_bool(key)?),
+                other => {
+                    return err(format!(
+                        "unknown override '{other}'; known overrides: latency, \
+                         fragment_overhead, bandwidth, mtu, send_overhead, recv_overhead, \
+                         shared_medium"
+                    ))
+                }
+            },
+            Some(s) => return err(format!("unknown section '{s}'")),
+        }
+        Ok(())
+    }
+
+    /// The interconnect identity this scenario describes.
+    pub fn net_model(&self) -> NetModel {
+        NetModel {
+            preset: self.net,
+            overrides: self.overrides,
+        }
+    }
+
+    /// Materialise the cluster configuration, using `default_procs` when the
+    /// file does not pin a processor count.
+    pub fn cluster_config(&self, default_procs: usize) -> ClusterConfig {
+        self.net_model().config(self.procs.unwrap_or(default_procs))
+    }
+
+    /// Serialise canonically as TOML.  Floats print in Rust's
+    /// shortest-round-trip form, so `parse_toml(to_toml(s)) == s` exactly.
+    pub fn to_toml(&self) -> String {
+        let mut out = String::new();
+        if !self.name.is_empty() {
+            out.push_str(&format!("name = {}\n", toml_escape(&self.name)));
+        }
+        out.push_str(&format!("net = \"{}\"\n", self.net.name()));
+        if let Some(p) = self.procs {
+            out.push_str(&format!("procs = {p}\n"));
+        }
+        if let Some(p) = &self.preset {
+            out.push_str(&format!("preset = {}\n", toml_escape(p)));
+        }
+        let list = |items: &[String]| {
+            let quoted: Vec<String> = items.iter().map(|s| toml_escape(s)).collect();
+            format!("[{}]", quoted.join(", "))
+        };
+        if !self.workloads.is_empty() {
+            out.push_str(&format!("workloads = {}\n", list(&self.workloads)));
+        }
+        if !self.systems.is_empty() {
+            out.push_str(&format!("systems = {}\n", list(&self.systems)));
+        }
+        if !self.overrides.is_empty() {
+            out.push_str("\n[overrides]\n");
+            // Exhaustive destructuring: a new override field fails to
+            // compile here instead of silently vanishing from the
+            // canonical serialisation.
+            let Overrides {
+                latency,
+                fragment_overhead,
+                bandwidth,
+                mtu,
+                send_overhead,
+                recv_overhead,
+                shared_medium,
+            } = self.overrides;
+            if let Some(v) = latency {
+                out.push_str(&format!("latency = {v}\n"));
+            }
+            if let Some(v) = fragment_overhead {
+                out.push_str(&format!("fragment_overhead = {v}\n"));
+            }
+            if let Some(v) = bandwidth {
+                out.push_str(&format!("bandwidth = {v}\n"));
+            }
+            if let Some(v) = mtu {
+                out.push_str(&format!("mtu = {v}\n"));
+            }
+            if let Some(v) = send_overhead {
+                out.push_str(&format!("send_overhead = {v}\n"));
+            }
+            if let Some(v) = recv_overhead {
+                out.push_str(&format!("recv_overhead = {v}\n"));
+            }
+            if let Some(v) = shared_medium {
+                out.push_str(&format!("shared_medium = {v}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Quote a string for [`Scenario::to_toml`], escaping exactly the
+/// sequences the parser accepts (`\\`, `\"`, `\n`, `\t`, `\r`), so
+/// serialise → parse is the identity for any content.
+fn toml_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            other => out.push(other),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Strip a `#` comment, respecting `"..."` strings (with escapes).
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parse one TOML right-hand side: a quoted string (with `\\ \" \n \t \r`
+/// escapes), `true`/`false`, a single-line array, or a number (integer,
+/// float, scientific notation).
+fn parse_toml_value(rhs: &str) -> Result<Value, ScenarioError> {
+    let chars: Vec<char> = rhs.chars().collect();
+    let mut pos = 0usize;
+    let value = parse_value_at(&chars, &mut pos, rhs)?;
+    while pos < chars.len() && chars[pos].is_whitespace() {
+        pos += 1;
+    }
+    if pos != chars.len() {
+        return err(format!("trailing content after value in '{rhs}'"));
+    }
+    Ok(value)
+}
+
+/// Recursive-descent worker behind [`parse_toml_value`]: parses one value
+/// starting at `pos`, leaving `pos` just past it.
+fn parse_value_at(chars: &[char], pos: &mut usize, rhs: &str) -> Result<Value, ScenarioError> {
+    while *pos < chars.len() && chars[*pos].is_whitespace() {
+        *pos += 1;
+    }
+    match chars.get(*pos) {
+        None => err("missing value"),
+        Some('"') => {
+            *pos += 1;
+            let mut s = String::new();
+            loop {
+                match chars.get(*pos) {
+                    None => return err(format!("unterminated string in '{rhs}'")),
+                    Some('"') => {
+                        *pos += 1;
+                        return Ok(Value::Str(s));
+                    }
+                    Some('\\') => {
+                        *pos += 1;
+                        match chars.get(*pos) {
+                            Some('\\') => s.push('\\'),
+                            Some('"') => s.push('"'),
+                            Some('n') => s.push('\n'),
+                            Some('t') => s.push('\t'),
+                            Some('r') => s.push('\r'),
+                            other => {
+                                return err(format!(
+                                    "unsupported escape '\\{}' in '{rhs}'",
+                                    other.copied().map(String::from).unwrap_or_default()
+                                ))
+                            }
+                        }
+                        *pos += 1;
+                    }
+                    Some(&c) => {
+                        s.push(c);
+                        *pos += 1;
+                    }
+                }
+            }
+        }
+        Some('[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            loop {
+                while *pos < chars.len() && chars[*pos].is_whitespace() {
+                    *pos += 1;
+                }
+                match chars.get(*pos) {
+                    None => {
+                        return err(format!(
+                            "unterminated array in '{rhs}' (arrays are single-line)"
+                        ))
+                    }
+                    Some(']') => {
+                        *pos += 1;
+                        return Ok(Value::List(items));
+                    }
+                    Some(',') => {
+                        // Separator (also tolerates a trailing comma).
+                        *pos += 1;
+                    }
+                    Some(_) => items.push(parse_value_at(chars, pos, rhs)?),
+                }
+            }
+        }
+        Some(_) => {
+            // A bare word: a boolean or a number, ending at whitespace,
+            // a comma or a closing bracket.
+            let start = *pos;
+            while *pos < chars.len()
+                && !chars[*pos].is_whitespace()
+                && chars[*pos] != ','
+                && chars[*pos] != ']'
+            {
+                *pos += 1;
+            }
+            let word: String = chars[start..*pos].iter().collect();
+            match word.as_str() {
+                "true" => Ok(Value::Bool(true)),
+                "false" => Ok(Value::Bool(false)),
+                _ => {
+                    // TOML permits underscores in numbers.
+                    let cleaned: String = word.chars().filter(|&c| c != '_').collect();
+                    match cleaned.parse::<f64>() {
+                        Ok(n) if n.is_finite() => Ok(Value::Num(n)),
+                        _ => err(format!("cannot parse value '{word}'")),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The minimal JSON reader backing [`Scenario::parse_json`].
+mod json {
+    use super::{err, ScenarioError, Value};
+
+    /// A parsed JSON value (no `null`: a scenario key is either present
+    /// with a value or absent).
+    #[derive(Debug)]
+    pub enum Json {
+        Str(String),
+        Num(f64),
+        Bool(bool),
+        Array(Vec<Json>),
+        Object(Vec<(String, Json)>),
+    }
+
+    impl Json {
+        /// Lower to the carrier-independent [`Value`]; objects don't lower
+        /// (the caller handles the one permitted nesting level).
+        pub fn into_value(self, key: &str) -> Result<Value, ScenarioError> {
+            match self {
+                Json::Str(s) => Ok(Value::Str(s)),
+                Json::Num(n) => Ok(Value::Num(n)),
+                Json::Bool(b) => Ok(Value::Bool(b)),
+                Json::Array(items) => Ok(Value::List(
+                    items
+                        .into_iter()
+                        .map(|i| i.into_value(key))
+                        .collect::<Result<_, _>>()?,
+                )),
+                Json::Object(_) => err(format!("'{key}' must not be an object")),
+            }
+        }
+    }
+
+    /// Parse a full document that must be a single object.
+    pub fn parse_object(text: &str) -> Result<Vec<(String, Json)>, ScenarioError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return err(format!("trailing content at byte {}", p.pos));
+        }
+        match value {
+            Json::Object(pairs) => Ok(pairs),
+            other => err(format!(
+                "a scenario must be a JSON object, got {}",
+                match other {
+                    Json::Str(_) => "a string",
+                    Json::Num(_) => "a number",
+                    Json::Bool(_) => "a boolean",
+                    Json::Array(_) => "an array",
+                    Json::Object(_) => unreachable!(),
+                }
+            )),
+        }
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while self
+                .bytes
+                .get(self.pos)
+                .is_some_and(|b| b.is_ascii_whitespace())
+            {
+                self.pos += 1;
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), ScenarioError> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                err(format!("expected '{}' at byte {}", b as char, self.pos))
+            }
+        }
+
+        fn value(&mut self) -> Result<Json, ScenarioError> {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'"') => Ok(Json::Str(self.string()?)),
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b't') => self.literal("true", Json::Bool(true)),
+                Some(b'f') => self.literal("false", Json::Bool(false)),
+                Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+                _ => err(format!("unexpected content at byte {}", self.pos)),
+            }
+        }
+
+        fn literal(&mut self, word: &str, out: Json) -> Result<Json, ScenarioError> {
+            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                self.pos += word.len();
+                Ok(out)
+            } else {
+                err(format!("unexpected content at byte {}", self.pos))
+            }
+        }
+
+        fn string(&mut self) -> Result<String, ScenarioError> {
+            self.expect(b'"')?;
+            let start = self.pos;
+            while let Some(b) = self.peek() {
+                if b == b'\\' {
+                    return err("escape sequences in strings are not supported".to_string());
+                }
+                if b == b'"' {
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| ScenarioError("invalid UTF-8 in string".into()))?
+                        .to_string();
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                self.pos += 1;
+            }
+            err("unterminated string".to_string())
+        }
+
+        fn number(&mut self) -> Result<Json, ScenarioError> {
+            let start = self.pos;
+            while self.peek().is_some_and(|b| {
+                b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E')
+            }) {
+                self.pos += 1;
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+            match text.parse::<f64>() {
+                Ok(n) if n.is_finite() => Ok(Json::Num(n)),
+                _ => err(format!("cannot parse number '{text}'")),
+            }
+        }
+
+        fn array(&mut self) -> Result<Json, ScenarioError> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Json::Array(items));
+            }
+            loop {
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => {
+                        self.pos += 1;
+                    }
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Json::Array(items));
+                    }
+                    _ => return err(format!("expected ',' or ']' at byte {}", self.pos)),
+                }
+            }
+        }
+
+        fn object(&mut self) -> Result<Json, ScenarioError> {
+            self.expect(b'{')?;
+            let mut pairs = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Json::Object(pairs));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                let value = self.value()?;
+                pairs.push((key, value));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => {
+                        self.pos += 1;
+                    }
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Json::Object(pairs));
+                    }
+                    _ => return err(format!("expected ',' or '}}' at byte {}", self.pos)),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FULL_TOML: &str = r#"
+        # A fully specified scenario.
+        name = "atm-sixteen"    # trailing comment
+        net = "atm"
+        procs = 16
+        preset = "tiny"
+        workloads = ["EP", "SOR-Zero"]
+        systems = ["lrc", "pvm"]
+
+        [overrides]
+        latency = 250e-6
+        fragment_overhead = 1e-4
+        bandwidth = 8.0e6
+        mtu = 9_180
+        send_overhead = 75e-6
+        recv_overhead = 0.0
+        shared_medium = false
+    "#;
+
+    #[test]
+    fn toml_parses_every_key() {
+        let s = Scenario::parse_toml(FULL_TOML).unwrap();
+        assert_eq!(s.name, "atm-sixteen");
+        assert_eq!(s.net, NetPreset::Atm);
+        assert_eq!(s.procs, Some(16));
+        assert_eq!(s.preset.as_deref(), Some("tiny"));
+        assert_eq!(s.workloads, ["EP", "SOR-Zero"]);
+        assert_eq!(s.systems, ["lrc", "pvm"]);
+        // Every override field is exercised, so the round-trip test below
+        // covers the full serialisation surface.
+        assert_eq!(
+            s.overrides,
+            Overrides {
+                latency: Some(250e-6),
+                fragment_overhead: Some(1e-4),
+                bandwidth: Some(8.0e6),
+                mtu: Some(9180),
+                send_overhead: Some(75e-6),
+                recv_overhead: Some(0.0),
+                shared_medium: Some(false),
+            }
+        );
+        let cfg = s.cluster_config(8);
+        assert_eq!(cfg.nprocs, 16);
+        assert_eq!(cfg.mtu, 9180);
+        assert_eq!(cfg.send_overhead, 75e-6);
+    }
+
+    #[test]
+    fn nonsense_override_values_are_rejected() {
+        let e = Scenario::parse_toml("[overrides]\nbandwidth = 0.0").unwrap_err();
+        assert!(
+            e.to_string().contains("'bandwidth' must be positive"),
+            "{e}"
+        );
+        let e = Scenario::parse_toml("[overrides]\nbandwidth = -1e6").unwrap_err();
+        assert!(
+            e.to_string().contains("'bandwidth' must be positive"),
+            "{e}"
+        );
+        let e = Scenario::parse_toml("[overrides]\nlatency = -1e-6").unwrap_err();
+        assert!(
+            e.to_string().contains("'latency' must not be negative"),
+            "{e}"
+        );
+        // Zero time costs are legitimate (the ideal preset uses them).
+        let s = Scenario::parse_toml("[overrides]\nlatency = 0.0").unwrap();
+        assert_eq!(s.overrides.latency, Some(0.0));
+    }
+
+    #[test]
+    fn json_carrier_parses_the_same_scenario() {
+        let toml = Scenario::parse_toml(FULL_TOML).unwrap();
+        let json = Scenario::parse_json(
+            r#"{
+                "name": "atm-sixteen",
+                "net": "atm",
+                "procs": 16,
+                "preset": "tiny",
+                "workloads": ["EP", "SOR-Zero"],
+                "systems": ["lrc", "pvm"],
+                "overrides": {
+                    "latency": 250e-6,
+                    "fragment_overhead": 1e-4,
+                    "bandwidth": 8.0e6,
+                    "mtu": 9180,
+                    "send_overhead": 75e-6,
+                    "recv_overhead": 0.0,
+                    "shared_medium": false
+                }
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(json, toml);
+    }
+
+    #[test]
+    fn to_toml_round_trips_exactly() {
+        let original = Scenario::parse_toml(FULL_TOML).unwrap();
+        let reparsed = Scenario::parse_toml(&original.to_toml()).unwrap();
+        assert_eq!(reparsed, original);
+        // And a second serialisation is byte-identical to the first.
+        assert_eq!(reparsed.to_toml(), original.to_toml());
+    }
+
+    #[test]
+    fn defaults_are_fddi_with_nothing_pinned() {
+        let s = Scenario::parse_toml("").unwrap();
+        assert_eq!(s, Scenario::default());
+        assert_eq!(s.net, NetPreset::Fddi);
+        assert_eq!(s.cluster_config(4).nprocs, 4);
+        assert!(s.net_model().overrides.is_empty());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers_and_key_names() {
+        let e = Scenario::parse_toml("net = \"warpdrive\"").unwrap_err();
+        assert!(e.to_string().contains("line 1"), "{e}");
+        assert!(e.to_string().contains("warpdrive"), "{e}");
+        let e = Scenario::parse_toml("speed = 3").unwrap_err();
+        assert!(e.to_string().contains("unknown key 'speed'"), "{e}");
+        let e = Scenario::parse_toml("[overrides]\nwarp = 9").unwrap_err();
+        assert!(e.to_string().contains("unknown override 'warp'"), "{e}");
+        let e = Scenario::parse_toml("procs = 2.5").unwrap_err();
+        assert!(e.to_string().contains("positive integer"), "{e}");
+        let e = Scenario::parse_json("[1, 2]").unwrap_err();
+        assert!(e.to_string().contains("must be a JSON object"), "{e}");
+        let e = Scenario::parse_json("{\"procs\": 4} extra").unwrap_err();
+        assert!(e.to_string().contains("trailing content"), "{e}");
+    }
+
+    #[test]
+    fn comments_and_strings_interact_correctly() {
+        let s = Scenario::parse_toml("name = \"has # hash\" # real comment").unwrap();
+        assert_eq!(s.name, "has # hash");
+    }
+
+    #[test]
+    fn awkward_strings_round_trip_through_to_toml() {
+        // Quotes, backslashes, commas, hashes and tabs in string values:
+        // serialise → parse must be the identity for all of them.
+        let s = Scenario {
+            name: "a \"quoted\\name\", with # hash\tand more".to_string(),
+            workloads: vec!["EP, almost".into(), "SOR \"Zero\"".into()],
+            ..Scenario::default()
+        };
+        let reparsed = Scenario::parse_toml(&s.to_toml()).unwrap();
+        assert_eq!(reparsed, s);
+        // And escaped quotes don't confuse the comment stripper.
+        let t = Scenario::parse_toml("name = \"ends with \\\\\" # comment").unwrap();
+        assert_eq!(t.name, "ends with \\");
+    }
+
+    #[test]
+    fn trailing_garbage_after_a_value_is_rejected() {
+        let e = Scenario::parse_toml("name = \"x\" \"y\"").unwrap_err();
+        assert!(e.to_string().contains("trailing content"), "{e}");
+        let e = Scenario::parse_toml("procs = 4 5").unwrap_err();
+        assert!(e.to_string().contains("trailing content"), "{e}");
+        let e = Scenario::parse_toml("name = \"bad \\q escape\"").unwrap_err();
+        assert!(e.to_string().contains("unsupported escape"), "{e}");
+    }
+}

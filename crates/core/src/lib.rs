@@ -57,7 +57,7 @@
 //! assert!(rep.results.iter().all(|&v| v == 10));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod heap;
 pub mod home;

@@ -33,6 +33,34 @@ use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 
 /// A TreadMarks endpoint bound to one simulated process.
+///
+/// # Example
+///
+/// Two processes increment a lock-protected shared counter; every shared
+/// access goes through the DSM's page-based coherence protocol:
+///
+/// ```
+/// use cluster::{Cluster, ClusterConfig};
+/// use treadmarks::Tmk;
+///
+/// let report = Cluster::run(ClusterConfig::calibrated_fddi(2), |p| {
+///     let tmk = Tmk::new(p);
+///     let counter = tmk.malloc(8);
+///     tmk.barrier(0);
+///     for _ in 0..3 {
+///         tmk.lock_acquire(0);
+///         let v = tmk.read_i64(counter);
+///         tmk.write_i64(counter, v + 1);
+///         tmk.lock_release(0);
+///     }
+///     tmk.barrier(1);
+///     let total = tmk.read_i64(counter);
+///     tmk.exit();
+///     total
+/// });
+/// // Both processes saw all six increments.
+/// assert!(report.results.iter().all(|&v| v == 6));
+/// ```
 pub struct Tmk<'a> {
     proc: &'a Proc,
     pub(crate) st: RefCell<DsmState>,

@@ -38,7 +38,7 @@
 //! assert_eq!(rep.results[1], 6.0);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod buffer;
 pub mod process;

@@ -132,23 +132,27 @@ fn parallel_executor_matches_serial_bit_for_bit() {
     let keys: Vec<RunKey> = workloads
         .iter()
         .flat_map(|&w| {
-            System::all()
-                .into_iter()
-                .flat_map(move |sys| [2usize, 4].into_iter().map(move |n| (w, sys, n)))
+            System::all().into_iter().flat_map(move |sys| {
+                [2usize, 4]
+                    .into_iter()
+                    .map(move |n| RunKey::fddi(w, sys, n))
+            })
         })
         .collect();
     let serial = run_matrix(Preset::Tiny, &workloads, &keys, 1);
     let parallel = run_matrix(Preset::Tiny, &workloads, &keys, 4);
-    for &(w, sys, n) in &keys {
-        let (a, b) = (serial.run(w, sys, n), parallel.run(w, sys, n));
+    for key in &keys {
+        let (a, b) = (serial.run(key), parallel.run(key));
         let ctx = format!(
-            "{} under {sys} at {n} processes (serial vs parallel)",
-            w.name()
+            "{} under {} at {} processes (serial vs parallel)",
+            key.workload.name(),
+            key.system,
+            key.nprocs
         );
         assert_runs_identical(a, b, &ctx);
         assert_eq!(
-            run_record_json(w, a),
-            run_record_json(w, b),
+            run_record_json(key, a),
+            run_record_json(key, b),
             "{ctx}: JSON record differs"
         );
     }
