@@ -30,10 +30,11 @@ pub enum System {
 impl System {
     /// Every system configuration the harness can compare: one per DSM
     /// protocol backend, plus message passing.
-    pub fn all() -> [System; 3] {
+    pub fn all() -> [System; 4] {
         [
             System::TreadMarks(ProtocolKind::Lrc),
             System::TreadMarks(ProtocolKind::Hlrc),
+            System::TreadMarks(ProtocolKind::Sc),
             System::Pvm,
         ]
     }
@@ -42,11 +43,11 @@ impl System {
 impl std::fmt::Display for System {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            // The bare name keeps the paper's tables readable; the HLRC
-            // variant is the addition of this reproduction.
-            System::TreadMarks(ProtocolKind::Lrc) => write!(f, "TreadMarks"),
-            System::TreadMarks(ProtocolKind::Hlrc) => write!(f, "TMK-HLRC"),
-            System::Pvm => write!(f, "PVM"),
+            // The protocol layer names its own backends ("TreadMarks" for
+            // the paper's LRC; the others are this reproduction's
+            // additions), so a new backend never edits this file.
+            System::TreadMarks(protocol) => f.write_str(protocol.system_label()),
+            System::Pvm => f.write_str("PVM"),
         }
     }
 }

@@ -3,8 +3,10 @@
 //! independent runs out across cores.
 //!
 //! ```text
-//! cargo run -p bench --release --bin reproduce                       # both protocols, everything
+//! cargo run -p bench --release --bin reproduce                       # every protocol, everything
 //! cargo run -p bench --release --bin reproduce -- --protocol hlrc   # HLRC backend only
+//! cargo run -p bench --release --bin reproduce -- --protocol sc     # sequential-consistency baseline
+//! cargo run -p bench --release --bin reproduce -- --list            # protocols, nets, workloads
 //! cargo run -p bench --release --bin reproduce -- --full            # paper-scale inputs
 //! cargo run -p bench --release --bin reproduce -- --table1
 //! cargo run -p bench --release --bin reproduce -- --table2
@@ -26,6 +28,13 @@
 //! their matrix keys, never in completion order, so stdout and JSON are
 //! **byte-identical for every `--jobs` value**; the determinism suite and
 //! the CI `perf-smoke` job assert exactly that.
+//!
+//! `--protocol {lrc,hlrc,sc,all}` selects the DSM coherence backend(s)
+//! compared against PVM (`all` — or its alias `both`, from the two-backend
+//! era — runs every backend).  `--list` prints everything a scenario can
+//! name — protocols, systems, net presets, workloads, problem-size presets
+//! and sweep axes — and composes with `--json` for a machine-readable
+//! catalogue, so scenario authors never grep the source.
 //!
 //! The scenario flags compose: `--net {fddi,ethernet,atm,ideal}` swaps the
 //! interconnect preset, `--procs N` lifts the top processor count (counts
@@ -139,17 +148,14 @@ fn table2(
             let run = matrix.run(&RunKey::new(w, sys, net, procs));
             print!(" {:>14} {:>14.0}", run.messages, run.kilobytes);
             if let (System::TreadMarks(protocol), Some(stats)) = (sys, &run.tmk_stats) {
+                // Each backend renders its own counter set (its Table-2
+                // stats contribution), so a new protocol never edits the
+                // harness.
                 protocol_lines.push(format!(
-                    "{:<12} {:<5} {:>8} faults {:>8} diff-req {:>8} page-req {:>8} flushes \
-                     {:>10} diff-KB {:>10} page-KB",
+                    "{:<12} {:<5} {}",
                     w.name(),
                     protocol.name(),
-                    stats.page_faults,
-                    stats.diff_requests_sent,
-                    stats.page_requests_sent,
-                    stats.diff_flushes_sent,
-                    (stats.diff_bytes_received / 1024),
-                    (stats.page_bytes_fetched / 1024),
+                    protocol.backend().counter_summary(stats),
                 ));
             }
         }
@@ -239,6 +245,103 @@ fn bench_report(matrix: &RunMatrix, jobs: usize, wall_seconds: f64) -> String {
     )
 }
 
+/// `--list`: everything a scenario (or the CLI) can name, so authors stop
+/// grepping the source.  `--json` renders the same catalogue
+/// machine-readably.
+fn list_catalogue(json: bool) {
+    let protocols: Vec<ProtocolKind> = ProtocolKind::all().to_vec();
+    let systems: Vec<System> = System::all().to_vec();
+    let presets = ["tiny", "scaled", "paper"];
+    let axes = ["procs", "bandwidth", "latency"];
+    if json {
+        println!("{{");
+        let protos: Vec<String> = protocols
+            .iter()
+            .map(|p| {
+                format!(
+                    "    {{\"name\": \"{}\", \"system_label\": \"{}\", \"description\": \"{}\"}}",
+                    p.name(),
+                    p.system_label(),
+                    p.describe()
+                )
+            })
+            .collect();
+        println!("  \"protocols\": [\n{}\n  ],", protos.join(",\n"));
+        let sys: Vec<String> = systems.iter().map(|s| format!("\"{s}\"")).collect();
+        println!("  \"systems\": [{}],", sys.join(", "));
+        let nets: Vec<String> = NetPreset::all()
+            .iter()
+            .map(|n| {
+                let cfg = n.config(8);
+                format!(
+                    "    {{\"name\": \"{}\", \"bandwidth_bytes_per_s\": {}, \"latency_s\": {}, \
+                     \"shared_medium\": {}}}",
+                    n.name(),
+                    cfg.bandwidth,
+                    cfg.latency,
+                    cfg.shared_medium
+                )
+            })
+            .collect();
+        println!("  \"nets\": [\n{}\n  ],", nets.join(",\n"));
+        let loads: Vec<String> = Workload::all()
+            .iter()
+            .map(|w| {
+                format!(
+                    "    {{\"name\": \"{}\", \"figure\": {}}}",
+                    w.name(),
+                    w.figure()
+                )
+            })
+            .collect();
+        println!("  \"workloads\": [\n{}\n  ],", loads.join(",\n"));
+        let quoted = |xs: &[&str]| {
+            xs.iter()
+                .map(|x| format!("\"{x}\""))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        println!("  \"presets\": [{}],", quoted(&presets));
+        println!("  \"sweep_axes\": [{}]", quoted(&axes));
+        println!("}}");
+        return;
+    }
+    println!("Protocols (--protocol NAME, or `all`):");
+    for p in &protocols {
+        println!(
+            "  {:<6} {:<12} {}",
+            p.name(),
+            p.system_label(),
+            p.describe()
+        );
+    }
+    println!("\nSystems (scenario `systems = [...]`):");
+    for s in &systems {
+        println!("  {s}");
+    }
+    println!("\nNet presets (--net NAME, scenario `net = \"NAME\"`):");
+    for n in NetPreset::all() {
+        let cfg = n.config(8);
+        println!(
+            "  {:<9} {:>12.0} B/s bandwidth, {:>9.1} us latency, {}",
+            n.name(),
+            cfg.bandwidth,
+            cfg.latency * 1e6,
+            if cfg.shared_medium {
+                "shared medium"
+            } else {
+                "full bisection"
+            }
+        );
+    }
+    println!("\nWorkloads (--workload NAME, repeatable):");
+    for w in Workload::all() {
+        println!("  {:<12} (Figure {})", w.name(), w.figure());
+    }
+    println!("\nProblem-size presets: {}", presets.join(", "));
+    println!("Sweep axes (sweep --vary AXIS): {}", axes.join(", "));
+}
+
 fn fail(msg: impl std::fmt::Display) -> ! {
     eprintln!("{msg}");
     std::process::exit(1);
@@ -283,6 +386,14 @@ fn main() {
                 fail("`sweep` must be the first argument: `reproduce sweep --vary ...`");
             }
         }
+    }
+
+    if wants("--list") {
+        if sweep_mode {
+            fail("--list does not apply to sweep mode");
+        }
+        list_catalogue(wants("--json"));
+        return;
     }
 
     // Defaults shared by the CLI and scenario resolution: sweeps default

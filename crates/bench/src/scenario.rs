@@ -46,16 +46,19 @@ pub fn workload_by_name(name: &str) -> Result<Workload, String> {
         })
 }
 
-/// Look a system up by name: a DSM protocol backend (`lrc`, `hlrc`,
+/// Look a system up by name: a DSM protocol backend (`lrc`, `hlrc`, `sc`,
 /// `treadmarks` for the paper's LRC) or `pvm`.
 pub fn system_by_name(name: &str) -> Result<System, String> {
     match name.to_ascii_lowercase().as_str() {
-        "lrc" | "treadmarks" | "tmk" => Ok(System::TreadMarks(ProtocolKind::Lrc)),
-        "hlrc" | "tmk-hlrc" => Ok(System::TreadMarks(ProtocolKind::Hlrc)),
         "pvm" => Ok(System::Pvm),
-        other => Err(format!(
-            "unknown system '{other}'; known systems: lrc, hlrc, pvm"
-        )),
+        "tmk-hlrc" => Ok(System::TreadMarks(ProtocolKind::Hlrc)),
+        "tmk-sc" => Ok(System::TreadMarks(ProtocolKind::Sc)),
+        other => match other.parse::<ProtocolKind>() {
+            Ok(kind) => Ok(System::TreadMarks(kind)),
+            Err(_) => Err(format!(
+                "unknown system '{other}'; known systems: lrc, hlrc, sc, pvm"
+            )),
+        },
     }
 }
 

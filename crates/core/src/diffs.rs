@@ -1,0 +1,439 @@
+//! The diff store: protocol-neutral retention and service of page diffs.
+//!
+//! A twinning backend creates diffs when an interval closes; this module
+//! owns what happens to diffs *held locally* — created here and retained
+//! (LRC), or fetched from other processes.  It implements the selection
+//! logic of diff requests (including *diff accumulation*: a responder
+//! returns every diff the requester lacks, even ones later diffs completely
+//! overwrite), the application of fetched diffs in `hb1` order, and the
+//! lazy accounting of diff-creation cost (real TreadMarks creates a diff
+//! only when it is first requested, so the page+twin scan is charged at
+//! first serve, not at interval close).
+
+use crate::page::{new_page, Diff, PageId};
+use crate::proto::{vc_wire, DiffResponsePart, WireDiff};
+use crate::state::{DsmState, Notice};
+use crate::vc::VectorClock;
+use bytes::Bytes;
+use std::collections::BTreeMap;
+
+/// A diff held locally, with the bookkeeping needed to charge its creation
+/// cost lazily: real TreadMarks creates diffs only when they are first
+/// requested, so the page+twin scan is charged to the creator the first
+/// time the diff is served, not at interval close.  (Creation is still
+/// *performed* eagerly here so later intervals cannot leak into earlier
+/// diffs; only the accounting is lazy.)
+#[derive(Debug)]
+pub(crate) struct StoredDiff {
+    vc: VectorClock,
+    /// The clock's wire encoding, computed once at store time and spliced
+    /// into every diff response that serves this diff.
+    vc_wire: Bytes,
+    diff: Diff,
+    /// Whether the creation scan has been charged (true for fetched diffs,
+    /// whose cost was paid by their creator).
+    scan_charged: bool,
+}
+
+impl DsmState {
+    /// Retain a diff created by this process at interval close so later
+    /// diff requests can be served from it (the LRC disposition).
+    pub(crate) fn retain_own_diff(
+        &mut self,
+        page: PageId,
+        seq: u32,
+        vc: &VectorClock,
+        vc_wire: &Bytes,
+        diff: Diff,
+    ) {
+        self.diffs.insert(
+            (page, self.me, seq),
+            StoredDiff {
+                vc: vc.clone(),
+                vc_wire: vc_wire.clone(),
+                diff,
+                scan_charged: false,
+            },
+        );
+    }
+
+    /// The set of processes to send diff requests to for `page`: the writers
+    /// named in the pending notices whose most recent interval (for this
+    /// page) is not dominated by another such writer's most recent interval.
+    /// A processor that modified a page in an interval holds all diffs of the
+    /// intervals that precede it, so asking only the maximal writers is
+    /// sufficient — this is the optimisation described in Section 2.2.2.
+    pub fn diff_request_targets(&self, page: PageId) -> Vec<usize> {
+        let notices = self.notices_of(page);
+        // Latest pending interval per writer.
+        let mut latest: BTreeMap<usize, &Notice> = BTreeMap::new();
+        for n in notices {
+            match latest.get(&n.creator) {
+                Some(cur) if cur.seq >= n.seq => {}
+                _ => {
+                    latest.insert(n.creator, n);
+                }
+            }
+        }
+        let writers: Vec<&Notice> = latest.values().copied().collect();
+        let mut targets = Vec::new();
+        for w in &writers {
+            let dominated = writers.iter().any(|o| {
+                !(o.creator == w.creator && o.seq == w.seq) && o.vc.dominates(&w.vc) && o.vc != w.vc
+            });
+            if !dominated && w.creator != self.me {
+                targets.push(w.creator);
+            }
+        }
+        targets.sort_unstable();
+        targets.dedup();
+        targets
+    }
+
+    /// Serve a diff request: every diff held locally for `page` whose
+    /// interval (a) the requester knows about (it is covered by the
+    /// requester's *global* clock, i.e. it happens-before the acquire that
+    /// triggered the fault) and (b) the requester has not yet applied to its
+    /// copy of the page.  This is where *diff accumulation* happens — the
+    /// response includes diffs created by other processes that this process
+    /// has previously fetched, even when later diffs completely overwrite
+    /// them.
+    /// Also returns the number of returned diffs whose creation scan has
+    /// not been charged yet (they are marked charged by this call): the
+    /// serving runtime charges the page+twin scan for exactly those, which
+    /// is the lazy diff creation of the real system.
+    pub fn diffs_for_request(
+        &mut self,
+        page: PageId,
+        requester: usize,
+        applied_vc: &VectorClock,
+        global_vc: &VectorClock,
+    ) -> (Vec<WireDiff>, usize) {
+        let (keys, first_serves) = self.served_diff_keys(page, requester, applied_vc, global_vc);
+        let out = keys
+            .into_iter()
+            .map(|(_, creator, seq)| {
+                let stored = &self.diffs[&(page, creator, seq)];
+                WireDiff {
+                    creator,
+                    seq,
+                    vc: stored.vc.clone(),
+                    diff: stored.diff.clone(),
+                }
+            })
+            .collect();
+        (out, first_serves)
+    }
+
+    /// Serve a diff request straight into its wire encoding: the same
+    /// selection as [`diffs_for_request`](Self::diffs_for_request), but the
+    /// response payload is built from the stored diffs and their pre-encoded
+    /// clocks by reference — no `Diff` or `VectorClock` clones.  Returns the
+    /// payload, the summed encoded size of the served diffs (the responder's
+    /// copy cost), and the number of first-time serves (whose creation scan
+    /// the caller charges — lazy diff creation).
+    pub fn encode_diffs_for_request(
+        &mut self,
+        page: PageId,
+        requester: usize,
+        applied_vc: &VectorClock,
+        global_vc: &VectorClock,
+    ) -> (Bytes, usize, usize) {
+        let (keys, first_serves) = self.served_diff_keys(page, requester, applied_vc, global_vc);
+        let mut diff_bytes = 0usize;
+        let parts: Vec<DiffResponsePart<'_>> = keys
+            .iter()
+            .map(|&(_, creator, seq)| {
+                let stored = &self.diffs[&(page, creator, seq)];
+                diff_bytes += stored.diff.encoded_len();
+                (creator, seq, &stored.vc_wire, &stored.diff)
+            })
+            .collect();
+        let payload = crate::proto::encode_diff_response_preencoded(page, &parts);
+        (payload, diff_bytes, first_serves)
+    }
+
+    /// The diffs this process would serve for `page`, as `(hb1 sort key,
+    /// creator, seq)` in response order, marking first-time serves as
+    /// scan-charged.  A range scan over the page's keys in the ordered diff
+    /// store — not a sweep over every diff held.
+    fn served_diff_keys(
+        &mut self,
+        page: PageId,
+        requester: usize,
+        applied_vc: &VectorClock,
+        global_vc: &VectorClock,
+    ) -> (Vec<(u64, usize, u32)>, usize) {
+        let mut first_serves = 0usize;
+        let mut keys: Vec<(u64, usize, u32)> = Vec::new();
+        for (&(_, creator, seq), stored) in self
+            .diffs
+            .range_mut((page, 0, 0)..=(page, usize::MAX, u32::MAX))
+        {
+            if creator == requester
+                || seq <= applied_vc.get(creator)
+                || !global_vc.covers(creator, seq)
+            {
+                continue;
+            }
+            if !stored.scan_charged {
+                stored.scan_charged = true;
+                first_serves += 1;
+            }
+            keys.push((stored.vc.sum(), creator, seq));
+        }
+        keys.sort_unstable();
+        (keys, first_serves)
+    }
+
+    /// Apply fetched diffs to `page` (in `hb1` order) and store them so they
+    /// can be served to other processes later.
+    ///
+    /// Only the write notices actually covered by the updated per-page
+    /// applied clock are cleared: a new notice can arrive *during* the fault
+    /// (a barrier arrival served while waiting for diff responses applies
+    /// fresh interval records), and wiping it here would leave the page
+    /// permanently stale.  The page becomes valid only if no notice remains;
+    /// the fault path re-faults otherwise.
+    pub fn apply_wire_diffs(&mut self, page: PageId, mut diffs: Vec<WireDiff>) {
+        diffs.sort_by_key(|d| (d.vc.sum(), d.creator, d.seq));
+        {
+            let slot = &mut self.pages[page as usize];
+            let data = slot.data.get_or_insert_with(new_page);
+            for wd in &diffs {
+                wd.diff.apply(data);
+                // Keep a concurrent writer's twin in sync so its own diff
+                // stays minimal (does not duplicate the incoming changes).
+                if let Some(twin) = slot.twin.as_mut() {
+                    wd.diff.apply(twin);
+                }
+            }
+        }
+        let nprocs = self.nprocs;
+        {
+            let slot = &mut self.pages[page as usize];
+            let applied = slot.applied.get_or_insert_with(|| VectorClock::new(nprocs));
+            for wd in &diffs {
+                if wd.seq > applied.get(wd.creator) {
+                    applied.set(wd.creator, wd.seq);
+                }
+            }
+        }
+        for wd in diffs {
+            self.stats.diffs_applied += 1;
+            self.stats.diff_bytes_received += wd.diff.encoded_len() as u64;
+            self.diffs
+                .entry((page, wd.creator, wd.seq))
+                .or_insert_with(|| StoredDiff {
+                    vc_wire: vc_wire(&wd.vc),
+                    vc: wd.vc,
+                    diff: wd.diff,
+                    scan_charged: true,
+                });
+        }
+        self.revalidate_page(page);
+    }
+
+    /// Number of diffs currently held for `page` (for tests and ablations).
+    pub fn diffs_held_for(&self, page: PageId) -> usize {
+        self.diffs
+            .range((page, 0, 0)..=(page, usize::MAX, u32::MAX))
+            .count()
+    }
+
+    /// Total number of diffs currently held (for tests and the GC trigger).
+    pub fn diffs_held(&self) -> usize {
+        self.diffs.len()
+    }
+
+    /// Drop every stored diff covered by `up_to` (the GC's diff half; see
+    /// [`DsmState::gc`]).  Returns how many were collected.
+    pub(crate) fn gc_diffs(&mut self, up_to: &VectorClock) -> usize {
+        let before = self.diffs.len();
+        self.diffs
+            .retain(|&(_, creator, seq), _| seq > up_to.get(creator));
+        before - self.diffs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::config::PAGE_SIZE;
+
+    fn state(me: usize, n: usize) -> DsmState {
+        DsmState::new(me, n, 1 << 20)
+    }
+
+    /// Close the open interval and return a clone of its logged record.
+    fn close_record(s: &mut DsmState) -> crate::proto::IntervalRecord {
+        let seq = s.close_interval().expect("interval must close").seq;
+        s.interval_record(s.me, seq).clone()
+    }
+
+    #[test]
+    fn diff_fetch_round_trip_updates_reader_copy() {
+        let mut writer = state(0, 2);
+        let mut reader = state(1, 2);
+        let addr = writer.malloc(1024, 8);
+        let _ = reader.malloc(1024, 8);
+        let page = writer.page_of(addr);
+        writer.mark_dirty(page);
+        writer.write_bytes(addr, &[42u8; 1024]);
+        let rec = close_record(&mut writer);
+        reader.apply_interval_record(&rec);
+
+        assert_eq!(reader.diff_request_targets(page), vec![0]);
+        let diffs = writer
+            .diffs_for_request(
+                page,
+                1,
+                &reader.page_applied_vc(page),
+                &reader.vc_snapshot_for_test(),
+            )
+            .0;
+        assert_eq!(diffs.len(), 1);
+        reader.apply_wire_diffs(page, diffs);
+        assert!(reader.is_valid(page));
+        let mut out = [0u8; 1024];
+        reader.read_bytes(addr, &mut out);
+        assert!(out.iter().all(|&b| b == 42));
+    }
+
+    #[test]
+    fn diff_accumulation_returns_overlapping_old_diffs() {
+        // Process 0 writes the page in interval 1; process 1 fetches, then
+        // overwrites the same bytes in its own interval; process 0 fetches
+        // back.  A later requester who has seen neither interval receives
+        // BOTH diffs from process 1 even though the second completely
+        // overwrites the first — the diff accumulation phenomenon.
+        let mut p0 = state(0, 3);
+        let mut p1 = state(1, 3);
+        let mut p2 = state(2, 3);
+        let addr = p0.malloc(512, 8);
+        let _ = p1.malloc(512, 8);
+        let _ = p2.malloc(512, 8);
+        let page = p0.page_of(addr);
+
+        p0.mark_dirty(page);
+        p0.write_bytes(addr, &[1u8; 512]);
+        let rec0 = close_record(&mut p0);
+
+        p1.apply_interval_record(&rec0);
+        let diffs = p0
+            .diffs_for_request(
+                page,
+                1,
+                &p1.page_applied_vc(page),
+                &p1.vc_snapshot_for_test(),
+            )
+            .0;
+        p1.apply_wire_diffs(page, diffs);
+        p1.mark_dirty(page);
+        p1.write_bytes(addr, &[2u8; 512]);
+        let rec1 = close_record(&mut p1);
+
+        p2.apply_interval_record(&rec0);
+        p2.apply_interval_record(&rec1);
+        // p1's interval dominates p0's, so p2 asks only p1...
+        assert_eq!(p2.diff_request_targets(page), vec![1]);
+        // ...but p1 answers with both diffs (accumulation).
+        let diffs = p1
+            .diffs_for_request(
+                page,
+                2,
+                &p2.page_applied_vc(page),
+                &p2.vc_snapshot_for_test(),
+            )
+            .0;
+        assert_eq!(diffs.len(), 2);
+        p2.apply_wire_diffs(page, diffs);
+        let mut out = [0u8; 512];
+        p2.read_bytes(addr, &mut out);
+        assert!(out.iter().all(|&b| b == 2));
+    }
+
+    #[test]
+    fn concurrent_writers_require_requests_to_both() {
+        // False sharing: two processes write disjoint halves of one page in
+        // concurrent intervals; a third must request diffs from both.
+        let mut p0 = state(0, 3);
+        let mut p1 = state(1, 3);
+        let mut p2 = state(2, 3);
+        for s in [&mut p0, &mut p1, &mut p2] {
+            let _ = s.malloc(PAGE_SIZE, 8);
+        }
+        let page = 0;
+        p0.mark_dirty(page);
+        p0.write_bytes(0, &[1u8; 100]);
+        let rec0 = close_record(&mut p0);
+        p1.mark_dirty(page);
+        p1.write_bytes(2000, &[2u8; 100]);
+        let rec1 = close_record(&mut p1);
+
+        p2.apply_interval_records(&[rec0, rec1]);
+        let mut targets = p2.diff_request_targets(page);
+        targets.sort_unstable();
+        assert_eq!(targets, vec![0, 1]);
+
+        let d0 = p0
+            .diffs_for_request(
+                page,
+                2,
+                &p2.page_applied_vc(page),
+                &p2.vc_snapshot_for_test(),
+            )
+            .0;
+        let d1 = p1
+            .diffs_for_request(
+                page,
+                2,
+                &p2.page_applied_vc(page),
+                &p2.vc_snapshot_for_test(),
+            )
+            .0;
+        p2.apply_wire_diffs(page, d0.into_iter().chain(d1).collect());
+        let mut out = [0u8; 100];
+        p2.read_bytes(0, &mut out);
+        assert!(out.iter().all(|&b| b == 1));
+        p2.read_bytes(2000, &mut out);
+        assert!(out.iter().all(|&b| b == 2));
+    }
+
+    #[test]
+    fn twin_kept_in_sync_with_incoming_diffs() {
+        // A concurrent writer applies an incoming diff to both the page and
+        // its twin, so its own later diff does not duplicate those bytes.
+        let mut p0 = state(0, 2);
+        let mut p1 = state(1, 2);
+        let _ = p0.malloc(PAGE_SIZE, 8);
+        let _ = p1.malloc(PAGE_SIZE, 8);
+        let page = 0;
+        p0.mark_dirty(page);
+        p0.write_bytes(0, &[5u8; 64]);
+        let rec0 = close_record(&mut p0);
+
+        p1.mark_dirty(page);
+        p1.write_bytes(1000, &[6u8; 64]);
+        // Now p1 learns about p0's interval and fetches its diff while still
+        // having its own uncommitted writes.
+        p1.apply_interval_record(&rec0);
+        let diffs = p0
+            .diffs_for_request(
+                page,
+                1,
+                &p1.page_applied_vc(page),
+                &p1.vc_snapshot_for_test(),
+            )
+            .0;
+        p1.apply_wire_diffs(page, diffs);
+        let rec1 = close_record(&mut p1);
+        assert_eq!(rec1.pages, vec![0]);
+        let d = p1
+            .diffs_for_request(0, 0, &rec0.vc, &p1.vc_snapshot_for_test())
+            .0;
+        assert_eq!(d.len(), 1);
+        // p1's diff covers only its own 64 modified bytes, not p0's.
+        assert_eq!(d[0].diff.modified_bytes(), 64);
+    }
+}

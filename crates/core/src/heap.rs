@@ -104,16 +104,20 @@ impl<'a> Tmk<'a> {
     }
 
     /// Write `src` to shared memory starting at `addr`.
+    ///
+    /// The write trap is the protocol's decision
+    /// ([`crate::protocol::ConsistencyProtocol::prepare_write`]): the
+    /// twinning backends validate the span and twin + dirty each page; SC
+    /// acquires exclusive ownership.  `access_done` then lets the protocol
+    /// serve whatever it deferred while acquiring (SC's ownership
+    /// hand-offs).
     pub fn write_bytes(&self, addr: SharedAddr, src: &[u8]) {
         if src.is_empty() {
             return;
         }
-        self.ensure_valid(addr, src.len());
-        let pages = self.st.borrow().pages_spanning(addr, src.len());
-        for p in pages {
-            self.mark_dirty_charged(p);
-        }
+        self.backend.prepare_write(self, addr, src.len());
         self.st.borrow_mut().write_bytes(addr, src);
+        self.backend.access_done(self);
     }
 
     // --------------------------------------------------------- typed access
@@ -283,7 +287,7 @@ impl<'a> Tmk<'a> {
     }
 
     /// Mark `page` dirty, charging the twin-copy cost if a twin is created.
-    fn mark_dirty_charged(&self, page: PageId) {
+    pub(crate) fn mark_dirty_charged(&self, page: PageId) {
         let twinned = self.st.borrow_mut().mark_dirty(page);
         if twinned {
             self.proc().compute(PAGE_SIZE as f64 / MEM_BANDWIDTH);

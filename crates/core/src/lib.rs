@@ -18,13 +18,17 @@
 //!   last-requester forwarding (a release sends no message), and a
 //!   centralised barrier costing `2 * (nprocs - 1)` messages ([`process`]).
 //!
-//! Beyond the paper, the coherence policy is selectable per run through the
-//! [`protocol`] engine: [`ProtocolKind::Lrc`] is the TreadMarks protocol
-//! above, and [`ProtocolKind::Hlrc`] is home-based LRC ([`home`]) — eager
-//! diff flushes to a per-page home at release/barrier and full-page fetches
-//! at faults, with no diff accumulation or garbage retention.  See the
-//! repository README for the protocol comparison and how to select a
-//! backend.
+//! Beyond the paper, the coherence policy is a first-class *layer*: the
+//! [`protocol::ConsistencyProtocol`] trait separates protocol policy from
+//! the protocol-neutral core, and three backends plug into it —
+//! [`ProtocolKind::Lrc`] (the TreadMarks protocol above),
+//! [`ProtocolKind::Hlrc`] (home-based LRC, [`protocol::hlrc`]: eager diff
+//! flushes to a per-page home at release/barrier and full-page fetches at
+//! faults) and [`ProtocolKind::Sc`] (a sequential-consistency baseline,
+//! [`protocol::sc`]: single-writer pages with ownership transfer and
+//! invalidate-on-write — the naive DSM the paper's design implicitly argues
+//! against).  See the repository README for the protocol comparison and
+//! `docs/ARCHITECTURE.md` for how to write a new backend.
 //!
 //! The programming interface mirrors the TreadMarks API used by the paper's
 //! applications: `Tmk_malloc`, `Tmk_barrier`, `Tmk_lock_acquire`,
@@ -59,8 +63,9 @@
 
 #![deny(missing_docs)]
 
+pub mod diffs;
 pub mod heap;
-pub mod home;
+pub mod intervals;
 pub mod page;
 pub mod process;
 pub mod proto;
@@ -72,7 +77,7 @@ pub mod vc;
 pub use heap::SharedAddr;
 pub use page::{Diff, DiffRun, PageId};
 pub use process::Tmk;
-pub use protocol::ProtocolKind;
+pub use protocol::{ConsistencyProtocol, ProtocolKind};
 pub use stats::TmkStats;
 pub use vc::VectorClock;
 
@@ -196,8 +201,24 @@ mod tests {
     }
 
     #[test]
+    fn sc_retains_no_interval_or_diff_metadata_at_all() {
+        // The sequential-consistency baseline has no intervals or diffs, so
+        // there is nothing for the GC to ever trigger on or collect.
+        let rep = gc_rounds(ProtocolKind::Sc, 8);
+        for (sum, gcs, intervals, diffs) in &rep.results {
+            let expect: f64 = (0..48u32).map(|r| 1.0 + r as f64).sum();
+            assert_eq!(*sum, expect);
+            assert_eq!(*gcs, 0);
+            assert_eq!(*intervals, 0);
+            assert_eq!(*diffs, 0);
+        }
+    }
+
+    #[test]
     fn barrier_gc_bounds_metadata_and_preserves_results() {
-        for protocol in ProtocolKind::all() {
+        // The twinning protocols retain interval/diff metadata; SC (covered
+        // above) never creates any.
+        for protocol in [ProtocolKind::Lrc, ProtocolKind::Hlrc] {
             let without = gc_rounds(protocol, u64::MAX);
             let with = gc_rounds(protocol, 8);
             for (rank, (a, b)) in without.results.iter().zip(&with.results).enumerate() {

@@ -114,7 +114,17 @@ impl Diff {
                 data: current[start..i].to_vec(),
             });
         }
-        Diff { runs }
+        let diff = Diff { runs };
+        // With the `oracle-checks` feature (on in CI), every word-scan diff
+        // is checked against the byte-at-a-time reference; off by default
+        // because diff creation is on the interval-close hot path.
+        #[cfg(feature = "oracle-checks")]
+        assert_eq!(
+            diff,
+            Diff::create_reference(twin, current),
+            "word-scan diff diverged from the reference implementation"
+        );
+        diff
     }
 
     /// The byte-at-a-time reference implementation of [`Diff::create`]:

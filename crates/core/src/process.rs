@@ -19,15 +19,13 @@
 //! (SIGIO) request handling of the real system.
 
 use crate::proto::*;
-use crate::protocol::ProtocolKind;
+use crate::protocol::{ConsistencyProtocol, ProtocolKind};
 use crate::state::DsmState;
 use crate::stats::TmkStats;
 use crate::vc::VectorClock;
 use crate::{
-    DEFAULT_GC_INTERVAL_THRESHOLD, DEFAULT_HEAP_BYTES, MEM_BANDWIDTH, REQUEST_SERVICE_COST,
-    SYNC_OP_COST,
+    DEFAULT_GC_INTERVAL_THRESHOLD, DEFAULT_HEAP_BYTES, REQUEST_SERVICE_COST, SYNC_OP_COST,
 };
-use cluster::config::PAGE_SIZE;
 use cluster::{Message, Proc};
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
@@ -64,6 +62,8 @@ use std::collections::BTreeMap;
 pub struct Tmk<'a> {
     proc: &'a Proc,
     pub(crate) st: RefCell<DsmState>,
+    /// The coherence-protocol backend driving this endpoint's policy.
+    pub(crate) backend: &'static dyn ConsistencyProtocol,
     /// Next barrier episode number on this process.
     barrier_epoch: Cell<u32>,
     /// Barrier-manager state: arrivals per episode (source, source clock).
@@ -117,6 +117,7 @@ impl<'a> Tmk<'a> {
                 heap_bytes,
                 protocol,
             )),
+            backend: protocol.backend(),
             barrier_epoch: Cell::new(0),
             arrivals: RefCell::new(BTreeMap::new()),
             lock_release_time: RefCell::new(BTreeMap::new()),
@@ -225,6 +226,7 @@ impl<'a> Tmk<'a> {
             ls.have_token = true;
             ls.in_cs = true;
         }
+        self.backend.at_acquire(self);
     }
 
     /// Release lock `id`.
@@ -235,7 +237,7 @@ impl<'a> Tmk<'a> {
     pub fn lock_release(&self, id: u32) {
         self.proc.compute(SYNC_OP_COST);
         if self.nprocs() > 1 {
-            self.close_interval_charged();
+            self.backend.at_release(self);
         }
         let pending = {
             let mut st = self.st.borrow_mut();
@@ -279,7 +281,7 @@ impl<'a> Tmk<'a> {
             self.st.borrow_mut().stats.barriers += 1;
             return;
         }
-        self.close_interval_charged();
+        self.backend.at_barrier(self);
         {
             self.st.borrow_mut().stats.barriers += 1;
         }
@@ -371,20 +373,18 @@ impl<'a> Tmk<'a> {
 
     // ------------------------------------------------------------- internals
 
-    /// Close the current interval (if any page is dirty) and — under the
-    /// home-based protocol — flush the diffs to their remote homes before
-    /// returning.
+    /// Close the current interval (if any page is dirty) and hand it to the
+    /// protocol backend's [`ConsistencyProtocol::publish_interval`] — under
+    /// the home-based protocol, that flushes the diffs to their remote
+    /// homes before returning.
     ///
     /// No diff-creation cost is charged here: the real system creates diffs
     /// lazily, so under LRC the page+twin scan is charged when a diff is
-    /// first served, and under HLRC when it is flushed (by
-    /// [`Tmk::hlrc_flush`]).
-    pub(crate) fn close_interval_charged(&self) {
+    /// first served, and under HLRC when it is flushed.
+    pub(crate) fn close_and_publish(&self) {
         let closed = self.st.borrow_mut().close_interval();
         if let Some(closed) = closed {
-            if !closed.flushes.is_empty() {
-                self.hlrc_flush(closed.seq, closed.flushes);
-            }
+            self.backend.publish_interval(self, closed);
         }
     }
 
@@ -482,33 +482,6 @@ impl<'a> Tmk<'a> {
                 let (lock, requester, req_vc) = decode_lock_request(m.payload, n);
                 self.handle_forwarded(lock, requester, req_vc, m.arrival);
             }
-            TAG_DIFF_REQ => {
-                self.proc.compute(REQUEST_SERVICE_COST);
-                let (page, requester, applied_vc, global_vc) = decode_diff_request(m.payload, n);
-                let (payload, bytes, first_serves) = {
-                    let mut st = self.st.borrow_mut();
-                    st.stats.diff_requests_served += 1;
-                    st.encode_diffs_for_request(page, requester, &applied_vc, &global_vc)
-                };
-                // Diffs served for the first time are created now (the lazy
-                // diff creation of the real system): scan the page and twin.
-                let scan =
-                    first_serves as f64 * 2.0 * cluster::config::PAGE_SIZE as f64 / MEM_BANDWIDTH;
-                // Copying the diffs into the response steals cycles here.
-                self.proc.compute(scan + bytes as f64 / MEM_BANDWIDTH);
-                self.proc.send_at(
-                    requester,
-                    TAG_DIFF_RESP,
-                    payload,
-                    m.arrival + REQUEST_SERVICE_COST,
-                );
-            }
-            TAG_DIFF_FLUSH => {
-                self.serve_flush(m);
-            }
-            TAG_PAGE_REQ => {
-                self.serve_page_request(m);
-            }
             TAG_BARRIER_ARRIVE => {
                 assert_eq!(self.id(), 0, "only process 0 manages barriers");
                 self.proc.compute(REQUEST_SERVICE_COST);
@@ -524,7 +497,14 @@ impl<'a> Tmk<'a> {
                 assert_eq!(self.id(), 0, "only process 0 collects DONE messages");
                 self.done_count.set(self.done_count.get() + 1);
             }
-            other => panic!("not a request tag: {other}"),
+            // Everything else belongs to the configured protocol backend
+            // (diff requests under LRC, flushes and page fetches under
+            // HLRC, the ownership protocol under SC).
+            other => {
+                if !self.backend.serve_request(self, m) {
+                    panic!("not a request tag: {other}");
+                }
+            }
         }
     }
 
@@ -556,7 +536,9 @@ impl<'a> Tmk<'a> {
     /// Hand the lock token to `requester`, piggybacking the write notices of
     /// every interval the requester has not seen.
     fn grant_lock(&self, lock: u32, requester: usize, req_vc: &VectorClock, depart: f64) {
-        self.close_interval_charged();
+        // Handing the token over is a release edge: the open interval must
+        // be published before the grant departs.
+        self.backend.at_release(self);
         let payload = {
             let mut st = self.st.borrow_mut();
             let ls = st.lock_state_mut(lock);
@@ -574,14 +556,12 @@ impl<'a> Tmk<'a> {
     /// Triggered — identically on every process, because the clocks merge at
     /// the barrier that just completed — when the cluster-wide interval
     /// count has grown past the configured threshold since the last
-    /// collection.  Under LRC every process first *validates* all its
-    /// invalid pages (applying every outstanding diff at or below the
-    /// merged clock), then a synchronization barrier guarantees no peer is
-    /// still validating, and only then is metadata at or below the clock
-    /// dropped; without the validate-and-sync, a peer's in-flight diff
-    /// request could name a diff already collected.  Under HLRC diffs are
-    /// never retained and page homes stay current, so the interval logs are
-    /// truncated directly.
+    /// collection.  The protocol backend's
+    /// [`ConsistencyProtocol::prepare_gc`] first makes the collection safe:
+    /// LRC validates every invalid page and runs an internal sync barrier
+    /// ([`Tmk::gc_sync_barrier`]) so no peer's in-flight diff request can
+    /// name a collected diff; HLRC retains no diffs and page homes stay
+    /// current, so the interval logs are truncated directly.
     fn maybe_gc(&self) {
         if self.nprocs() == 1 {
             return;
@@ -590,18 +570,17 @@ impl<'a> Tmk<'a> {
         if sum - self.last_gc_sum.get() < self.gc_threshold.get() {
             return;
         }
-        if self.protocol() == ProtocolKind::Lrc {
-            let npages = (self.st.borrow().heap_size() / PAGE_SIZE) as u32;
-            for page in 0..npages {
-                if !self.st.borrow().is_valid(page) {
-                    self.fault_in(page);
-                }
-            }
-            self.barrier_inner(u32::MAX);
-        }
+        self.backend.prepare_gc(self);
         let horizon = self.st.borrow().vc.clone();
         debug_assert_eq!(horizon.sum(), sum, "GC must not create intervals");
         self.st.borrow_mut().gc(&horizon);
         self.last_gc_sum.set(sum);
+    }
+
+    /// The internal synchronization barrier of a protocol's GC preparation
+    /// (an out-of-band episode that exchanges no application state beyond
+    /// the clocks).
+    pub(crate) fn gc_sync_barrier(&self) {
+        self.barrier_inner(u32::MAX);
     }
 }

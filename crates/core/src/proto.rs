@@ -36,6 +36,25 @@ pub const TAG_FLUSH_ACK: u32 = 110;
 pub const TAG_PAGE_REQ: u32 = 111;
 /// HLRC full-page fetch response carrying the master copy, home → requester.
 pub const TAG_PAGE_RESP: u32 = 112;
+/// SC write-ownership request, faulting writer → page manager.
+pub const TAG_SC_WRITE_REQ: u32 = 120;
+/// SC forwarded write-ownership request, manager → the previous requester
+/// (the token chain; same `(page, requester)` payload as the request).
+pub const TAG_SC_WRITE_FWD: u32 = 121;
+/// SC ownership transfer carrying the page (and the copyset to invalidate),
+/// old owner → new owner.
+pub const TAG_SC_PAGE_XFER: u32 = 122;
+/// SC read-copy request, faulting reader → page manager.
+pub const TAG_SC_READ_REQ: u32 = 123;
+/// SC forwarded read-copy request, manager → the token-chain predecessor
+/// (same `(page, requester)` payload as the request).
+pub const TAG_SC_READ_FWD: u32 = 124;
+/// SC read copy of the page, owner → reader.
+pub const TAG_SC_PAGE_COPY: u32 = 125;
+/// SC invalidation, new owner → copyset member.
+pub const TAG_SC_INVAL: u32 = 126;
+/// SC invalidation acknowledgement, member → new owner.
+pub const TAG_SC_INVAL_ACK: u32 = 127;
 
 /// True if `tag` is a request that must be served by the runtime's service
 /// loop even while the process is blocked waiting for something else.
@@ -49,6 +68,11 @@ pub fn is_request_tag(tag: u32) -> bool {
             | TAG_DONE
             | TAG_DIFF_FLUSH
             | TAG_PAGE_REQ
+            | TAG_SC_WRITE_REQ
+            | TAG_SC_WRITE_FWD
+            | TAG_SC_READ_REQ
+            | TAG_SC_READ_FWD
+            | TAG_SC_INVAL
     )
 }
 
@@ -426,6 +450,83 @@ pub fn decode_page_response(mut payload: Bytes, nprocs: usize) -> (PageId, Vecto
     (page, applied, data)
 }
 
+/// SC request: `(page, process)` — the shape shared by write requests, read
+/// requests, forwarded read requests and invalidations (the process is the
+/// requester, or for an invalidation the new owner awaiting the ack).
+pub fn encode_sc_request(page: PageId, process: usize) -> Bytes {
+    let mut b = BytesMut::with_capacity(8);
+    b.put_u32_le(page);
+    b.put_u32_le(process as u32);
+    b.freeze()
+}
+
+/// Decode an SC `(page, process)` request.
+pub fn decode_sc_request(mut payload: Bytes) -> (PageId, usize) {
+    let page = payload.get_u32_le();
+    let process = payload.get_u32_le() as usize;
+    (page, process)
+}
+
+fn put_procs(buf: &mut BytesMut, procs: &[usize]) {
+    buf.put_u32_le(procs.len() as u32);
+    for &p in procs {
+        buf.put_u32_le(p as u32);
+    }
+}
+
+fn get_procs(buf: &mut Bytes) -> Vec<usize> {
+    let n = buf.get_u32_le() as usize;
+    (0..n).map(|_| buf.get_u32_le() as usize).collect()
+}
+
+/// SC ownership transfer: `(page, copyset, data)` — the full page always
+/// travels with the token (an owner that merely upgrades a downgraded copy
+/// never sends a message at all).
+pub fn encode_sc_page_transfer(page: PageId, copyset: &[usize], data: &[u8]) -> Bytes {
+    let mut b = BytesMut::with_capacity(8 + 4 * copyset.len() + data.len());
+    b.put_u32_le(page);
+    put_procs(&mut b, copyset);
+    b.put_slice(data);
+    b.freeze()
+}
+
+/// Decode an SC ownership transfer.
+pub fn decode_sc_page_transfer(mut payload: Bytes) -> (PageId, Vec<usize>, Vec<u8>) {
+    let page = payload.get_u32_le();
+    let copyset = get_procs(&mut payload);
+    let mut data = vec![0u8; payload.remaining()];
+    payload.copy_to_slice(&mut data);
+    (page, copyset, data)
+}
+
+/// SC read copy: `(page, data)`.
+pub fn encode_sc_page_copy(page: PageId, data: &[u8]) -> Bytes {
+    let mut b = BytesMut::with_capacity(4 + data.len());
+    b.put_u32_le(page);
+    b.put_slice(data);
+    b.freeze()
+}
+
+/// Decode an SC read copy.
+pub fn decode_sc_page_copy(mut payload: Bytes) -> (PageId, Vec<u8>) {
+    let page = payload.get_u32_le();
+    let mut data = vec![0u8; payload.remaining()];
+    payload.copy_to_slice(&mut data);
+    (page, data)
+}
+
+/// SC invalidation acknowledgement: the invalidated page.
+pub fn encode_sc_ack(page: PageId) -> Bytes {
+    let mut b = BytesMut::with_capacity(4);
+    b.put_u32_le(page);
+    b.freeze()
+}
+
+/// Decode an SC invalidation acknowledgement.
+pub fn decode_sc_ack(mut payload: Bytes) -> PageId {
+    payload.get_u32_le()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -522,12 +623,40 @@ mod tests {
         assert!(is_request_tag(TAG_BARRIER_ARRIVE));
         assert!(is_request_tag(TAG_DIFF_FLUSH));
         assert!(is_request_tag(TAG_PAGE_REQ));
+        assert!(is_request_tag(TAG_SC_WRITE_REQ));
+        assert!(is_request_tag(TAG_SC_WRITE_FWD));
+        assert!(is_request_tag(TAG_SC_READ_REQ));
+        assert!(is_request_tag(TAG_SC_READ_FWD));
+        assert!(is_request_tag(TAG_SC_INVAL));
         assert!(!is_request_tag(TAG_LOCK_GRANT));
         assert!(!is_request_tag(TAG_BARRIER_RELEASE));
         assert!(!is_request_tag(TAG_DIFF_RESP));
         assert!(!is_request_tag(TAG_FLUSH_ACK));
         assert!(!is_request_tag(TAG_PAGE_RESP));
+        assert!(!is_request_tag(TAG_SC_PAGE_XFER));
+        assert!(!is_request_tag(TAG_SC_PAGE_COPY));
+        assert!(!is_request_tag(TAG_SC_INVAL_ACK));
         assert!(!is_request_tag(TAG_TERMINATE));
+    }
+
+    #[test]
+    fn sc_messages_round_trip() {
+        let (page, proc) = decode_sc_request(encode_sc_request(7, 3));
+        assert_eq!((page, proc), (7, 3));
+
+        let mut data = new_page().to_vec();
+        data[0] = 1;
+        data[4095] = 2;
+        let (page, cs, got) = decode_sc_page_transfer(encode_sc_page_transfer(5, &[1, 4], &data));
+        assert_eq!(page, 5);
+        assert_eq!(cs, vec![1, 4]);
+        assert_eq!(got, data);
+
+        let (page, got) = decode_sc_page_copy(encode_sc_page_copy(11, &data));
+        assert_eq!(page, 11);
+        assert_eq!(got, data);
+
+        assert_eq!(decode_sc_ack(encode_sc_ack(42)), 42);
     }
 
     #[test]

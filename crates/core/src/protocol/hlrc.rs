@@ -18,8 +18,8 @@
 //!   keeps no diff history, so there is no diff accumulation and no
 //!   protocol garbage to retain.
 //!
-//! The trade against the paper's TreadMarks protocol ([`ProtocolKind::Lrc`])
-//! is exactly the one the follow-up literature measures: fewer fault
+//! The trade against the paper's TreadMarks protocol ([`super::lrc`]) is
+//! exactly the one the follow-up literature measures: fewer fault
 //! round-trips (one per fault instead of one per concurrent writer) and no
 //! accumulated-diff traffic, in exchange for eager flush messages on every
 //! release and full-page fetches on every fault.
@@ -27,14 +27,16 @@
 use crate::page::{new_page, Diff, PageId};
 use crate::process::Tmk;
 use crate::proto::{
-    decode_diff_flush, decode_page_request, decode_page_response, encode_diff_flush,
-    encode_flush_ack, encode_page_request, encode_page_response, TAG_DIFF_FLUSH, TAG_FLUSH_ACK,
-    TAG_PAGE_REQ, TAG_PAGE_RESP,
+    decode_diff_flush, decode_flush_ack, decode_page_request, decode_page_response,
+    encode_diff_flush, encode_flush_ack, encode_page_request, encode_page_response, TAG_DIFF_FLUSH,
+    TAG_FLUSH_ACK, TAG_PAGE_REQ, TAG_PAGE_RESP,
 };
-use crate::protocol::ProtocolKind;
-use crate::state::DsmState;
+use crate::protocol::{diff_counter_summary, ConsistencyProtocol, ProtocolKind};
+use crate::state::{ClosedInterval, DsmState};
+use crate::stats::TmkStats;
 use crate::vc::VectorClock;
 use crate::{MEM_BANDWIDTH, REQUEST_SERVICE_COST};
+use bytes::Bytes;
 use cluster::config::PAGE_SIZE;
 use cluster::Message;
 use std::collections::BTreeMap;
@@ -44,6 +46,164 @@ use std::collections::BTreeMap;
 /// consecutive homes.
 pub fn home_of(page: PageId, nprocs: usize) -> usize {
     page as usize % nprocs
+}
+
+/// The home-based-LRC backend singleton.
+pub struct Hlrc;
+
+impl ConsistencyProtocol for Hlrc {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::Hlrc
+    }
+
+    fn describe(&self) -> &'static str {
+        "home-based lazy release consistency: diffs flushed eagerly to a per-page home \
+         at release/barrier, faults fetch the full page from the home"
+    }
+
+    /// Under HLRC the home's copy is the master copy: flushes keep it
+    /// current before the notice can arrive, so it is never invalidated.
+    fn invalidate_on_notice(&self, st: &DsmState, page: PageId) -> bool {
+        home_of(page, st.nprocs) != st.me
+    }
+
+    /// The home's own writes are already in its master copy: no diff is
+    /// needed for a page homed here, ever.
+    fn diff_at_close(&self, st: &DsmState, page: PageId) -> bool {
+        home_of(page, st.nprocs) != st.me
+    }
+
+    /// Every created diff is destined for a remote home; nothing is
+    /// retained locally.
+    fn retain_or_flush(
+        &self,
+        _st: &mut DsmState,
+        page: PageId,
+        _seq: u32,
+        _vc: &VectorClock,
+        _vc_wire: &Bytes,
+        diff: Diff,
+    ) -> Option<(PageId, Diff)> {
+        Some((page, diff))
+    }
+
+    /// HLRC fault service: fetch the full page from its home in one round
+    /// trip.
+    fn serve_fault(&self, rt: &Tmk, page: PageId) {
+        let home = rt.st.borrow().home_of(page);
+        debug_assert_ne!(home, rt.id(), "the home never faults on its own pages");
+        rt.proc()
+            .send(home, TAG_PAGE_REQ, encode_page_request(page, rt.id()));
+        rt.st.borrow_mut().stats.page_requests_sent += 1;
+        let m = rt.wait_reply(TAG_PAGE_RESP);
+        let (pid, home_applied, data) = decode_page_response(m.payload, rt.nprocs());
+        assert_eq!(pid, page, "page response for an unexpected page");
+        // Installing the incoming page is a page-sized copy.
+        rt.proc().compute(PAGE_SIZE as f64 / MEM_BANDWIDTH);
+        rt.st.borrow_mut().apply_page(page, &data, &home_applied);
+    }
+
+    /// Writer side of the eager flush: group the closed interval's diffs by
+    /// home, send one flush message per home, and wait for every
+    /// acknowledgement (serving incoming protocol requests meanwhile).
+    ///
+    /// Called from the interval-close path, i.e. before the release or
+    /// barrier arrival that publishes the interval's write notices — which
+    /// is the ordering that guarantees the home is current before anyone
+    /// can fault on the page.
+    fn publish_interval(&self, rt: &Tmk, closed: ClosedInterval) {
+        if closed.flushes.is_empty() {
+            return;
+        }
+        let seq = closed.seq;
+        let mut by_home: BTreeMap<usize, Vec<(PageId, Diff)>> = BTreeMap::new();
+        for (page, diff) in closed.flushes {
+            let home = rt.st.borrow().home_of(page);
+            debug_assert_ne!(home, rt.id(), "own-homed pages are applied in place");
+            by_home.entry(home).or_default().push((page, diff));
+        }
+        let homes = by_home.len();
+        for (home, entries) in by_home {
+            let bytes: usize = entries.iter().map(|(_, d)| d.encoded_len()).sum();
+            let payload = encode_diff_flush(rt.id(), seq, &entries);
+            // Creating each flushed diff scans the page and its twin (HLRC
+            // pays diff creation eagerly, at flush time), and copying the
+            // diffs into the flush message costs memory bandwidth too.
+            let scan = entries.len() as f64 * 2.0 * PAGE_SIZE as f64;
+            rt.proc().compute((scan + bytes as f64) / MEM_BANDWIDTH);
+            rt.proc().send(home, TAG_DIFF_FLUSH, payload);
+            let mut st = rt.st.borrow_mut();
+            st.stats.diff_flushes_sent += 1;
+            st.stats.flush_bytes_sent += bytes as u64;
+        }
+        for _ in 0..homes {
+            let m = rt.wait_reply(TAG_FLUSH_ACK);
+            let (creator, acked_seq) = decode_flush_ack(m.payload);
+            assert_eq!(creator, rt.id(), "flush ack for another process");
+            assert_eq!(acked_seq, seq, "flush ack for another interval");
+        }
+    }
+
+    fn serve_request(&self, rt: &Tmk, m: Message) -> bool {
+        match m.tag {
+            TAG_DIFF_FLUSH => {
+                serve_flush(rt, m);
+                true
+            }
+            TAG_PAGE_REQ => {
+                serve_page_request(rt, m);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn counter_summary(&self, stats: &TmkStats) -> String {
+        diff_counter_summary(stats)
+    }
+}
+
+/// Serve an incoming diff flush (home side): apply each diff to the master
+/// copy and acknowledge at the request's arrival time plus the service cost.
+fn serve_flush(rt: &Tmk, m: Message) {
+    rt.proc().compute(REQUEST_SERVICE_COST);
+    let (creator, seq, entries) = decode_diff_flush(m.payload);
+    let bytes: usize = entries.iter().map(|(_, d)| d.encoded_len()).sum();
+    {
+        let mut st = rt.st.borrow_mut();
+        for (page, diff) in &entries {
+            st.apply_flush(*page, creator, seq, diff);
+        }
+    }
+    // Applying the diffs to the master copy costs memory bandwidth.
+    rt.proc().compute(bytes as f64 / MEM_BANDWIDTH);
+    rt.proc().send_at(
+        creator,
+        TAG_FLUSH_ACK,
+        encode_flush_ack(creator, seq),
+        m.arrival + REQUEST_SERVICE_COST,
+    );
+}
+
+/// Serve an incoming page fetch (home side): reply with the master copy at
+/// the request's arrival time plus the service cost.
+fn serve_page_request(rt: &Tmk, m: Message) {
+    rt.proc().compute(REQUEST_SERVICE_COST);
+    let (page, requester) = decode_page_request(m.payload);
+    let payload = {
+        let mut st = rt.st.borrow_mut();
+        st.stats.page_requests_served += 1;
+        let (data, applied) = st.page_snapshot(page);
+        encode_page_response(page, &applied, &data)
+    };
+    // Copying the page into the response steals cycles at the home.
+    rt.proc().compute(PAGE_SIZE as f64 / MEM_BANDWIDTH);
+    rt.proc().send_at(
+        requester,
+        TAG_PAGE_RESP,
+        payload,
+        m.arrival + REQUEST_SERVICE_COST,
+    );
 }
 
 impl DsmState {
@@ -133,112 +293,18 @@ impl DsmState {
     }
 }
 
-impl Tmk<'_> {
-    /// Writer side of the eager flush: group one closed interval's diffs by
-    /// home, send one flush message per home, and wait for every
-    /// acknowledgement (serving incoming protocol requests meanwhile).
-    ///
-    /// Called from the interval-close path, i.e. before the release or
-    /// barrier arrival that publishes the interval's write notices — which
-    /// is the ordering that guarantees the home is current before anyone
-    /// can fault on the page.
-    pub(crate) fn hlrc_flush(&self, seq: u32, flushes: Vec<(PageId, Diff)>) {
-        debug_assert_eq!(self.protocol(), ProtocolKind::Hlrc);
-        let mut by_home: BTreeMap<usize, Vec<(PageId, Diff)>> = BTreeMap::new();
-        for (page, diff) in flushes {
-            let home = self.st.borrow().home_of(page);
-            debug_assert_ne!(home, self.id(), "own-homed pages are applied in place");
-            by_home.entry(home).or_default().push((page, diff));
-        }
-        let homes = by_home.len();
-        for (home, entries) in by_home {
-            let bytes: usize = entries.iter().map(|(_, d)| d.encoded_len()).sum();
-            let payload = encode_diff_flush(self.id(), seq, &entries);
-            // Creating each flushed diff scans the page and its twin (HLRC
-            // pays diff creation eagerly, at flush time), and copying the
-            // diffs into the flush message costs memory bandwidth too.
-            let scan = entries.len() as f64 * 2.0 * PAGE_SIZE as f64;
-            self.proc().compute((scan + bytes as f64) / MEM_BANDWIDTH);
-            self.proc().send(home, TAG_DIFF_FLUSH, payload);
-            let mut st = self.st.borrow_mut();
-            st.stats.diff_flushes_sent += 1;
-            st.stats.flush_bytes_sent += bytes as u64;
-        }
-        for _ in 0..homes {
-            let m = self.wait_reply(TAG_FLUSH_ACK);
-            let (creator, acked_seq) = crate::proto::decode_flush_ack(m.payload);
-            assert_eq!(creator, self.id(), "flush ack for another process");
-            assert_eq!(acked_seq, seq, "flush ack for another interval");
-        }
-    }
-
-    /// HLRC fault service: fetch the full page from its home in one round
-    /// trip.
-    pub(crate) fn hlrc_fault_in(&self, page: PageId) {
-        let home = self.st.borrow().home_of(page);
-        debug_assert_ne!(home, self.id(), "the home never faults on its own pages");
-        self.proc()
-            .send(home, TAG_PAGE_REQ, encode_page_request(page, self.id()));
-        self.st.borrow_mut().stats.page_requests_sent += 1;
-        let m = self.wait_reply(TAG_PAGE_RESP);
-        let (pid, home_applied, data) = decode_page_response(m.payload, self.nprocs());
-        assert_eq!(pid, page, "page response for an unexpected page");
-        // Installing the incoming page is a page-sized copy.
-        self.proc().compute(PAGE_SIZE as f64 / MEM_BANDWIDTH);
-        self.st.borrow_mut().apply_page(page, &data, &home_applied);
-    }
-
-    /// Serve an incoming diff flush (home side): apply each diff to the
-    /// master copy and acknowledge at the request's arrival time plus the
-    /// service cost.
-    pub(crate) fn serve_flush(&self, m: Message) {
-        self.proc().compute(REQUEST_SERVICE_COST);
-        let (creator, seq, entries) = decode_diff_flush(m.payload);
-        let bytes: usize = entries.iter().map(|(_, d)| d.encoded_len()).sum();
-        {
-            let mut st = self.st.borrow_mut();
-            for (page, diff) in &entries {
-                st.apply_flush(*page, creator, seq, diff);
-            }
-        }
-        // Applying the diffs to the master copy costs memory bandwidth.
-        self.proc().compute(bytes as f64 / MEM_BANDWIDTH);
-        self.proc().send_at(
-            creator,
-            TAG_FLUSH_ACK,
-            encode_flush_ack(creator, seq),
-            m.arrival + REQUEST_SERVICE_COST,
-        );
-    }
-
-    /// Serve an incoming page fetch (home side): reply with the master copy
-    /// at the request's arrival time plus the service cost.
-    pub(crate) fn serve_page_request(&self, m: Message) {
-        self.proc().compute(REQUEST_SERVICE_COST);
-        let (page, requester) = decode_page_request(m.payload);
-        let payload = {
-            let mut st = self.st.borrow_mut();
-            st.stats.page_requests_served += 1;
-            let (data, applied) = st.page_snapshot(page);
-            encode_page_response(page, &applied, &data)
-        };
-        // Copying the page into the response steals cycles at the home.
-        self.proc().compute(PAGE_SIZE as f64 / MEM_BANDWIDTH);
-        self.proc().send_at(
-            requester,
-            TAG_PAGE_RESP,
-            payload,
-            m.arrival + REQUEST_SERVICE_COST,
-        );
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn state(me: usize, n: usize) -> DsmState {
         DsmState::new_with(me, n, 1 << 20, ProtocolKind::Hlrc)
+    }
+
+    /// Drive one HLRC interval close at the state level, returning what the
+    /// runtime would flush (the policy path exercised by `close_interval`).
+    fn close(s: &mut DsmState) -> ClosedInterval {
+        s.close_interval().expect("interval must close")
     }
 
     #[test]
@@ -260,7 +326,7 @@ mod tests {
         let _ = home.malloc(2 * PAGE_SIZE, 8);
         writer.mark_dirty(writer.page_of(addr));
         writer.write_bytes(addr, &[9u8; 64]);
-        let closed = writer.close_interval().unwrap();
+        let closed = close(&mut writer);
         assert_eq!(closed.flushes.len(), 1);
         let (page, diff) = &closed.flushes[0];
         home.apply_flush(*page, 0, closed.seq, diff);
@@ -278,7 +344,7 @@ mod tests {
         let _ = s.malloc(2 * PAGE_SIZE, 8);
         s.mark_dirty(0); // page 0 is homed on process 0
         s.write_bytes(0, &[5u8; 16]);
-        let closed = s.close_interval().unwrap();
+        let closed = close(&mut s);
         assert!(closed.flushes.is_empty());
         let (snapshot, applied) = s.page_snapshot(0);
         assert!(snapshot[..16].iter().all(|&b| b == 5));
@@ -325,7 +391,7 @@ mod tests {
         assert_eq!(other, [3u8; 8], "the home's committed data is adopted");
 
         // The rebased twin keeps the eventual flush minimal.
-        let closed = reader.close_interval().unwrap();
+        let closed = close(&mut reader);
         let (_, diff) = &closed.flushes[0];
         assert_eq!(diff.modified_bytes(), 8);
     }

@@ -1,0 +1,357 @@
+//! The pluggable coherence-protocol layer.
+//!
+//! The DSM runtime separates *mechanism* from *policy*.  The mechanism — the
+//! page table, twins and diffs, vector clocks, the interval log, the wire
+//! codec and the request service loop — is protocol-neutral and lives in
+//! [`crate::state`], [`crate::diffs`], [`crate::page`], [`crate::proto`] and
+//! [`crate::process`].  The policy — what happens at an access fault, what
+//! becomes of the diffs created when an interval closes, which pages a write
+//! notice invalidates, and which wire messages exist at all — is a
+//! [`ConsistencyProtocol`] implementation, selected per endpoint by
+//! [`ProtocolKind`] when a [`Tmk`] is created:
+//!
+//! * [`ProtocolKind::Lrc`] ([`lrc`]) — the paper's TreadMarks protocol:
+//!   multiple-writer lazy release consistency with an invalidate protocol.
+//!   Diffs stay with their writers; a fault sends a diff request to each
+//!   member of the minimal dominating set of writers, and responders
+//!   practice *diff accumulation*.
+//! * [`ProtocolKind::Hlrc`] ([`hlrc`]) — home-based LRC: every page has a
+//!   *home*; writers flush diffs to the home eagerly at release/barrier and
+//!   a fault fetches the whole page from the home in one round trip.
+//! * [`ProtocolKind::Sc`] ([`sc`]) — the sequential-consistency baseline:
+//!   a single-writer, invalidate-on-write ownership protocol with no twins,
+//!   diffs or intervals — the naive DSM the paper's design arguments are
+//!   measured against.
+//!
+//! Every backend is a stateless singleton ([`ProtocolKind::backend`])
+//! implementing the trait's hooks over the shared core; protocol-private
+//! per-process state (e.g. SC's ownership tables) lives in an opaque slot of
+//! [`DsmState`] created by [`ConsistencyProtocol::make_state`].  Adding a
+//! protocol means adding one module here — see
+//! `docs/ARCHITECTURE.md` §"Writing a new protocol backend".
+
+pub mod hlrc;
+pub mod lrc;
+pub mod sc;
+
+use crate::page::PageId;
+use crate::process::Tmk;
+use crate::state::{ClosedInterval, DsmState};
+use crate::stats::TmkStats;
+use crate::vc::VectorClock;
+use crate::{Diff, PAGE_FAULT_COST};
+use bytes::Bytes;
+use cluster::Message;
+
+/// Which coherence protocol a DSM endpoint runs.
+///
+/// # Example
+///
+/// ```
+/// use treadmarks::ProtocolKind;
+///
+/// // Three backends, one namespace: parse CLI names, print labels.
+/// assert_eq!(ProtocolKind::all().len(), 3);
+/// assert_eq!("hlrc".parse::<ProtocolKind>().unwrap(), ProtocolKind::Hlrc);
+/// assert_eq!("sc".parse::<ProtocolKind>().unwrap(), ProtocolKind::Sc);
+/// assert_eq!(ProtocolKind::Sc.name(), "sc");
+/// assert_eq!(ProtocolKind::Sc.system_label(), "TMK-SC");
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum ProtocolKind {
+    /// Multiple-writer, diff-based, invalidate lazy release consistency —
+    /// the TreadMarks protocol of the paper.
+    #[default]
+    Lrc,
+    /// Home-based LRC: diffs flushed eagerly to a per-page home at
+    /// release/barrier, faults fetch the full page from the home.
+    Hlrc,
+    /// Sequential consistency: single-writer pages with ownership transfer
+    /// and invalidate-on-write — no twins, no diffs, no intervals.
+    Sc,
+}
+
+impl ProtocolKind {
+    /// Every protocol backend, in comparison order.
+    pub fn all() -> [ProtocolKind; 3] {
+        [ProtocolKind::Lrc, ProtocolKind::Hlrc, ProtocolKind::Sc]
+    }
+
+    /// The lowercase CLI name of the backend (`lrc` / `hlrc` / `sc`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProtocolKind::Lrc => "lrc",
+            ProtocolKind::Hlrc => "hlrc",
+            ProtocolKind::Sc => "sc",
+        }
+    }
+
+    /// The system label used in the paper-style tables and figures.  The
+    /// paper's own protocol keeps the bare "TreadMarks" name; the other
+    /// backends are the additions of this reproduction.
+    pub fn system_label(&self) -> &'static str {
+        match self {
+            ProtocolKind::Lrc => "TreadMarks",
+            ProtocolKind::Hlrc => "TMK-HLRC",
+            ProtocolKind::Sc => "TMK-SC",
+        }
+    }
+
+    /// The backend singleton implementing this protocol's policy.
+    pub fn backend(&self) -> &'static dyn ConsistencyProtocol {
+        match self {
+            ProtocolKind::Lrc => &lrc::Lrc,
+            ProtocolKind::Hlrc => &hlrc::Hlrc,
+            ProtocolKind::Sc => &sc::Sc,
+        }
+    }
+
+    /// One-line description used by `reproduce --list`.
+    pub fn describe(&self) -> &'static str {
+        self.backend().describe()
+    }
+}
+
+impl std::fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for ProtocolKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "lrc" | "treadmarks" | "tmk" => Ok(ProtocolKind::Lrc),
+            "hlrc" | "home" | "home-based" => Ok(ProtocolKind::Hlrc),
+            "sc" | "seqcon" | "sequential" => Ok(ProtocolKind::Sc),
+            other => Err(format!(
+                "unknown protocol '{other}' (expected lrc, hlrc or sc)"
+            )),
+        }
+    }
+}
+
+/// The policy seam of the DSM: everything one coherence protocol decides,
+/// expressed as hooks over the protocol-neutral core.
+///
+/// Hooks come in two layers.  *State-level* hooks take a [`DsmState`] and
+/// make pure policy decisions for the state machine (no networking):
+/// [`invalidate_on_notice`](Self::invalidate_on_notice),
+/// [`diff_at_close`](Self::diff_at_close),
+/// [`retain_or_flush`](Self::retain_or_flush).  *Runtime-level* hooks take
+/// the full [`Tmk`] endpoint and may exchange messages:
+/// [`serve_fault`](Self::serve_fault) (the access-fault path),
+/// [`at_release`](Self::at_release) / [`at_barrier`](Self::at_barrier)
+/// (the synchronization edges), [`publish_interval`](Self::publish_interval)
+/// (what becomes of a closed interval),
+/// [`serve_request`](Self::serve_request) (incoming wire messages),
+/// [`prepare_gc`](Self::prepare_gc) (making barrier-time collection safe)
+/// and [`counter_summary`](Self::counter_summary) (the protocol's Table-2
+/// stats contribution).
+///
+/// Backends are stateless singletons; per-process protocol-private state
+/// lives in the opaque slot created by [`make_state`](Self::make_state).
+/// Every default implements the multiple-writer (twin/diff/interval)
+/// behaviour shared by LRC and HLRC, so a twinning backend overrides only
+/// what it changes, and a non-twinning backend (SC) opts out wholesale via
+/// [`uses_twins`](Self::uses_twins).
+pub trait ConsistencyProtocol: Sync {
+    /// The kind this backend implements.
+    fn kind(&self) -> ProtocolKind;
+
+    /// One-line description of the backend for `reproduce --list`.
+    fn describe(&self) -> &'static str;
+
+    /// Create the protocol-private per-process state, stored opaquely in
+    /// [`DsmState`] (retrieve it by downcasting, as the SC backend does).
+    fn make_state(&self, me: usize, nprocs: usize, npages: usize) -> Box<dyn std::any::Any> {
+        let _ = (me, nprocs, npages);
+        Box::new(())
+    }
+
+    /// Whether writes are trapped through twins and published as diffs at
+    /// interval close (the multiple-writer mechanism).  `false` opts the
+    /// backend out of twin creation and the dirty-page machinery entirely.
+    fn uses_twins(&self) -> bool {
+        true
+    }
+
+    /// State-level: whether a write notice for `page` invalidates the local
+    /// copy.  HLRC keeps the home's master copy valid.
+    fn invalidate_on_notice(&self, st: &DsmState, page: PageId) -> bool {
+        let _ = (st, page);
+        true
+    }
+
+    /// State-level: whether closing an interval creates a diff for dirty
+    /// `page` at all.  HLRC skips pages homed locally (the master copy
+    /// already carries the writes); everything skipped is also invisible to
+    /// the diff-creation counters.
+    fn diff_at_close(&self, st: &DsmState, page: PageId) -> bool {
+        let _ = (st, page);
+        true
+    }
+
+    /// State-level: dispose of one diff created at interval close — retain
+    /// it in the local diff store for later diff requests (LRC, the
+    /// default) or hand it back for flushing to a remote home (HLRC).
+    fn retain_or_flush(
+        &self,
+        st: &mut DsmState,
+        page: PageId,
+        seq: u32,
+        vc: &VectorClock,
+        vc_wire: &Bytes,
+        diff: Diff,
+    ) -> Option<(PageId, Diff)> {
+        st.retain_own_diff(page, seq, vc, vc_wire, diff);
+        None
+    }
+
+    /// Runtime: one round of fault service for invalid `page`.  The generic
+    /// fault entry (`Tmk::fault_in`) charges the fault cost, counts the
+    /// fault, and repeats this hook until the page is valid (a write notice
+    /// arriving *during* the round can re-invalidate it).
+    fn serve_fault(&self, rt: &Tmk, page: PageId);
+
+    /// Runtime: the release edge of a lock (and the hand-over edge of a
+    /// grant).  The default closes the open interval and publishes it.
+    fn at_release(&self, rt: &Tmk) {
+        rt.close_and_publish();
+    }
+
+    /// Runtime: a barrier arrival.  The default closes the open interval
+    /// and publishes it, exactly like a release.
+    fn at_barrier(&self, rt: &Tmk) {
+        rt.close_and_publish();
+    }
+
+    /// Runtime: an acquire completed (the grant's write notices are already
+    /// applied).  No protocol currently acts here; the hook exists so an
+    /// acquire-side policy (e.g. update-based protocols) is a backend detail
+    /// rather than a runtime change.
+    fn at_acquire(&self, rt: &Tmk) {
+        let _ = rt;
+    }
+
+    /// Runtime: dispose of a freshly closed interval.  The default does
+    /// nothing (LRC already retained its diffs); HLRC flushes the returned
+    /// diffs to their homes and waits for acknowledgements.
+    fn publish_interval(&self, rt: &Tmk, closed: ClosedInterval) {
+        let _ = (rt, closed);
+    }
+
+    /// Runtime: make every page spanned by a write access writable.  The
+    /// default validates the span (fault loop) and then twins + dirties
+    /// each page; SC acquires exclusive ownership instead.
+    fn prepare_write(&self, rt: &Tmk, addr: usize, len: usize) {
+        rt.ensure_valid(addr, len);
+        let pages = rt.st.borrow().pages_spanning(addr, len);
+        for page in pages {
+            rt.mark_dirty_charged(page);
+        }
+    }
+
+    /// Runtime: a shared write access completed.  SC uses this to hand
+    /// deferred ownership transfers over; the twinning protocols need
+    /// nothing here.
+    fn access_done(&self, rt: &Tmk) {
+        let _ = rt;
+    }
+
+    /// Runtime: serve one protocol-specific wire request (a tag outside the
+    /// generic lock/barrier/termination set).  Returns `false` if the tag
+    /// does not belong to this protocol.
+    fn serve_request(&self, rt: &Tmk, m: Message) -> bool {
+        let _ = (rt, m);
+        false
+    }
+
+    /// Runtime: make the upcoming metadata collection safe.  LRC validates
+    /// every invalid page and runs an internal sync barrier so no peer's
+    /// in-flight diff request can name a collected diff; the other backends
+    /// retain nothing a peer could request.
+    fn prepare_gc(&self, rt: &Tmk) {
+        let _ = rt;
+    }
+
+    /// The protocol's per-run Table-2 counter summary (the stats
+    /// contribution rendered under the message/byte table).
+    fn counter_summary(&self, stats: &TmkStats) -> String;
+}
+
+/// The shared counter line of the twinning (diff-based) backends.
+pub(crate) fn diff_counter_summary(stats: &TmkStats) -> String {
+    format!(
+        "{:>8} faults {:>8} diff-req {:>8} page-req {:>8} flushes \
+         {:>10} diff-KB {:>10} page-KB",
+        stats.page_faults,
+        stats.diff_requests_sent,
+        stats.page_requests_sent,
+        stats.diff_flushes_sent,
+        (stats.diff_bytes_received / 1024),
+        (stats.page_bytes_fetched / 1024),
+    )
+}
+
+impl Tmk<'_> {
+    /// The access-fault path: the generic entry charging the fixed
+    /// fault-entry cost and counting the fault, with the actual service
+    /// dispatched to the configured [`ConsistencyProtocol`] backend.  One
+    /// service round can leave the page invalid if a *new* write notice for
+    /// it arrived while the fault was waiting for responses (a barrier
+    /// arrival served in the meantime applies fresh interval records), so
+    /// the fault repeats until the page is clean.
+    pub(crate) fn fault_in(&self, page: PageId) {
+        self.proc().compute(PAGE_FAULT_COST);
+        self.st.borrow_mut().stats.page_faults += 1;
+        loop {
+            self.backend.serve_fault(self, page);
+            if self.st.borrow().is_valid(page) {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_parse_and_print() {
+        for kind in ProtocolKind::all() {
+            let round: ProtocolKind = kind.name().parse().unwrap();
+            assert_eq!(round, kind);
+        }
+        assert_eq!("HLRC".parse::<ProtocolKind>().unwrap(), ProtocolKind::Hlrc);
+        assert_eq!(
+            "treadmarks".parse::<ProtocolKind>().unwrap(),
+            ProtocolKind::Lrc
+        );
+        assert_eq!(
+            "sequential".parse::<ProtocolKind>().unwrap(),
+            ProtocolKind::Sc
+        );
+        assert!("eager".parse::<ProtocolKind>().is_err());
+    }
+
+    #[test]
+    fn default_is_the_paper_protocol() {
+        assert_eq!(ProtocolKind::default(), ProtocolKind::Lrc);
+    }
+
+    #[test]
+    fn every_kind_resolves_to_its_own_backend() {
+        for kind in ProtocolKind::all() {
+            assert_eq!(kind.backend().kind(), kind);
+            assert!(!kind.describe().is_empty());
+            assert!(!kind.system_label().is_empty());
+        }
+        assert!(ProtocolKind::Lrc.backend().uses_twins());
+        assert!(ProtocolKind::Hlrc.backend().uses_twins());
+        assert!(!ProtocolKind::Sc.backend().uses_twins());
+    }
+}

@@ -1,0 +1,861 @@
+//! The sequential-consistency baseline: a single-writer, invalidate-on-write
+//! ownership protocol — the naive page-based DSM (in the IVY tradition) that
+//! the paper's multiple-writer, lazy design arguments are measured against.
+//!
+//! Every page has exactly one *owner* at a time (the holder of its ownership
+//! token, whose copy is the master) and a static *manager* (round-robin,
+//! like HLRC homes) that serializes ownership changes exactly the way the
+//! runtime's lock managers serialize lock tokens: the manager records only
+//! the *last requester*, forwards each incoming request to the requester
+//! before it, and the page itself — its contents **and its copyset** (who
+//! holds a readable copy) — travels along that chain:
+//!
+//! * a **write** to a page not held exclusively asks the manager; the
+//!   request chains to the current owner, which transfers the full page,
+//!   the token and the copyset (invalidating its own copy); the new owner
+//!   then invalidates every copyset member — and waits for their
+//!   acknowledgements — before the write proceeds.  A write by an owner
+//!   whose page was merely downgraded by readers invalidates its copyset
+//!   locally, with no manager round trip.  Consecutive writes by the
+//!   exclusive owner are free;
+//! * a **read** of an invalid page fetches a shared copy from the owner via
+//!   the same chain (the owner records the reader in the copyset and
+//!   downgrades from exclusive to shared);
+//! * there are **no twins, diffs or intervals**: data moves at access time,
+//!   eagerly, so false sharing costs page ping-pong and every first write
+//!   costs an invalidation round — exactly the overheads lazy release
+//!   consistency exists to remove.
+//!
+//! Liveness is the lock-token argument: a forwarded request reaching a
+//! process that does not hold the page yet is *queued* there and served
+//! when that process's own access completes
+//! ([`ConsistencyProtocol::access_done`]); since each request waits on its
+//! serialization predecessor and the earliest requester waits on the actual
+//! holder, every chain bottoms out.  A reader whose copy is invalidated
+//! while its fetch is in flight discards the stale copy and refaults, so a
+//! stale page can never be installed over a newer invalidation.
+
+use crate::page::{new_page, PageId};
+use crate::process::Tmk;
+use crate::proto::{
+    decode_sc_ack, decode_sc_page_copy, decode_sc_page_transfer, decode_sc_request, encode_sc_ack,
+    encode_sc_page_copy, encode_sc_page_transfer, encode_sc_request, TAG_SC_INVAL,
+    TAG_SC_INVAL_ACK, TAG_SC_PAGE_COPY, TAG_SC_PAGE_XFER, TAG_SC_READ_FWD, TAG_SC_READ_REQ,
+    TAG_SC_WRITE_FWD, TAG_SC_WRITE_REQ,
+};
+use crate::protocol::{ConsistencyProtocol, ProtocolKind};
+use crate::state::{DsmState, PageSlot};
+use crate::stats::TmkStats;
+use crate::{MEM_BANDWIDTH, PAGE_FAULT_COST, REQUEST_SERVICE_COST};
+use cluster::config::PAGE_SIZE;
+use cluster::Message;
+use std::collections::{BTreeMap, VecDeque};
+
+/// The sequential-consistency backend singleton.
+pub struct Sc;
+
+/// Local coherence state of one page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// No readable copy here.
+    Invalid,
+    /// A readable copy; the owner holds this mode after serving readers.
+    Shared,
+    /// The only copy in the cluster; writes are free.
+    Exclusive,
+}
+
+/// What a process is blocked acquiring (one access at a time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Acquire {
+    Read,
+    Write,
+}
+
+/// A forwarded request that reached this process before its turn with the
+/// page ended (or before the page even arrived); served when the current
+/// access completes.
+#[derive(Debug)]
+enum Deferred {
+    /// Hand the page, the ownership token and the copyset to `requester`.
+    Transfer { page: PageId, requester: usize },
+    /// Send `requester` a read copy and record it in the copyset.
+    Copy { page: PageId, requester: usize },
+}
+
+impl Deferred {
+    fn page(&self) -> PageId {
+        match self {
+            Deferred::Transfer { page, .. } | Deferred::Copy { page, .. } => *page,
+        }
+    }
+}
+
+/// Per-process protocol-private state, created by [`Sc`]'s
+/// [`ConsistencyProtocol::make_state`] and stored opaquely in [`DsmState`].
+pub(crate) struct ScState {
+    me: usize,
+    nprocs: usize,
+    /// Local mode of every page.  Everything starts `Shared`: all copies are
+    /// valid zero pages, owned by their managers.
+    mode: Vec<Mode>,
+    /// Whether this process holds the ownership token of each page
+    /// (initially true at the page's manager).
+    owner: Vec<bool>,
+    /// Owner-side: the processes (other than the owner) holding readable
+    /// copies.  Travels with the token on every transfer.  Absent = the
+    /// initial era: every other process (all copies start valid).
+    copyset: BTreeMap<PageId, Vec<usize>>,
+    /// Manager-side: the most recent write requester — where the token is
+    /// headed, and therefore where the next request must chain to.
+    last_requester: BTreeMap<PageId, usize>,
+    /// Requests queued here until the current access completes (FIFO, which
+    /// together with in-order delivery keeps reads ahead of the write that
+    /// follows them in the manager's serialization).
+    deferred: VecDeque<Deferred>,
+    /// Pages already acquired for the write span in progress: pinned until
+    /// the access completes, so a span is taken atomically.  Without this,
+    /// two writers of overlapping multi-page spans steal each other's
+    /// first page while blocked acquiring the second and livelock; pages
+    /// are acquired in ascending order, so pinning cannot deadlock (a
+    /// holder of a pinned page only ever waits for a higher-numbered one).
+    pinned: Vec<PageId>,
+    /// The page this process is currently acquiring, if any.
+    acquiring: Option<(PageId, Acquire)>,
+    /// An invalidation hit the page being read-acquired: the in-flight copy
+    /// is stale and must be discarded.
+    retry_read: bool,
+}
+
+impl ScState {
+    /// The static manager of `page` (round-robin over the heap).
+    fn manager_of(&self, page: PageId) -> usize {
+        page as usize % self.nprocs
+    }
+
+    /// Manager-side: the process the token is currently headed to.
+    fn last_requester(&self, page: PageId) -> usize {
+        self.last_requester
+            .get(&page)
+            .copied()
+            .unwrap_or_else(|| self.manager_of(page))
+    }
+
+    /// Owner-side: take the copyset (leaving it empty).
+    fn take_copyset(&mut self, page: PageId) -> Vec<usize> {
+        let (me, nprocs) = (self.me, self.nprocs);
+        std::mem::take(
+            self.copyset
+                .entry(page)
+                .or_insert_with(|| initial_copyset(me, nprocs)),
+        )
+    }
+
+    /// Owner-side: record `p` as a copy holder (kept sorted so every
+    /// iteration order is deterministic).
+    fn copyset_add(&mut self, page: PageId, p: usize) {
+        let (me, nprocs) = (self.me, self.nprocs);
+        let cs = self
+            .copyset
+            .entry(page)
+            .or_insert_with(|| initial_copyset(me, nprocs));
+        if !cs.contains(&p) {
+            cs.push(p);
+            cs.sort_unstable();
+        }
+    }
+
+    /// Whether this process is mid-acquisition of `page`.
+    fn acquiring_page(&self, page: PageId) -> bool {
+        matches!(self.acquiring, Some((p, _)) if p == page)
+    }
+
+    /// Whether an incoming request for `page` can be served right now: the
+    /// token is here, this process is neither mid-acquisition of the page
+    /// nor holding it pinned for an in-progress multi-page span, and
+    /// nothing for the page is already queued (serving past the queue
+    /// would reorder a transfer ahead of a read the manager serialized
+    /// before it).  Anything not serveable is deferred to `access_done`.
+    fn can_serve(&self, page: PageId) -> bool {
+        self.owner[page as usize]
+            && !self.acquiring_page(page)
+            && !self.pinned.contains(&page)
+            && !self.deferred.iter().any(|d| d.page() == page)
+    }
+}
+
+/// The initial-era copyset of a page whose owner is `me`: every other
+/// process holds a valid zero copy (all pages start valid everywhere,
+/// owned by their managers).
+fn initial_copyset(me: usize, nprocs: usize) -> Vec<usize> {
+    (0..nprocs).filter(|&p| p != me).collect()
+}
+
+/// Split one `DsmState` borrow into the pieces the SC paths touch together.
+fn parts(st: &mut DsmState) -> (&mut Vec<PageSlot>, &mut ScState, &mut TmkStats) {
+    let (pages, protocol_state, stats) = st.pages_protocol_state_stats();
+    (
+        pages,
+        protocol_state
+            .downcast_mut::<ScState>()
+            .expect("SC endpoint without SC state"),
+        stats,
+    )
+}
+
+/// Run `f` over the SC state under a fresh borrow of the endpoint's state.
+fn with_state<R>(
+    rt: &Tmk,
+    f: impl FnOnce(&mut Vec<PageSlot>, &mut ScState, &mut TmkStats) -> R,
+) -> R {
+    let mut st = rt.st.borrow_mut();
+    let (pages, s, stats) = parts(&mut st);
+    f(pages, s, stats)
+}
+
+impl ConsistencyProtocol for Sc {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::Sc
+    }
+
+    fn describe(&self) -> &'static str {
+        "sequential consistency (single-writer baseline): page ownership transfer with \
+         invalidate-on-write — no twins, diffs or intervals"
+    }
+
+    fn make_state(&self, me: usize, nprocs: usize, npages: usize) -> Box<dyn std::any::Any> {
+        Box::new(ScState {
+            me,
+            nprocs,
+            mode: vec![Mode::Shared; npages],
+            owner: (0..npages).map(|page| page % nprocs == me).collect(),
+            copyset: BTreeMap::new(),
+            last_requester: BTreeMap::new(),
+            deferred: VecDeque::new(),
+            pinned: Vec::new(),
+            acquiring: None,
+            retry_read: false,
+        })
+    }
+
+    /// SC never twins: writes are trapped through exclusive ownership, and
+    /// no interval ever closes.
+    fn uses_twins(&self) -> bool {
+        false
+    }
+
+    /// Read-fault service: fetch a shared copy from the owner through the
+    /// manager's chain.  If an invalidation hits while the copy is in
+    /// flight, the stale copy is discarded and the generic fault loop
+    /// re-requests.
+    fn serve_fault(&self, rt: &Tmk, page: PageId) {
+        let me = rt.id();
+        let mgr = with_state(rt, |_, s, stats| {
+            stats.page_requests_sent += 1;
+            debug_assert!(s.acquiring.is_none(), "nested page acquisition");
+            s.acquiring = Some((page, Acquire::Read));
+            s.retry_read = false;
+            s.manager_of(page)
+        });
+        if mgr == me {
+            let prev = with_state(rt, |_, s, _| s.last_requester(page));
+            assert_ne!(prev, me, "an owner-to-be cannot be read-faulting");
+            rt.proc()
+                .send(prev, TAG_SC_READ_FWD, encode_sc_request(page, me));
+        } else {
+            rt.proc()
+                .send(mgr, TAG_SC_READ_REQ, encode_sc_request(page, me));
+        }
+        let m = rt.wait_reply(TAG_SC_PAGE_COPY);
+        let (pid, data) = decode_sc_page_copy(m.payload);
+        assert_eq!(pid, page, "read copy for an unexpected page");
+        // Installing the incoming page is a page-sized copy.
+        rt.proc().compute(PAGE_SIZE as f64 / MEM_BANDWIDTH);
+        with_state(rt, |pages, s, stats| {
+            stats.page_bytes_fetched += PAGE_SIZE as u64;
+            s.acquiring = None;
+            if s.retry_read {
+                s.retry_read = false;
+                return; // page stays invalid; the fault loop re-requests
+            }
+            let slot = &mut pages[page as usize];
+            slot.data
+                .get_or_insert_with(new_page)
+                .copy_from_slice(&data);
+            slot.valid = true;
+            s.mode[page as usize] = Mode::Shared;
+        });
+    }
+
+    /// The SC write trap: every page of the span must be held exclusively,
+    /// and the span is taken atomically — each page is pinned as soon as
+    /// the ascending scan confirms it, so a request for an earlier page of
+    /// the span defers instead of stealing it while this process blocks
+    /// acquiring a later one (without the pin, two writers of overlapping
+    /// spans swap pages forever; with it, the ascending order rules out
+    /// circular waits: a pinned-page holder only ever waits for a
+    /// higher-numbered page).  The scan still repeats until a clean pass
+    /// (a pinned page cannot be lost, so the second pass is a pure
+    /// check).
+    fn prepare_write(&self, rt: &Tmk, addr: usize, len: usize) {
+        loop {
+            let pages = rt.st.borrow().pages_spanning(addr, len);
+            let mut acted = false;
+            for page in pages {
+                let exclusive = with_state(rt, |_, s, _| s.mode[page as usize] == Mode::Exclusive);
+                if !exclusive {
+                    acquire_exclusive(rt, page);
+                    acted = true;
+                }
+                // Pin the page for the rest of the span: requests for it
+                // now defer to `access_done` instead of stealing it while a
+                // later page of the span is still being acquired.
+                with_state(rt, |_, s, _| {
+                    if !s.pinned.contains(&page) {
+                        s.pinned.push(page);
+                    }
+                });
+            }
+            if !acted {
+                return;
+            }
+        }
+    }
+
+    /// The access completed: release the span pins, then serve the
+    /// transfers and copies that were queued while this process was
+    /// acquiring or using the pages.
+    fn access_done(&self, rt: &Tmk) {
+        with_state(rt, |_, s, _| s.pinned.clear());
+        loop {
+            let next = with_state(rt, |_, s, _| s.deferred.pop_front());
+            let Some(d) = next else { return };
+            match d {
+                Deferred::Transfer { page, requester } => transfer_page(rt, page, requester, None),
+                Deferred::Copy { page, requester } => send_copy(rt, page, requester, None),
+            }
+        }
+    }
+
+    /// SC has no intervals: a release is pure synchronization (the data
+    /// already moved, eagerly, at access time).
+    fn at_release(&self, rt: &Tmk) {
+        let _ = rt;
+    }
+
+    /// SC has no intervals: a barrier arrival publishes nothing.
+    fn at_barrier(&self, rt: &Tmk) {
+        let _ = rt;
+    }
+
+    fn serve_request(&self, rt: &Tmk, m: Message) -> bool {
+        match m.tag {
+            TAG_SC_WRITE_REQ => serve_write_req(rt, m),
+            TAG_SC_WRITE_FWD => serve_write_fwd(rt, m),
+            TAG_SC_READ_REQ => serve_read_req(rt, m),
+            TAG_SC_READ_FWD => serve_read_fwd(rt, m),
+            TAG_SC_INVAL => serve_inval(rt, m),
+            _ => return false,
+        }
+        true
+    }
+
+    fn counter_summary(&self, stats: &TmkStats) -> String {
+        format!(
+            "{:>8} faults {:>8} page-req {:>8} transfers {:>8} invals {:>10} page-KB",
+            stats.page_faults,
+            stats.page_requests_sent,
+            stats.ownership_transfers,
+            stats.invalidations_sent,
+            (stats.page_bytes_fetched / 1024),
+        )
+    }
+}
+
+/// Acquire exclusive ownership of `page` (the write fault).  An owner whose
+/// page was downgraded by readers invalidates its copyset directly; anyone
+/// else requests the page through the manager's chain, installs the
+/// transferred copy, and then invalidates the copyset that travelled with
+/// it.  Either way the write proceeds only after every acknowledgement.
+fn acquire_exclusive(rt: &Tmk, page: PageId) {
+    rt.proc().compute(PAGE_FAULT_COST);
+    let me = rt.id();
+    let (is_owner, mgr) = with_state(rt, |_, s, stats| {
+        stats.page_faults += 1;
+        debug_assert!(s.acquiring.is_none(), "nested page acquisition");
+        s.acquiring = Some((page, Acquire::Write));
+        (s.owner[page as usize], s.manager_of(page))
+    });
+    let targets: Vec<usize> = if is_owner {
+        // Shared-owner upgrade: readers took copies since the last write;
+        // the local copy is current and the copyset is here — invalidate
+        // it without a manager round trip.
+        with_state(rt, |_, s, _| s.take_copyset(page))
+    } else {
+        rt.st.borrow_mut().stats.page_requests_sent += 1;
+        if mgr == me {
+            let prev = with_state(rt, |_, s, _| {
+                let prev = s.last_requester(page);
+                s.last_requester.insert(page, me);
+                prev
+            });
+            assert_ne!(prev, me, "a faulting writer cannot be its own predecessor");
+            rt.proc()
+                .send(prev, TAG_SC_WRITE_FWD, encode_sc_request(page, me));
+        } else {
+            rt.proc()
+                .send(mgr, TAG_SC_WRITE_REQ, encode_sc_request(page, me));
+        }
+        let m = rt.wait_reply(TAG_SC_PAGE_XFER);
+        let (pid, cs, data) = decode_sc_page_transfer(m.payload);
+        assert_eq!(pid, page, "ownership transfer for an unexpected page");
+        // Installing the incoming page is a page-sized copy.
+        rt.proc().compute(PAGE_SIZE as f64 / MEM_BANDWIDTH);
+        with_state(rt, |pages, s, stats| {
+            stats.page_bytes_fetched += PAGE_SIZE as u64;
+            stats.ownership_transfers += 1;
+            pages[page as usize]
+                .data
+                .get_or_insert_with(new_page)
+                .copy_from_slice(&data);
+            // The token is here; requests arriving from now on queue
+            // behind this acquisition instead of chaining further.
+            s.owner[page as usize] = true;
+            s.copyset.insert(page, Vec::new());
+            cs.into_iter().filter(|&p| p != me).collect()
+        })
+    };
+    for &t in &targets {
+        rt.proc().send(t, TAG_SC_INVAL, encode_sc_request(page, me));
+        rt.st.borrow_mut().stats.invalidations_sent += 1;
+    }
+    for _ in 0..targets.len() {
+        let m = rt.wait_reply(TAG_SC_INVAL_ACK);
+        assert_eq!(decode_sc_ack(m.payload), page, "ack for an unexpected page");
+    }
+    with_state(rt, |pages, s, _| {
+        debug_assert!(
+            s.owner[page as usize],
+            "completing a write without the token"
+        );
+        pages[page as usize].valid = true;
+        s.mode[page as usize] = Mode::Exclusive;
+        s.acquiring = None;
+    });
+}
+
+/// Hand `page`, its ownership token and its copyset to `requester`,
+/// invalidating the local copy.  `depart` is the interrupt-style departure
+/// time when the transfer answers an incoming request directly; `None`
+/// sends now (a queued transfer drained after an access).
+fn transfer_page(rt: &Tmk, page: PageId, requester: usize, depart: Option<f64>) {
+    let payload = with_state(rt, |pages, s, stats| {
+        debug_assert!(s.owner[page as usize], "transferring a page not owned here");
+        stats.page_requests_served += 1;
+        let mut cs = s.take_copyset(page);
+        cs.retain(|&p| p != requester); // the new owner is no copy-holder
+        let slot = &mut pages[page as usize];
+        let payload = match &slot.data {
+            Some(data) => encode_sc_page_transfer(page, &cs, data),
+            None => encode_sc_page_transfer(page, &cs, &new_page()),
+        };
+        // The transfer invalidates this copy itself, so this process never
+        // appears in the copyset it sends.
+        slot.valid = false;
+        s.owner[page as usize] = false;
+        s.mode[page as usize] = Mode::Invalid;
+        payload
+    });
+    // Copying the page into the transfer steals cycles here.
+    rt.proc().compute(PAGE_SIZE as f64 / MEM_BANDWIDTH);
+    match depart {
+        Some(t) => rt.proc().send_at(requester, TAG_SC_PAGE_XFER, payload, t),
+        None => rt.proc().send(requester, TAG_SC_PAGE_XFER, payload),
+    }
+}
+
+/// Send `requester` a read copy of `page`, recording it in the copyset and
+/// downgrading an exclusive owner to shared.
+fn send_copy(rt: &Tmk, page: PageId, requester: usize, depart: Option<f64>) {
+    let payload = with_state(rt, |pages, s, stats| {
+        debug_assert!(
+            s.owner[page as usize],
+            "serving a copy of a page not owned here"
+        );
+        stats.page_requests_served += 1;
+        s.copyset_add(page, requester);
+        if s.mode[page as usize] == Mode::Exclusive {
+            s.mode[page as usize] = Mode::Shared;
+        }
+        match &pages[page as usize].data {
+            Some(data) => encode_sc_page_copy(page, data),
+            None => encode_sc_page_copy(page, &new_page()),
+        }
+    });
+    // Copying the page into the response steals cycles here.
+    rt.proc().compute(PAGE_SIZE as f64 / MEM_BANDWIDTH);
+    match depart {
+        Some(t) => rt.proc().send_at(requester, TAG_SC_PAGE_COPY, payload, t),
+        None => rt.proc().send(requester, TAG_SC_PAGE_COPY, payload),
+    }
+}
+
+/// Serve (or queue) a chained ownership transfer: the requester's turn
+/// comes right after this process's.
+fn route_transfer(rt: &Tmk, page: PageId, requester: usize, depart: Option<f64>) {
+    let serve_now = with_state(rt, |_, s, _| {
+        if s.can_serve(page) {
+            true
+        } else {
+            s.deferred.push_back(Deferred::Transfer { page, requester });
+            false
+        }
+    });
+    if serve_now {
+        transfer_page(rt, page, requester, depart);
+    }
+}
+
+/// Serve (or queue) a chained read-copy request.
+fn route_copy(rt: &Tmk, page: PageId, requester: usize, depart: Option<f64>) {
+    let serve_now = with_state(rt, |_, s, _| {
+        if s.can_serve(page) {
+            true
+        } else {
+            s.deferred.push_back(Deferred::Copy { page, requester });
+            false
+        }
+    });
+    if serve_now {
+        send_copy(rt, page, requester, depart);
+    }
+}
+
+/// Manager side of a write fault: chain the request to the previous
+/// requester (lock-token style) and record the new one.
+fn serve_write_req(rt: &Tmk, m: Message) {
+    rt.proc().compute(REQUEST_SERVICE_COST);
+    let (page, requester) = decode_sc_request(m.payload.clone());
+    let me = rt.id();
+    let depart = m.arrival + REQUEST_SERVICE_COST;
+    let prev = with_state(rt, |_, s, _| {
+        debug_assert_eq!(
+            s.manager_of(page),
+            me,
+            "write request sent to a non-manager"
+        );
+        let prev = s.last_requester(page);
+        s.last_requester.insert(page, requester);
+        prev
+    });
+    assert_ne!(
+        prev, requester,
+        "a faulting writer cannot be its own predecessor"
+    );
+    if prev == me {
+        route_transfer(rt, page, requester, Some(depart));
+    } else {
+        rt.proc().send_at(prev, TAG_SC_WRITE_FWD, m.payload, depart);
+    }
+}
+
+/// Chained-owner side of a forwarded write fault.
+fn serve_write_fwd(rt: &Tmk, m: Message) {
+    rt.proc().compute(REQUEST_SERVICE_COST);
+    let (page, requester) = decode_sc_request(m.payload);
+    route_transfer(rt, page, requester, Some(m.arrival + REQUEST_SERVICE_COST));
+}
+
+/// Manager side of a read fault: chain the request to where the token is
+/// headed (reads do not move the token).
+fn serve_read_req(rt: &Tmk, m: Message) {
+    rt.proc().compute(REQUEST_SERVICE_COST);
+    let (page, requester) = decode_sc_request(m.payload.clone());
+    let me = rt.id();
+    let depart = m.arrival + REQUEST_SERVICE_COST;
+    let prev = with_state(rt, |_, s, _| {
+        debug_assert_eq!(s.manager_of(page), me, "read request sent to a non-manager");
+        s.last_requester(page)
+    });
+    assert_ne!(prev, requester, "a faulting reader cannot hold the token");
+    if prev == me {
+        route_copy(rt, page, requester, Some(depart));
+    } else {
+        rt.proc().send_at(prev, TAG_SC_READ_FWD, m.payload, depart);
+    }
+}
+
+/// Chained-owner side of a forwarded read fault.
+fn serve_read_fwd(rt: &Tmk, m: Message) {
+    rt.proc().compute(REQUEST_SERVICE_COST);
+    let (page, requester) = decode_sc_request(m.payload);
+    route_copy(rt, page, requester, Some(m.arrival + REQUEST_SERVICE_COST));
+}
+
+/// Copyset-member side of an invalidation: discard the local copy and
+/// acknowledge.  A read fetch in flight for the page is marked stale so the
+/// reader discards and refaults instead of installing it.
+fn serve_inval(rt: &Tmk, m: Message) {
+    rt.proc().compute(REQUEST_SERVICE_COST);
+    let (page, new_owner) = decode_sc_request(m.payload);
+    with_state(rt, |pages, s, stats| {
+        stats.invalidations_received += 1;
+        debug_assert!(!s.owner[page as usize], "an owner can never be invalidated");
+        if matches!(s.acquiring, Some((p, Acquire::Read)) if p == page) {
+            s.retry_read = true;
+        }
+        s.mode[page as usize] = Mode::Invalid;
+        pages[page as usize].valid = false;
+    });
+    rt.proc().send_at(
+        new_owner,
+        TAG_SC_INVAL_ACK,
+        encode_sc_ack(page),
+        m.arrival + REQUEST_SERVICE_COST,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::{Cluster, ClusterConfig};
+
+    fn run<R: Send>(n: usize, f: impl Fn(&Tmk) -> R + Send + Sync) -> cluster::ClusterReport<R> {
+        Cluster::run(ClusterConfig::calibrated_fddi(n), move |p| {
+            let tmk = Tmk::with_protocol(p, ProtocolKind::Sc);
+            let r = f(&tmk);
+            tmk.exit();
+            r
+        })
+    }
+
+    #[test]
+    fn single_process_needs_no_messages() {
+        let rep = run(1, |tmk| {
+            let a = tmk.malloc(1024);
+            tmk.barrier(0);
+            tmk.write_f64(a, 2.5);
+            tmk.barrier(1);
+            tmk.read_f64(a)
+        });
+        assert_eq!(rep.results[0], 2.5);
+        assert_eq!(rep.total_messages(), 0);
+    }
+
+    #[test]
+    fn first_write_invalidates_every_initial_copy() {
+        let n = 4;
+        let rep = run(n, move |tmk| {
+            let a = tmk.malloc(8);
+            if tmk.id() == 1 {
+                tmk.write_i64(a, 7);
+            }
+            tmk.barrier(0);
+            let v = tmk.read_i64(a);
+            tmk.barrier(1);
+            (v, tmk.stats())
+        });
+        assert!(rep.results.iter().all(|(v, _)| *v == 7));
+        let writer = &rep.results[1].1;
+        // All initial copies start valid, so the first write invalidates
+        // every other process except the transferring owner (the manager).
+        assert_eq!(writer.ownership_transfers, 1);
+        assert_eq!(writer.invalidations_sent, (n - 2) as u64);
+        // Nothing twin/diff shaped ever happens.
+        assert_eq!(writer.twins_created, 0);
+        assert_eq!(writer.diffs_created, 0);
+        assert_eq!(writer.diff_requests_sent, 0);
+    }
+
+    #[test]
+    fn consecutive_writes_by_the_owner_are_free() {
+        let rep = run(2, |tmk| {
+            let a = tmk.malloc(64);
+            if tmk.id() == 0 {
+                for i in 0..8 {
+                    tmk.write_i64(a + i * 8, i as i64);
+                }
+            }
+            tmk.barrier(0);
+            tmk.stats()
+        });
+        // One exclusive acquisition covers all eight writes, and the
+        // manager-owner upgrades locally without a request message.
+        assert_eq!(rep.results[0].page_faults, 1);
+        assert_eq!(rep.results[0].page_requests_sent, 0);
+        assert_eq!(rep.results[0].invalidations_sent, 1);
+    }
+
+    #[test]
+    fn ownership_ping_pongs_between_alternating_writers() {
+        let rep = run(2, |tmk| {
+            let a = tmk.malloc(8);
+            tmk.barrier(0);
+            for round in 0..3u32 {
+                if tmk.id() == round as usize % 2 {
+                    let v = tmk.read_i64(a);
+                    tmk.write_i64(a, v + 1);
+                }
+                tmk.barrier(1 + round);
+            }
+            tmk.read_i64(a)
+        });
+        assert!(rep.results.iter().all(|&v| v == 3));
+    }
+
+    #[test]
+    fn readers_refetch_after_a_remote_write() {
+        let n = 3;
+        let rep = run(n, move |tmk| {
+            let a = tmk.malloc(8);
+            tmk.barrier(0);
+            if tmk.id() == 0 {
+                tmk.write_i64(a, 10);
+            }
+            tmk.barrier(1);
+            let first = tmk.read_i64(a);
+            tmk.barrier(2);
+            if tmk.id() == 1 {
+                tmk.write_i64(a, 20);
+            }
+            tmk.barrier(3);
+            first * 100 + tmk.read_i64(a)
+        });
+        assert!(rep.results.iter().all(|&v| v == 1020));
+    }
+
+    #[test]
+    fn lock_protected_counter_is_exact() {
+        let n = 4;
+        let iters = 6;
+        let rep = run(n, move |tmk| {
+            let counter = tmk.malloc(8);
+            tmk.barrier(0);
+            for _ in 0..iters {
+                tmk.lock_acquire(0);
+                let v = tmk.read_i64(counter);
+                tmk.write_i64(counter, v + 1);
+                tmk.lock_release(0);
+            }
+            tmk.barrier(1);
+            tmk.read_i64(counter)
+        });
+        assert!(rep.results.iter().all(|&v| v == (n * iters) as i64));
+    }
+
+    #[test]
+    fn false_sharing_costs_transfers_not_corruption() {
+        // Two processes write disjoint halves of one page between barriers:
+        // under a single-writer protocol the page ping-pongs, but both
+        // halves must survive.
+        let rep = run(2, |tmk| {
+            let a = tmk.malloc_aligned(4096, 4096);
+            tmk.barrier(0);
+            let me = tmk.id();
+            for i in 0..16 {
+                tmk.write_i64(a + me * 2048 + i * 8, (me * 100 + i) as i64);
+            }
+            tmk.barrier(1);
+            let other = 1 - me;
+            let mut ok = true;
+            for i in 0..16 {
+                ok &= tmk.read_i64(a + other * 2048 + i * 8) == (other * 100 + i) as i64;
+            }
+            (ok, tmk.stats())
+        });
+        assert!(rep.results.iter().all(|(ok, _)| *ok));
+        let transfers: u64 = rep.results.iter().map(|(_, s)| s.ownership_transfers).sum();
+        assert!(transfers >= 2, "concurrent writers must trade ownership");
+    }
+
+    #[test]
+    fn multi_page_write_spans_under_contention_stay_coherent() {
+        // A single `write_bytes` spanning two pages acquires them one at a
+        // time; requests for the already-acquired page queue while the next
+        // is still being acquired, and later requests must not jump that
+        // queue (regression: `can_serve` must respect the deferred queue).
+        // Two writers rewrite an overlapping two-page span while readers
+        // poll it, round after round.
+        let n = 4;
+        let rounds = 4u32;
+        let rep = run(n, move |tmk| {
+            let a = tmk.malloc_aligned(2 * PAGE_SIZE, PAGE_SIZE);
+            tmk.barrier(0);
+            let mut sum = 0i64;
+            for round in 0..rounds {
+                let writer = (round as usize) % 2;
+                if tmk.id() == writer {
+                    // One span crossing the page boundary: both pages must
+                    // be held exclusively before the bytes land.
+                    let src = vec![round as u8 + 1; PAGE_SIZE];
+                    tmk.write_bytes(a + PAGE_SIZE / 2, &src);
+                }
+                tmk.barrier(1 + round);
+                let mut buf = [0u8; 16];
+                tmk.read_bytes(a + PAGE_SIZE - 8, &mut buf);
+                assert!(
+                    buf.iter().all(|&b| b == round as u8 + 1),
+                    "round {round}: read {buf:?} across the boundary"
+                );
+                sum += i64::from(buf[0]);
+                tmk.barrier(100 + round);
+            }
+            sum
+        });
+        let expect: i64 = (0..rounds).map(|r| i64::from(r as u8 + 1)).sum();
+        assert!(rep.results.iter().all(|&v| v == expect));
+    }
+
+    #[test]
+    fn concurrent_overlapping_spans_make_progress() {
+        // Regression (livelock): without span pinning, two writers
+        // hammering the same boundary-crossing two-page span steal each
+        // other's already-acquired page while blocked acquiring the other,
+        // and the repeat-until-clean-pass write trap swaps the pages
+        // forever (this exact shape hangs if `can_serve` ignores
+        // `pinned`).  The race is benign — both write the same bytes — so
+        // the values are still determined.
+        let iters = 25;
+        let rep = run(2, move |tmk| {
+            let a = tmk.malloc_aligned(2 * PAGE_SIZE, PAGE_SIZE);
+            tmk.barrier(0);
+            let src = vec![9u8; PAGE_SIZE];
+            for _ in 0..iters {
+                tmk.write_bytes(a + PAGE_SIZE / 2, &src);
+            }
+            tmk.barrier(1);
+            let mut buf = [0u8; 128];
+            tmk.read_bytes(a + PAGE_SIZE - 64, &mut buf);
+            assert!(buf.iter().all(|&b| b == 9));
+            tmk.barrier(2);
+            i64::from(buf[0])
+        });
+        assert!(rep.results.iter().all(|&v| v == 9));
+    }
+
+    #[test]
+    fn sc_is_deterministic() {
+        let go = || {
+            run(4, |tmk| {
+                let a = tmk.malloc(4096);
+                tmk.barrier(0);
+                for round in 0..2u32 {
+                    if tmk.id() == round as usize % 4 {
+                        for i in 0..32 {
+                            tmk.write_i64(a + i * 8, (round as usize * 1000 + i) as i64);
+                        }
+                    }
+                    tmk.barrier(1 + round);
+                }
+                tmk.read_i64(a)
+            })
+        };
+        let a = go();
+        let b = go();
+        assert_eq!(a.results, b.results);
+        for (sa, sb) in a.stats.iter().zip(&b.stats) {
+            assert_eq!(sa.finish_time.to_bits(), sb.finish_time.to_bits());
+            assert_eq!(sa.messages_sent, sb.messages_sent);
+        }
+    }
+}

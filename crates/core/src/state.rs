@@ -1,70 +1,41 @@
-//! The network-free protocol state machine of one DSM process.
+//! The network-free, protocol-neutral state machine of one DSM process.
 //!
-//! `DsmState` owns everything a TreadMarks process knows: its vector clock,
-//! its copies of shared pages (with twins and pending write notices), the
-//! interval records and diffs it has created or fetched, and its lock state.
-//! The [`crate::Tmk`] wrapper in `process.rs` drives this state machine and
-//! performs the actual message exchanges; keeping the state machine free of
-//! networking makes the consistency logic unit-testable in isolation.
+//! `DsmState` owns everything a DSM process knows that no particular
+//! coherence protocol owns: its vector clock, its copies of shared pages
+//! (with twins and pending write notices), the interval log, its lock
+//! state, the recycled-page pool and the runtime statistics.  The
+//! [`crate::Tmk`] wrapper in `process.rs` drives this state machine and
+//! performs the actual message exchanges; protocol *policy* — what a fault
+//! fetches, what becomes of a closed interval's diffs, which notices
+//! invalidate — enters only through the
+//! [`ConsistencyProtocol`] hooks.  Keeping the state machine free of both
+//! networking and policy makes the consistency logic unit-testable in
+//! isolation and makes a new protocol a module, not a surgery.
+//! (The diff store half of the state lives in [`crate::diffs`].)
 
+use crate::diffs::StoredDiff;
 use crate::heap::PagePool;
-use crate::home::home_of;
+use crate::intervals::LoggedInterval;
 use crate::page::{new_page, Diff, PageId};
-use crate::proto::{record_wire, vc_wire, DiffResponsePart, IntervalRecord, WireDiff};
-use crate::protocol::ProtocolKind;
+use crate::protocol::{ConsistencyProtocol, ProtocolKind};
 use crate::stats::TmkStats;
 use crate::vc::VectorClock;
-use bytes::Bytes;
 use cluster::config::PAGE_SIZE;
 use std::collections::{BTreeMap, VecDeque};
 
 /// The result of closing an interval: the write-notice record to publish,
-/// and — under the home-based protocol — the diffs that must be flushed to
-/// remote homes before the synchronization operation proceeds.
+/// and the diffs the protocol handed back for flushing to remote homes
+/// (always empty under LRC, where diffs stay with their writer; empty under
+/// HLRC for pages homed locally, whose master copy is the writer's own).
 #[derive(Debug)]
 pub struct ClosedInterval {
     /// Sequence number of the closed interval on this process.  The record
     /// itself is stored once, in the creator's interval log — retrieve it
     /// with [`DsmState::interval_record`] when needed.
     pub seq: u32,
-    /// Diffs destined for remote homes (always empty under LRC, where diffs
-    /// stay with their writer; empty under HLRC for pages homed locally,
-    /// whose master copy is the writer's own).
+    /// Diffs destined for remote homes, as returned by the protocol's
+    /// [`ConsistencyProtocol::retain_or_flush`] disposition.
     pub flushes: Vec<(PageId, Diff)>,
-}
-
-/// A diff held locally, with the bookkeeping needed to charge its creation
-/// cost lazily: real TreadMarks creates diffs only when they are first
-/// requested, so the page+twin scan is charged to the creator the first
-/// time the diff is served, not at interval close.  (Creation is still
-/// *performed* eagerly here so later intervals cannot leak into earlier
-/// diffs; only the accounting is lazy.)
-#[derive(Debug)]
-struct StoredDiff {
-    vc: VectorClock,
-    /// The clock's wire encoding, computed once at store time and spliced
-    /// into every diff response that serves this diff.
-    vc_wire: Bytes,
-    diff: Diff,
-    /// Whether the creation scan has been charged (true for fetched diffs,
-    /// whose cost was paid by their creator).
-    scan_charged: bool,
-}
-
-/// One entry of a process's interval log: the record plus its wire encoding,
-/// computed once when the record enters the log (created locally or received
-/// from its creator) and spliced into every message that later carries it.
-#[derive(Debug)]
-struct LoggedInterval {
-    record: IntervalRecord,
-    wire: Bytes,
-}
-
-impl LoggedInterval {
-    fn new(record: IntervalRecord) -> Self {
-        let wire = record_wire(&record);
-        LoggedInterval { record, wire }
-    }
 }
 
 /// A pending write notice: an interval known to have modified a page, whose
@@ -116,7 +87,7 @@ pub struct LockManagerState {
     pub last_requester: usize,
 }
 
-/// The complete protocol state of one DSM process.
+/// The complete protocol-neutral state of one DSM process.
 pub struct DsmState {
     /// This process's rank.
     pub me: usize,
@@ -124,6 +95,14 @@ pub struct DsmState {
     pub nprocs: usize,
     /// Which coherence protocol this process runs.
     pub protocol: ProtocolKind,
+    /// The protocol's policy backend (the singleton for `protocol`).
+    pub(crate) backend: &'static dyn ConsistencyProtocol,
+    /// Whether the backend traps writes through twins (cached from
+    /// [`ConsistencyProtocol::uses_twins`]).
+    twinning: bool,
+    /// Protocol-private per-process state, created by the backend's
+    /// [`ConsistencyProtocol::make_state`] (e.g. SC's ownership tables).
+    pub(crate) protocol_state: Box<dyn std::any::Any>,
     /// This process's vector clock (entry `me` = number of closed intervals).
     pub vc: VectorClock,
     /// The merged clock distributed at the last barrier release.
@@ -132,20 +111,21 @@ pub struct DsmState {
     /// `[creator][seq - 1 - interval_base[creator]]`: garbage collection
     /// (see [`DsmState::gc`]) truncates the front of each log and advances
     /// the base.
-    intervals: Vec<Vec<LoggedInterval>>,
+    pub(crate) intervals: Vec<Vec<LoggedInterval>>,
     /// Number of leading intervals of each creator already garbage
     /// collected from `intervals`.
-    interval_base: Vec<u32>,
+    pub(crate) interval_base: Vec<u32>,
     /// Diffs held locally (created or fetched), keyed by (page, creator,
     /// seq).  Ordered so (a) iteration order can never silently depend on
     /// hash order and (b) serving a request is a range scan over one page's
-    /// keys instead of a sweep over every diff held.
-    diffs: BTreeMap<(PageId, usize, u32), StoredDiff>,
-    /// Shared pages (crate-visible so the protocol backends in [`crate::home`]
-    /// can maintain master copies).
+    /// keys instead of a sweep over every diff held.  The operations live
+    /// in [`crate::diffs`].
+    pub(crate) diffs: BTreeMap<(PageId, usize, u32), StoredDiff>,
+    /// Shared pages (crate-visible so the protocol backends can maintain
+    /// master copies and ownership modes).
     pub(crate) pages: Vec<PageSlot>,
     /// Pages written during the current (open) interval.
-    dirty_pages: Vec<PageId>,
+    pub(crate) dirty_pages: Vec<PageId>,
     /// Bump allocator cursor for the shared heap.
     heap_next: usize,
     /// Size of the shared heap in bytes.
@@ -179,10 +159,14 @@ impl DsmState {
                 ..Default::default()
             });
         }
+        let backend = protocol.backend();
         DsmState {
             me,
             nprocs,
             protocol,
+            backend,
+            twinning: backend.uses_twins(),
+            protocol_state: backend.make_state(me, nprocs, npages),
             vc: VectorClock::new(nprocs),
             last_barrier_vc: VectorClock::new(nprocs),
             intervals: (0..nprocs).map(|_| Vec::new()).collect(),
@@ -197,6 +181,20 @@ impl DsmState {
             pool: PagePool::default(),
             stats: TmkStats::default(),
         }
+    }
+
+    /// Split one borrow of the state into the pieces a protocol backend
+    /// touches together: the page table, its own opaque per-process state
+    /// (downcast it to the concrete type on the backend side), and the
+    /// runtime statistics.
+    pub(crate) fn pages_protocol_state_stats(
+        &mut self,
+    ) -> (&mut Vec<PageSlot>, &mut dyn std::any::Any, &mut TmkStats) {
+        (
+            &mut self.pages,
+            self.protocol_state.as_mut(),
+            &mut self.stats,
+        )
     }
 
     // ---------------------------------------------------------------- heap
@@ -271,7 +269,8 @@ impl DsmState {
     }
 
     /// Write `src` starting at `addr`.  All spanned pages must be valid and
-    /// already marked dirty (twinned) by the caller.
+    /// already trapped by the protocol's write path (twinned and dirtied
+    /// under a twinning backend, held exclusively under SC).
     pub fn write_bytes(&mut self, addr: usize, src: &[u8]) {
         let len = src.len();
         let _ = self.pages_spanning(addr, len);
@@ -282,7 +281,7 @@ impl DsmState {
             let off = cur % PAGE_SIZE;
             let take = (PAGE_SIZE - off).min(len - done);
             let slot = &mut self.pages[page as usize];
-            debug_assert!(slot.valid && slot.dirty);
+            debug_assert!(slot.valid && (slot.dirty || !self.twinning));
             let data = slot.data.get_or_insert_with(new_page);
             data[off..off + take].copy_from_slice(&src[done..done + take]);
             done += take;
@@ -332,369 +331,12 @@ impl DsmState {
         &self.pages[page as usize].notices
     }
 
-    // ----------------------------------------------------------- intervals
-
-    /// Close the current interval if any page was written during it.
-    ///
-    /// Diffs are created *eagerly* here (real TreadMarks creates them lazily
-    /// when first requested); this keeps uncommitted writes of a later
-    /// interval out of earlier diffs while producing identical message and
-    /// data counts.  What happens to the created diffs is the protocol
-    /// decision: LRC stores them for later diff requests (and eventual
-    /// accumulation), HLRC hands them back for flushing to remote homes and
-    /// keeps nothing.  Returns `None` if nothing was written.
-    pub fn close_interval(&mut self) -> Option<ClosedInterval> {
-        if self.dirty_pages.is_empty() {
-            return None;
-        }
-        let seq = self.vc.increment(self.me);
-        let vc = self.vc.clone();
-        let interval_vc_wire = vc_wire(&vc);
-        let mut pages = std::mem::take(&mut self.dirty_pages);
-        pages.sort_unstable();
-        pages.dedup();
-        let mut flushes = Vec::new();
-        for &page in &pages {
-            let home = home_of(page, self.nprocs);
-            let slot = &mut self.pages[page as usize];
-            let twin = slot.twin.take().expect("dirty page must have a twin");
-            slot.dirty = false;
-            // Under HLRC the home's own writes are already in its master
-            // copy: no diff is needed for a page homed here, ever.
-            if self.protocol == ProtocolKind::Hlrc && home == self.me {
-                self.pool.recycle(twin);
-                continue;
-            }
-            let data = slot.data.as_ref().expect("dirty page must have data");
-            let diff = Diff::create(&twin, data);
-            self.pool.recycle(twin);
-            self.stats.diffs_created += 1;
-            self.stats.diff_bytes_created += diff.encoded_len() as u64;
-            match self.protocol {
-                ProtocolKind::Lrc => {
-                    self.diffs.insert(
-                        (page, self.me, seq),
-                        StoredDiff {
-                            vc: vc.clone(),
-                            vc_wire: interval_vc_wire.clone(),
-                            diff,
-                            scan_charged: false,
-                        },
-                    );
-                }
-                ProtocolKind::Hlrc => flushes.push((page, diff)),
-            }
-        }
-        // The local copy of each dirty page now incorporates this interval.
-        let nprocs = self.nprocs;
-        let me = self.me;
-        for &page in &pages {
-            let slot = &mut self.pages[page as usize];
-            let applied = slot.applied.get_or_insert_with(|| VectorClock::new(nprocs));
-            applied.set(me, seq);
-        }
-        let record = IntervalRecord {
-            creator: self.me,
-            seq,
-            vc,
-            pages,
-        };
-        debug_assert_eq!(
-            self.interval_base[self.me] + self.intervals[self.me].len() as u32,
-            seq - 1
-        );
-        // The record is stored exactly once — in the creator's own log —
-        // and retrieved by index when published; no shadow copy travels in
-        // the return value.
-        self.intervals[self.me].push(LoggedInterval::new(record));
-        Some(ClosedInterval { seq, flushes })
-    }
-
-    /// The retained interval record `seq` of `creator`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the interval is unknown or already garbage collected.
-    pub fn interval_record(&self, creator: usize, seq: u32) -> &IntervalRecord {
-        let base = self.interval_base[creator];
-        assert!(
-            seq > base,
-            "interval ({creator}, {seq}) was garbage collected"
-        );
-        &self.intervals[creator][(seq - 1 - base) as usize].record
-    }
-
-    /// Incorporate a write-notice record received from another process:
-    /// record the interval and invalidate the pages it modified.
-    /// Records already covered by the local clock are ignored.
-    pub fn apply_interval_record(&mut self, rec: &IntervalRecord) {
-        if rec.creator == self.me || self.vc.covers(rec.creator, rec.seq) {
-            return;
-        }
-        debug_assert_eq!(
-            self.interval_base[rec.creator] + self.intervals[rec.creator].len() as u32,
-            rec.seq - 1,
-            "interval records of one creator must arrive contiguously"
-        );
-        self.vc.set(rec.creator, rec.seq);
-        self.intervals[rec.creator].push(LoggedInterval::new(rec.clone()));
-        self.stats.write_notices_received += rec.pages.len() as u64;
-        for &page in &rec.pages {
-            // Under HLRC the home's copy is the master copy: flushes keep it
-            // current before the notice can arrive, so it is never
-            // invalidated.
-            if self.protocol == ProtocolKind::Hlrc && home_of(page, self.nprocs) == self.me {
-                continue;
-            }
-            let slot = &mut self.pages[page as usize];
-            slot.valid = false;
-            slot.notices.push(Notice {
-                creator: rec.creator,
-                seq: rec.seq,
-                vc: rec.vc.clone(),
-            });
-        }
-    }
-
-    /// Incorporate a batch of records, in an order consistent with `hb1`.
-    pub fn apply_interval_records(&mut self, records: &[IntervalRecord]) {
-        let mut sorted: Vec<&IntervalRecord> = records.iter().collect();
-        sorted.sort_by_key(|r| (r.creator, r.seq));
-        for r in sorted {
-            self.apply_interval_record(r);
-        }
-    }
-
-    /// All interval records known locally that are not covered by `other`.
-    /// This is what a releaser piggybacks on a lock grant and what the
-    /// barrier manager sends in each release message.
-    pub fn records_not_covered_by(&self, other: &VectorClock) -> Vec<IntervalRecord> {
-        let mut out = Vec::new();
-        for creator in 0..self.nprocs {
-            let known = self.vc.get(creator);
-            let have = other.get(creator);
-            let base = self.interval_base[creator];
-            assert!(
-                have >= base,
-                "peer clock ({creator}:{have}) predates the GC horizon {base}"
-            );
-            for seq in (have + 1)..=known {
-                out.push(
-                    self.intervals[creator][(seq - 1 - base) as usize]
-                        .record
-                        .clone(),
-                );
-            }
-        }
-        out
-    }
-
-    /// The pre-encoded wire buffers of
-    /// [`records_not_covered_by`](Self::records_not_covered_by), in the same
-    /// order: what the hot send paths splice into grants and barrier
-    /// messages instead of cloning and re-serialising each record.
-    pub(crate) fn record_wires_not_covered_by(&self, other: &VectorClock) -> Vec<&Bytes> {
-        let mut out = Vec::new();
-        for creator in 0..self.nprocs {
-            let known = self.vc.get(creator);
-            let have = other.get(creator);
-            let base = self.interval_base[creator];
-            assert!(
-                have >= base,
-                "peer clock ({creator}:{have}) predates the GC horizon {base}"
-            );
-            for seq in (have + 1)..=known {
-                out.push(&self.intervals[creator][(seq - 1 - base) as usize].wire);
-            }
-        }
-        out
-    }
-
-    // ---------------------------------------------------------------- diffs
-
-    /// The set of processes to send diff requests to for `page`: the writers
-    /// named in the pending notices whose most recent interval (for this
-    /// page) is not dominated by another such writer's most recent interval.
-    /// A processor that modified a page in an interval holds all diffs of the
-    /// intervals that precede it, so asking only the maximal writers is
-    /// sufficient — this is the optimisation described in Section 2.2.2.
-    pub fn diff_request_targets(&self, page: PageId) -> Vec<usize> {
-        let notices = &self.pages[page as usize].notices;
-        // Latest pending interval per writer.
-        let mut latest: BTreeMap<usize, &Notice> = BTreeMap::new();
-        for n in notices {
-            match latest.get(&n.creator) {
-                Some(cur) if cur.seq >= n.seq => {}
-                _ => {
-                    latest.insert(n.creator, n);
-                }
-            }
-        }
-        let writers: Vec<&Notice> = latest.values().copied().collect();
-        let mut targets = Vec::new();
-        for w in &writers {
-            let dominated = writers.iter().any(|o| {
-                !(o.creator == w.creator && o.seq == w.seq) && o.vc.dominates(&w.vc) && o.vc != w.vc
-            });
-            if !dominated && w.creator != self.me {
-                targets.push(w.creator);
-            }
-        }
-        targets.sort_unstable();
-        targets.dedup();
-        targets
-    }
-
-    /// Serve a diff request: every diff held locally for `page` whose
-    /// interval (a) the requester knows about (it is covered by the
-    /// requester's *global* clock, i.e. it happens-before the acquire that
-    /// triggered the fault) and (b) the requester has not yet applied to its
-    /// copy of the page.  This is where *diff accumulation* happens — the
-    /// response includes diffs created by other processes that this process
-    /// has previously fetched, even when later diffs completely overwrite
-    /// them.
-    /// Also returns the number of returned diffs whose creation scan has
-    /// not been charged yet (they are marked charged by this call): the
-    /// serving runtime charges the page+twin scan for exactly those, which
-    /// is the lazy diff creation of the real system.
-    pub fn diffs_for_request(
-        &mut self,
-        page: PageId,
-        requester: usize,
-        applied_vc: &VectorClock,
-        global_vc: &VectorClock,
-    ) -> (Vec<WireDiff>, usize) {
-        let (keys, first_serves) = self.served_diff_keys(page, requester, applied_vc, global_vc);
-        let out = keys
-            .into_iter()
-            .map(|(_, creator, seq)| {
-                let stored = &self.diffs[&(page, creator, seq)];
-                WireDiff {
-                    creator,
-                    seq,
-                    vc: stored.vc.clone(),
-                    diff: stored.diff.clone(),
-                }
-            })
-            .collect();
-        (out, first_serves)
-    }
-
-    /// Serve a diff request straight into its wire encoding: the same
-    /// selection as [`diffs_for_request`](Self::diffs_for_request), but the
-    /// response payload is built from the stored diffs and their pre-encoded
-    /// clocks by reference — no `Diff` or `VectorClock` clones.  Returns the
-    /// payload, the summed encoded size of the served diffs (the responder's
-    /// copy cost), and the number of first-time serves (whose creation scan
-    /// the caller charges — lazy diff creation).
-    pub fn encode_diffs_for_request(
-        &mut self,
-        page: PageId,
-        requester: usize,
-        applied_vc: &VectorClock,
-        global_vc: &VectorClock,
-    ) -> (Bytes, usize, usize) {
-        let (keys, first_serves) = self.served_diff_keys(page, requester, applied_vc, global_vc);
-        let mut diff_bytes = 0usize;
-        let parts: Vec<DiffResponsePart<'_>> = keys
-            .iter()
-            .map(|&(_, creator, seq)| {
-                let stored = &self.diffs[&(page, creator, seq)];
-                diff_bytes += stored.diff.encoded_len();
-                (creator, seq, &stored.vc_wire, &stored.diff)
-            })
-            .collect();
-        let payload = crate::proto::encode_diff_response_preencoded(page, &parts);
-        (payload, diff_bytes, first_serves)
-    }
-
-    /// The diffs this process would serve for `page`, as `(hb1 sort key,
-    /// creator, seq)` in response order, marking first-time serves as
-    /// scan-charged.  A range scan over the page's keys in the ordered diff
-    /// store — not a sweep over every diff held.
-    fn served_diff_keys(
-        &mut self,
-        page: PageId,
-        requester: usize,
-        applied_vc: &VectorClock,
-        global_vc: &VectorClock,
-    ) -> (Vec<(u64, usize, u32)>, usize) {
-        let mut first_serves = 0usize;
-        let mut keys: Vec<(u64, usize, u32)> = Vec::new();
-        for (&(_, creator, seq), stored) in self
-            .diffs
-            .range_mut((page, 0, 0)..=(page, usize::MAX, u32::MAX))
-        {
-            if creator == requester
-                || seq <= applied_vc.get(creator)
-                || !global_vc.covers(creator, seq)
-            {
-                continue;
-            }
-            if !stored.scan_charged {
-                stored.scan_charged = true;
-                first_serves += 1;
-            }
-            keys.push((stored.vc.sum(), creator, seq));
-        }
-        keys.sort_unstable();
-        (keys, first_serves)
-    }
-
     /// The per-page applied clock sent in a diff request for `page`.
     pub fn page_applied_vc(&self, page: PageId) -> VectorClock {
         self.pages[page as usize]
             .applied
             .clone()
             .unwrap_or_else(|| VectorClock::new(self.nprocs))
-    }
-
-    /// Apply fetched diffs to `page` (in `hb1` order) and store them so they
-    /// can be served to other processes later.
-    ///
-    /// Only the write notices actually covered by the updated per-page
-    /// applied clock are cleared: a new notice can arrive *during* the fault
-    /// (a barrier arrival served while waiting for diff responses applies
-    /// fresh interval records), and wiping it here would leave the page
-    /// permanently stale.  The page becomes valid only if no notice remains;
-    /// the fault path re-faults otherwise.
-    pub fn apply_wire_diffs(&mut self, page: PageId, mut diffs: Vec<WireDiff>) {
-        diffs.sort_by_key(|d| (d.vc.sum(), d.creator, d.seq));
-        {
-            let slot = &mut self.pages[page as usize];
-            let data = slot.data.get_or_insert_with(new_page);
-            for wd in &diffs {
-                wd.diff.apply(data);
-                // Keep a concurrent writer's twin in sync so its own diff
-                // stays minimal (does not duplicate the incoming changes).
-                if let Some(twin) = slot.twin.as_mut() {
-                    wd.diff.apply(twin);
-                }
-            }
-        }
-        let nprocs = self.nprocs;
-        {
-            let slot = &mut self.pages[page as usize];
-            let applied = slot.applied.get_or_insert_with(|| VectorClock::new(nprocs));
-            for wd in &diffs {
-                if wd.seq > applied.get(wd.creator) {
-                    applied.set(wd.creator, wd.seq);
-                }
-            }
-        }
-        for wd in diffs {
-            self.stats.diffs_applied += 1;
-            self.stats.diff_bytes_received += wd.diff.encoded_len() as u64;
-            self.diffs
-                .entry((page, wd.creator, wd.seq))
-                .or_insert_with(|| StoredDiff {
-                    vc_wire: vc_wire(&wd.vc),
-                    vc: wd.vc,
-                    diff: wd.diff,
-                    scan_charged: true,
-                });
-        }
-        self.revalidate_page(page);
     }
 
     /// Clear the notices of `page` that its applied clock now covers and
@@ -714,50 +356,6 @@ impl DsmState {
             .unwrap_or_else(|| VectorClock::new(nprocs));
         slot.notices.retain(|n| !applied.covers(n.creator, n.seq));
         slot.valid = slot.notices.is_empty();
-    }
-
-    /// Number of diffs currently held for `page` (for tests and ablations).
-    pub fn diffs_held_for(&self, page: PageId) -> usize {
-        self.diffs
-            .range((page, 0, 0)..=(page, usize::MAX, u32::MAX))
-            .count()
-    }
-
-    /// Total number of diffs currently held (for tests and the GC trigger).
-    pub fn diffs_held(&self) -> usize {
-        self.diffs.len()
-    }
-
-    /// Total number of interval records currently retained (for tests).
-    pub fn intervals_retained(&self) -> usize {
-        self.intervals.iter().map(Vec::len).sum()
-    }
-
-    // ------------------------------------------------------------------- gc
-
-    /// Garbage-collect protocol metadata covered by `up_to` — the paper's
-    /// barrier-time GC: once every process has validated its pages up to a
-    /// cluster-wide clock (which the barrier protocol in
-    /// `process.rs` arranges), interval records and stored diffs at or below
-    /// that clock can never be requested again and are dropped.  Without
-    /// this, `intervals` and `diffs` grow without bound for the lifetime of
-    /// a run — the diff garbage the paper itself calls out.
-    pub fn gc(&mut self, up_to: &VectorClock) {
-        for creator in 0..self.nprocs {
-            let covered = up_to.get(creator);
-            let base = self.interval_base[creator];
-            let drop_n = (covered.saturating_sub(base) as usize).min(self.intervals[creator].len());
-            if drop_n > 0 {
-                self.intervals[creator].drain(..drop_n);
-                self.interval_base[creator] = base + drop_n as u32;
-                self.stats.intervals_collected += drop_n as u64;
-            }
-        }
-        let before = self.diffs.len();
-        self.diffs
-            .retain(|&(_, creator, seq), _| seq > up_to.get(creator));
-        self.stats.diffs_collected += (before - self.diffs.len()) as u64;
-        self.stats.gc_collections += 1;
     }
 
     // ---------------------------------------------------------------- locks
@@ -805,12 +403,6 @@ mod tests {
         DsmState::new(me, n, 1 << 20)
     }
 
-    /// Close the open interval and return a clone of its logged record.
-    fn close_record(s: &mut DsmState) -> IntervalRecord {
-        let seq = s.close_interval().expect("interval must close").seq;
-        s.interval_record(s.me, seq).clone()
-    }
-
     #[test]
     fn malloc_is_deterministic_and_aligned() {
         let mut a = state(0, 2);
@@ -854,187 +446,6 @@ mod tests {
     }
 
     #[test]
-    fn close_interval_creates_diffs_and_advances_clock() {
-        let mut s = state(0, 2);
-        let addr = s.malloc(16, 8);
-        s.mark_dirty(s.page_of(addr));
-        s.write_bytes(addr, &[1; 16]);
-        let rec = close_record(&mut s);
-        assert_eq!(rec.creator, 0);
-        assert_eq!(rec.seq, 1);
-        assert_eq!(rec.pages, vec![s.page_of(addr)]);
-        assert_eq!(s.vc.get(0), 1);
-        assert_eq!(s.diffs_held_for(s.page_of(addr)), 1);
-        // No dirty pages -> no new interval.
-        assert!(s.close_interval().is_none());
-    }
-
-    #[test]
-    fn interval_record_invalidates_pages_at_receiver() {
-        let mut writer = state(0, 2);
-        let mut reader = state(1, 2);
-        let addr = writer.malloc(16, 8);
-        let _ = reader.malloc(16, 8);
-        writer.mark_dirty(writer.page_of(addr));
-        writer.write_bytes(addr, &[7; 16]);
-        let rec = close_record(&mut writer);
-
-        assert!(reader.is_valid(reader.page_of(addr)));
-        reader.apply_interval_record(&rec);
-        assert!(!reader.is_valid(reader.page_of(addr)));
-        assert_eq!(reader.vc.get(0), 1);
-        // Applying the same record twice is a no-op.
-        reader.apply_interval_record(&rec);
-        assert_eq!(reader.notices_of(reader.page_of(addr)).len(), 1);
-    }
-
-    #[test]
-    fn diff_fetch_round_trip_updates_reader_copy() {
-        let mut writer = state(0, 2);
-        let mut reader = state(1, 2);
-        let addr = writer.malloc(1024, 8);
-        let _ = reader.malloc(1024, 8);
-        let page = writer.page_of(addr);
-        writer.mark_dirty(page);
-        writer.write_bytes(addr, &[42u8; 1024]);
-        let rec = close_record(&mut writer);
-        reader.apply_interval_record(&rec);
-
-        assert_eq!(reader.diff_request_targets(page), vec![0]);
-        let diffs = writer
-            .diffs_for_request(
-                page,
-                1,
-                &reader.page_applied_vc(page),
-                &reader.vc_snapshot_for_test(),
-            )
-            .0;
-        assert_eq!(diffs.len(), 1);
-        reader.apply_wire_diffs(page, diffs);
-        assert!(reader.is_valid(page));
-        let mut out = [0u8; 1024];
-        reader.read_bytes(addr, &mut out);
-        assert!(out.iter().all(|&b| b == 42));
-    }
-
-    #[test]
-    fn diff_accumulation_returns_overlapping_old_diffs() {
-        // Process 0 writes the page in interval 1; process 1 fetches, then
-        // overwrites the same bytes in its own interval; process 0 fetches
-        // back.  A later requester who has seen neither interval receives
-        // BOTH diffs from process 1 even though the second completely
-        // overwrites the first — the diff accumulation phenomenon.
-        let mut p0 = state(0, 3);
-        let mut p1 = state(1, 3);
-        let mut p2 = state(2, 3);
-        let addr = p0.malloc(512, 8);
-        let _ = p1.malloc(512, 8);
-        let _ = p2.malloc(512, 8);
-        let page = p0.page_of(addr);
-
-        p0.mark_dirty(page);
-        p0.write_bytes(addr, &[1u8; 512]);
-        let rec0 = close_record(&mut p0);
-
-        p1.apply_interval_record(&rec0);
-        let diffs = p0
-            .diffs_for_request(
-                page,
-                1,
-                &p1.page_applied_vc(page),
-                &p1.vc_snapshot_for_test(),
-            )
-            .0;
-        p1.apply_wire_diffs(page, diffs);
-        p1.mark_dirty(page);
-        p1.write_bytes(addr, &[2u8; 512]);
-        let rec1 = close_record(&mut p1);
-
-        p2.apply_interval_record(&rec0);
-        p2.apply_interval_record(&rec1);
-        // p1's interval dominates p0's, so p2 asks only p1...
-        assert_eq!(p2.diff_request_targets(page), vec![1]);
-        // ...but p1 answers with both diffs (accumulation).
-        let diffs = p1
-            .diffs_for_request(
-                page,
-                2,
-                &p2.page_applied_vc(page),
-                &p2.vc_snapshot_for_test(),
-            )
-            .0;
-        assert_eq!(diffs.len(), 2);
-        p2.apply_wire_diffs(page, diffs);
-        let mut out = [0u8; 512];
-        p2.read_bytes(addr, &mut out);
-        assert!(out.iter().all(|&b| b == 2));
-    }
-
-    #[test]
-    fn concurrent_writers_require_requests_to_both() {
-        // False sharing: two processes write disjoint halves of one page in
-        // concurrent intervals; a third must request diffs from both.
-        let mut p0 = state(0, 3);
-        let mut p1 = state(1, 3);
-        let mut p2 = state(2, 3);
-        for s in [&mut p0, &mut p1, &mut p2] {
-            let _ = s.malloc(PAGE_SIZE, 8);
-        }
-        let page = 0;
-        p0.mark_dirty(page);
-        p0.write_bytes(0, &[1u8; 100]);
-        let rec0 = close_record(&mut p0);
-        p1.mark_dirty(page);
-        p1.write_bytes(2000, &[2u8; 100]);
-        let rec1 = close_record(&mut p1);
-
-        p2.apply_interval_records(&[rec0, rec1]);
-        let mut targets = p2.diff_request_targets(page);
-        targets.sort_unstable();
-        assert_eq!(targets, vec![0, 1]);
-
-        let d0 = p0
-            .diffs_for_request(
-                page,
-                2,
-                &p2.page_applied_vc(page),
-                &p2.vc_snapshot_for_test(),
-            )
-            .0;
-        let d1 = p1
-            .diffs_for_request(
-                page,
-                2,
-                &p2.page_applied_vc(page),
-                &p2.vc_snapshot_for_test(),
-            )
-            .0;
-        p2.apply_wire_diffs(page, d0.into_iter().chain(d1).collect());
-        let mut out = [0u8; 100];
-        p2.read_bytes(0, &mut out);
-        assert!(out.iter().all(|&b| b == 1));
-        p2.read_bytes(2000, &mut out);
-        assert!(out.iter().all(|&b| b == 2));
-    }
-
-    #[test]
-    fn records_not_covered_by_returns_exactly_the_gap() {
-        let mut s = state(0, 2);
-        let addr = s.malloc(8, 8);
-        for _ in 0..3 {
-            s.mark_dirty(s.page_of(addr));
-            s.write_bytes(addr, &[9; 8]);
-            s.close_interval();
-        }
-        let mut other = VectorClock::new(2);
-        other.set(0, 1);
-        let recs = s.records_not_covered_by(&other);
-        assert_eq!(recs.len(), 2);
-        assert_eq!(recs[0].seq, 2);
-        assert_eq!(recs[1].seq, 3);
-    }
-
-    #[test]
     fn lock_manager_assignment_is_round_robin() {
         let s = state(0, 4);
         assert_eq!(s.lock_manager(0), 0);
@@ -1049,42 +460,5 @@ mod tests {
         assert!(s0.lock_state_mut(0).have_token);
         assert!(!s1.lock_state_mut(0).have_token);
         assert!(s1.lock_state_mut(1).have_token);
-    }
-
-    #[test]
-    fn twin_kept_in_sync_with_incoming_diffs() {
-        // A concurrent writer applies an incoming diff to both the page and
-        // its twin, so its own later diff does not duplicate those bytes.
-        let mut p0 = state(0, 2);
-        let mut p1 = state(1, 2);
-        let _ = p0.malloc(PAGE_SIZE, 8);
-        let _ = p1.malloc(PAGE_SIZE, 8);
-        let page = 0;
-        p0.mark_dirty(page);
-        p0.write_bytes(0, &[5u8; 64]);
-        let rec0 = close_record(&mut p0);
-
-        p1.mark_dirty(page);
-        p1.write_bytes(1000, &[6u8; 64]);
-        // Now p1 learns about p0's interval and fetches its diff while still
-        // having its own uncommitted writes.
-        p1.apply_interval_record(&rec0);
-        let diffs = p0
-            .diffs_for_request(
-                page,
-                1,
-                &p1.page_applied_vc(page),
-                &p1.vc_snapshot_for_test(),
-            )
-            .0;
-        p1.apply_wire_diffs(page, diffs);
-        let rec1 = close_record(&mut p1);
-        assert_eq!(rec1.pages, vec![0]);
-        let d = p1
-            .diffs_for_request(0, 0, &rec0.vc, &p1.vc_snapshot_for_test())
-            .0;
-        assert_eq!(d.len(), 1);
-        // p1's diff covers only its own 64 modified bytes, not p0's.
-        assert_eq!(d[0].diff.modified_bytes(), 64);
     }
 }

@@ -48,6 +48,13 @@ pub struct TmkStats {
     pub page_requests_served: u64,
     /// HLRC: bytes of full pages fetched from homes.
     pub page_bytes_fetched: u64,
+    /// SC: exclusive-ownership transfers received (write faults resolved by
+    /// taking the page over from its previous owner or manager).
+    pub ownership_transfers: u64,
+    /// SC: invalidation messages sent while acquiring exclusive ownership.
+    pub invalidations_sent: u64,
+    /// SC: invalidations received (local copies discarded on a remote write).
+    pub invalidations_received: u64,
     /// Barrier-time garbage collections performed.
     pub gc_collections: u64,
     /// Interval records dropped by garbage collection.
@@ -79,6 +86,9 @@ impl TmkStats {
         self.page_requests_sent += other.page_requests_sent;
         self.page_requests_served += other.page_requests_served;
         self.page_bytes_fetched += other.page_bytes_fetched;
+        self.ownership_transfers += other.ownership_transfers;
+        self.invalidations_sent += other.invalidations_sent;
+        self.invalidations_received += other.invalidations_received;
         self.gc_collections += other.gc_collections;
         self.intervals_collected += other.intervals_collected;
         self.diffs_collected += other.diffs_collected;

@@ -1,13 +1,21 @@
-//! The two DSM coherence protocols head to head on the workloads that
-//! separate them: false sharing (multiple concurrent writers of one page)
-//! and migratory data (a block rewritten by each process in turn).
+//! Every DSM coherence backend head to head on the workloads that separate
+//! them: false sharing (multiple concurrent writers of one page) and
+//! migratory data (a block rewritten by each process in turn).
 //!
 //! LRC (the paper's TreadMarks protocol) answers a fault with diff requests
 //! to every concurrent writer and accumulates old diffs at the responders;
 //! HLRC flushes diffs to a per-page home at every release and answers a
-//! fault with one full-page fetch.  The example prints, for each workload
-//! and backend, the virtual time, message count, data volume, and the
-//! fault-service round trips.
+//! fault with one full-page fetch; SC (the sequential-consistency baseline)
+//! has no diffs at all — a single writer owns each page, so false sharing
+//! makes the page (and a round of invalidations) ping-pong on every
+//! alternating write, which is exactly the column to watch below.  The
+//! example prints, for each workload and backend, the virtual time, message
+//! count, data volume, and the fault-service round trips (the flushes
+//! column is HLRC's eager-flush count; it is structurally zero for LRC and
+//! SC).
+//!
+//! The backend list comes from `ProtocolKind::all()`, so a new protocol
+//! joins the duel automatically.
 //!
 //! Run with: `cargo run --release --example protocol_duel`
 

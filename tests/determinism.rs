@@ -7,7 +7,6 @@
 use netws::apps::runner::{AppRun, System};
 use netws::apps::Workload;
 use netws::cluster::{Cluster, ClusterConfig, ProcStats};
-use netws::treadmarks::ProtocolKind;
 
 // The bench crate is not a dependency of the root package (it is a harness),
 // so re-derive the tiny-preset dispatch locally, as cross_system.rs does.
@@ -101,18 +100,14 @@ fn assert_runs_identical(a: &AppRun, b: &AppRun, ctx: &str) {
     }
 }
 
-/// Every Tiny-preset application, run twice under each system (both DSM
-/// protocol backends and PVM), yields a bit-identical report: same times,
+/// Every Tiny-preset application, run twice under each system (every DSM
+/// protocol backend and PVM — `System::all()`, so a future backend is
+/// covered automatically), yields a bit-identical report: same times,
 /// same counters, on every process.
 #[test]
 fn every_app_is_bit_deterministic_under_every_system() {
-    let systems = [
-        System::TreadMarks(ProtocolKind::Lrc),
-        System::TreadMarks(ProtocolKind::Hlrc),
-        System::Pvm,
-    ];
     for w in Workload::all() {
-        for sys in systems {
+        for sys in System::all() {
             let first = run(w, sys, 4);
             let second = run(w, sys, 4);
             let ctx = format!("{} under {sys} at 4 processes", w.name());
