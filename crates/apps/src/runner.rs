@@ -12,7 +12,7 @@
 //! * for the **PVM** versions, messages are the user-level sends and data is
 //!   the user data packed into them, as PVM itself counts.
 
-use cluster::{Cluster, ClusterConfig, Proc, ProcStats};
+use cluster::{Cluster, ClusterConfig, ClusterObs, Proc, ProcStats};
 use msgpass::Pvm;
 use serde::Serialize;
 use treadmarks::{ProtocolKind, Tmk, TmkStats};
@@ -85,6 +85,11 @@ pub struct AppRun {
     /// per-process analyses.
     #[serde(skip)]
     pub proc_stats: Vec<ProcStats>,
+    /// Observability output of the run (histograms, time-breakdown profile,
+    /// and — at trace level — the structured event stream); `None` unless
+    /// the cluster config's `obs` level asked for recording.
+    #[serde(skip)]
+    pub obs: Option<ClusterObs>,
 }
 
 impl AppRun {
@@ -140,12 +145,18 @@ where
     F: Fn(&Tmk) -> f64 + Send + Sync,
 {
     let nprocs = cfg.nprocs;
-    let rep = Cluster::run(cfg.clone(), move |p| {
+    let mut rep = Cluster::run(cfg.clone(), move |p| {
         let tmk = Tmk::with_heap_and_protocol(p, heap_bytes, protocol);
         let checksum = body(&tmk);
         tmk.exit();
         (checksum, tmk.stats())
     });
+    let obs = rep.obs.take();
+    #[cfg(feature = "oracle-checks")]
+    if let Some(obs) = &obs {
+        let per_proc: Vec<&TmkStats> = rep.results.iter().map(|(_, s)| s).collect();
+        cross_check_obs(cfg.obs, obs, &rep.stats, Some(&per_proc));
+    }
     let mut agg = TmkStats::default();
     for (_, st) in &rep.results {
         agg.merge(st);
@@ -159,6 +170,7 @@ where
         kilobytes: rep.total_kilobytes(),
         tmk_stats: Some(agg),
         proc_stats: rep.stats,
+        obs,
     }
 }
 
@@ -178,11 +190,16 @@ where
     F: Fn(&Pvm) -> f64 + Send + Sync,
 {
     let nprocs = cfg.nprocs;
-    let rep = Cluster::run(cfg.clone(), move |p| {
+    let mut rep = Cluster::run(cfg.clone(), move |p| {
         let pvm = Pvm::new(p);
         let checksum = body(&pvm);
         (checksum, pvm.user_stats())
     });
+    let obs = rep.obs.take();
+    #[cfg(feature = "oracle-checks")]
+    if let Some(obs) = &obs {
+        cross_check_obs(cfg.obs, obs, &rep.stats, None);
+    }
     let user_messages: u64 = rep.results.iter().map(|(_, s)| s.messages).sum();
     let user_bytes: u64 = rep.results.iter().map(|(_, s)| s.bytes).sum();
     AppRun {
@@ -194,6 +211,70 @@ where
         kilobytes: user_bytes as f64 / 1024.0,
         tmk_stats: None,
         proc_stats: rep.stats,
+        obs,
+    }
+}
+
+/// Cross-check the observability output against the independently maintained
+/// Table-2 counters: the span counts of the metrics layer must equal the
+/// protocol's own accounting (one fault span per counted fault, one
+/// barrier-wait span per barrier episode, one lock-wait span per remote
+/// acquire), and at trace level the central event stream must agree with the
+/// transport's per-process message counters.  Any drift between the
+/// instrumentation and the accounting is a bug in one of them.
+#[cfg(feature = "oracle-checks")]
+fn cross_check_obs(
+    level: cluster::ObsLevel,
+    obs: &ClusterObs,
+    proc_stats: &[ProcStats],
+    tmk_stats: Option<&[&TmkStats]>,
+) {
+    use cluster::obs::EventKind;
+    use cluster::SpanCat;
+    if let Some(tmk) = tmk_stats {
+        for (rank, (po, st)) in obs.procs.iter().zip(tmk).enumerate() {
+            assert_eq!(
+                po.span_count(SpanCat::Fault),
+                st.page_faults,
+                "process {rank}: fault spans vs page_faults"
+            );
+            assert_eq!(
+                po.span_count(SpanCat::BarrierWait),
+                st.barriers,
+                "process {rank}: barrier-wait spans vs barriers"
+            );
+            assert_eq!(
+                po.span_count(SpanCat::LockWait),
+                st.remote_lock_acquires,
+                "process {rank}: lock-wait spans vs remote_lock_acquires"
+            );
+            assert_eq!(
+                po.span_count(SpanCat::Gc),
+                st.gc_collections,
+                "process {rank}: gc spans vs gc_collections"
+            );
+        }
+    }
+    if level == cluster::ObsLevel::Trace {
+        let mut sends = vec![0u64; proc_stats.len()];
+        let mut consumes = vec![0u64; proc_stats.len()];
+        for ev in &obs.central {
+            match ev.kind {
+                EventKind::Send { .. } => sends[ev.rank as usize] += 1,
+                EventKind::Consume { .. } => consumes[ev.rank as usize] += 1,
+                _ => {}
+            }
+        }
+        for (rank, st) in proc_stats.iter().enumerate() {
+            assert_eq!(
+                sends[rank], st.messages_sent,
+                "process {rank}: trace sends vs messages_sent"
+            );
+            assert_eq!(
+                consumes[rank], st.messages_received,
+                "process {rank}: trace consumes vs messages_received"
+            );
+        }
     }
 }
 

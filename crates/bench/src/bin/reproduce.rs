@@ -17,6 +17,8 @@
 //! cargo run -p bench --release --bin reproduce -- sweep --vary procs      # speedup past 8
 //! cargo run -p bench --release --bin reproduce -- sweep --vary bandwidth  # runtime vs bandwidth
 //! cargo run -p bench --release --bin reproduce -- --json            # machine-readable dump
+//! cargo run -p bench --release --bin reproduce -- --metrics         # latency histograms + profile
+//! cargo run -p bench --release --bin reproduce -- --trace trace.json  # Perfetto trace export
 //! cargo run -p bench --release --bin reproduce -- --jobs 1          # serial execution
 //! cargo run -p bench --release --bin reproduce -- --bench-out BENCH_PR3.json
 //! ```
@@ -58,15 +60,26 @@
 //! wall-clock timing of *this* execution.  The `deterministic` section is
 //! byte-stable across runs and job counts; the `timing` section is this
 //! machine's measurement.
+//!
+//! The observability flags (docs/OBSERVABILITY.md) compute the same matrix
+//! at a recording level: `--metrics` appends the latency-histogram and
+//! virtual-time-profile report (and, with `--json`, adds integer quantile
+//! fields to every run record); `--trace FILE` records the full structured
+//! event stream and writes a Chrome-trace / Perfetto JSON file.  Both
+//! outputs are stamped in virtual time, so they are byte-identical across
+//! reruns and `--jobs` values — CI diffs the trace exactly as it diffs the
+//! JSON dump.  Sweeps always run at metrics level: their tables include a
+//! per-cell p99 lock-acquire latency column.
 
 use apps::runner::System;
 use apps::Workload;
 use bench::scenario::{workload_by_name, ResolvedScenario};
 use bench::sweep::{Sweep, Vary};
 use bench::{
-    exec, problem_size, proc_series, run_matrix, run_record_json, Preset, RunKey, RunMatrix,
+    exec, obs, problem_size, proc_series, run_matrix_obs, run_record_json, Preset, RunKey,
+    RunMatrix,
 };
-use cluster::{NetModel, NetPreset, Scenario};
+use cluster::{NetModel, NetPreset, ObsLevel, Scenario};
 use treadmarks::ProtocolKind;
 
 fn table1(matrix: &RunMatrix, workloads: &[Workload]) {
@@ -360,7 +373,7 @@ fn main() {
             .position(|a| a == flag)
             .and_then(|i| args.get(i + 1))
     };
-    const VALUE_FLAGS: [&str; 9] = [
+    const VALUE_FLAGS: [&str; 10] = [
         "--protocol",
         "--jobs",
         "--bench-out",
@@ -370,6 +383,7 @@ fn main() {
         "--vary",
         "--workload",
         "--figure",
+        "--trace",
     ];
     for flag in VALUE_FLAGS {
         if args.last().map(String::as_str) == Some(flag) {
@@ -462,6 +476,18 @@ fn main() {
         },
     };
     let bench_out = flag_value("--bench-out").cloned();
+    let trace_out = flag_value("--trace").cloned();
+    let want_metrics = wants("--metrics");
+    // Sweeps always record at metrics level (their tables carry a p99
+    // lock-acquire column); the reproduction records only when asked, so
+    // the default path stays on the zero-cost null sink.
+    let obs_level = if trace_out.is_some() {
+        ObsLevel::Trace
+    } else if want_metrics || sweep_mode {
+        ObsLevel::Metrics
+    } else {
+        ObsLevel::Off
+    };
 
     // `--workload` (repeatable) narrows the set; a scenario file's subset
     // applies when no explicit flag does.
@@ -487,6 +513,9 @@ fn main() {
     };
 
     if sweep_mode {
+        if trace_out.is_some() {
+            fail("--trace only applies to the reproduction; sweeps record at metrics level");
+        }
         // The reproduction-only output selectors have no sweep rendering;
         // reject them rather than silently printing the ASCII figures to a
         // consumer that asked for a table or the JSON dump.
@@ -512,9 +541,12 @@ fn main() {
         };
         let keys = sweep.keys();
         let started = std::time::Instant::now();
-        let matrix = run_matrix(preset, &sweep.workloads, &keys, jobs);
+        let matrix = run_matrix_obs(preset, &sweep.workloads, &keys, jobs, obs_level);
         let wall_seconds = started.elapsed().as_secs_f64();
         print!("{}", sweep.render(&matrix));
+        if want_metrics {
+            print!("\n{}", obs::metrics_report(&matrix));
+        }
         if let Some(path) = bench_out {
             let report = bench_report(&matrix, jobs, wall_seconds);
             if let Err(err) = std::fs::write(&path, &report) {
@@ -590,7 +622,7 @@ fn main() {
     }
 
     let started = std::time::Instant::now();
-    let matrix = run_matrix(preset, &seq_workloads, &keys, jobs);
+    let matrix = run_matrix_obs(preset, &seq_workloads, &keys, jobs, obs_level);
     let wall_seconds = started.elapsed().as_secs_f64();
 
     if want_json {
@@ -605,6 +637,20 @@ fn main() {
         if want_table2 {
             table2(&matrix, net, max_procs, &systems, &selected_workloads);
         }
+        if want_metrics {
+            print!("\n{}", obs::metrics_report(&matrix));
+        }
+    }
+
+    if let Some(path) = trace_out {
+        let trace = obs::chrome_trace_json(&matrix);
+        if let Err(err) = obs::validate_json(&trace) {
+            fail(format!("internal error: exported trace is invalid: {err}"));
+        }
+        if let Err(err) = std::fs::write(&path, &trace) {
+            fail(format!("cannot write {path}: {err}"));
+        }
+        eprintln!("trace written to {path} (open in https://ui.perfetto.dev)");
     }
 
     if let Some(path) = bench_out {

@@ -17,12 +17,13 @@
 #![deny(missing_docs)]
 
 pub mod exec;
+pub mod obs;
 pub mod scenario;
 pub mod sweep;
 
 use apps::runner::{AppRun, SeqRun, System};
 use apps::{barnes, ep, fft3d, ilink, is, qsort, sor, tsp, water, Workload};
-use cluster::{ClusterConfig, NetModel, NetPreset};
+use cluster::{ClusterConfig, NetModel, NetPreset, ObsLevel, SpanCat};
 
 /// Problem-size preset used by the harness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -264,6 +265,22 @@ pub fn run_matrix(
     keys: &[RunKey],
     jobs: usize,
 ) -> RunMatrix {
+    run_matrix_obs(preset, seq_workloads, keys, jobs, ObsLevel::Off)
+}
+
+/// [`run_matrix`] with an observability level applied to every parallel run
+/// in the matrix (sequential baselines are plain closed-form models and
+/// record nothing).  The level reaches the simulations through
+/// [`ClusterConfig::obs`] — it is *not* part of the [`RunKey`], so matrices
+/// computed at different levels are keyed (and rendered) identically, and
+/// the recorded output rides along on [`AppRun::obs`].
+pub fn run_matrix_obs(
+    preset: Preset,
+    seq_workloads: &[Workload],
+    keys: &[RunKey],
+    jobs: usize,
+    obs: ObsLevel,
+) -> RunMatrix {
     let mut seq_keys: Vec<Workload> = Vec::new();
     for &w in seq_workloads {
         if !seq_keys.contains(&w) {
@@ -295,15 +312,14 @@ pub fn run_matrix(
         .map(|t| {
             move || match t {
                 Task::Seq(w) => Done::Seq(w, run_sequential(w, preset)),
-                Task::Run(key) => Done::Run(
-                    key,
-                    Box::new(run_parallel_on(
-                        key.workload,
-                        key.system,
-                        &key.config(),
-                        preset,
-                    )),
-                ),
+                Task::Run(key) => {
+                    let mut cfg = key.config();
+                    cfg.obs = obs;
+                    Done::Run(
+                        key,
+                        Box::new(run_parallel_on(key.workload, key.system, &cfg, preset)),
+                    )
+                }
             }
         })
         .collect();
@@ -351,6 +367,29 @@ pub fn run_record_json(key: &RunKey, run: &AppRun) -> String {
              \"page_requests\": {}",
             t.page_faults, t.diff_requests_sent, t.diff_flushes_sent, t.page_requests_sent
         ));
+    }
+    if let Some(obs) = &run.obs {
+        // Integer virtual-ns quantiles of the merged histograms: present
+        // only when the run was computed at an observability level, and
+        // byte-deterministic like everything else in the record.
+        for (label, cat) in [
+            ("lock", SpanCat::LockWait),
+            ("fault", SpanCat::Fault),
+            ("barrier", SpanCat::BarrierWait),
+        ] {
+            let h = obs.merged_hist(cat);
+            rec.push_str(&format!(
+                ", \"{label}_spans\": {}, \"{label}_p50_ns\": {}, \"{label}_p99_ns\": {}, \
+                 \"{label}_p999_ns\": {}",
+                h.count(),
+                h.value_at_quantile(0.50),
+                h.value_at_quantile(0.99),
+                h.value_at_quantile(0.999)
+            ));
+        }
+        let events: usize =
+            obs.central.len() + obs.procs.iter().map(|p| p.events.len()).sum::<usize>();
+        rec.push_str(&format!(", \"obs_events\": {events}"));
     }
     rec.push('}');
     rec

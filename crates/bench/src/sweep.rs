@@ -15,7 +15,7 @@
 use crate::{proc_series, Preset, RunKey, RunMatrix};
 use apps::runner::System;
 use apps::Workload;
-use cluster::NetModel;
+use cluster::{NetModel, SpanCat};
 
 /// Which axis a sweep varies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -200,10 +200,14 @@ impl Sweep {
                 self.vary.axis(),
                 seq.time
             ));
-            // The measured value per (point, system), in plotting order.
+            // The measured value per (point, system) — and, when the matrix
+            // was computed at an observability level, the cell's p99
+            // lock-acquire latency — in plotting order.
             let mut columns: Vec<Vec<f64>> = Vec::with_capacity(self.systems.len());
+            let mut p99_lock: Vec<Vec<String>> = Vec::with_capacity(self.systems.len());
             for &sys in &self.systems {
                 let mut column = Vec::with_capacity(points.len());
+                let mut p99s = Vec::with_capacity(points.len());
                 for point in &points {
                     let key = RunKey::new(w, sys, point.net, point.nprocs);
                     let run = matrix.run(&key);
@@ -218,19 +222,34 @@ impl Sweep {
                         Vary::Procs => run.speedup(seq.time),
                         Vary::Bandwidth | Vary::Latency => run.time,
                     });
+                    // "-" when the run recorded nothing (observability off,
+                    // or a system with no remote lock acquires).
+                    p99s.push(
+                        run.obs
+                            .as_ref()
+                            .map(|o| o.merged_hist(SpanCat::LockWait))
+                            .filter(|h| !h.is_empty())
+                            .map(|h| {
+                                let p99 = h.value_at_quantile(0.99);
+                                format!("{}.{:03}", p99 / 1000, p99 % 1000)
+                            })
+                            .unwrap_or_else(|| "-".to_string()),
+                    );
                 }
                 columns.push(column);
+                p99_lock.push(p99s);
             }
-            // The table.
+            // The table: per system, the measure plus the cell's p99
+            // lock-acquire latency (virtual µs, from the merged histogram).
             out.push_str(&format!("  {:>label_width$}", self.vary.axis()));
             for sys in &self.systems {
-                out.push_str(&format!(" {:>12}", sys.to_string()));
+                out.push_str(&format!(" {:>12} {:>12}", sys.to_string(), "p99-lock-us"));
             }
             out.push('\n');
             for (pi, point) in points.iter().enumerate() {
                 out.push_str(&format!("  {:>label_width$}", point.label));
-                for column in &columns {
-                    out.push_str(&format!(" {:>12.2}", column[pi]));
+                for (column, p99s) in columns.iter().zip(&p99_lock) {
+                    out.push_str(&format!(" {:>12.2} {:>12}", column[pi], p99s[pi]));
                 }
                 out.push('\n');
             }
@@ -317,6 +336,44 @@ mod tests {
         assert!(a.contains("EP — runtime (s) vs latency"), "{a}");
         assert!(a.contains('#'), "no bars rendered:\n{a}");
         assert!(a.contains("0.25x"), "{a}");
+    }
+
+    #[test]
+    fn metrics_matrix_fills_the_p99_lock_column() {
+        let sweep = Sweep {
+            vary: Vary::Procs,
+            preset: Preset::Tiny,
+            base: NetModel::preset(NetPreset::Fddi),
+            workloads: vec![Workload::Tsp], // lock-heavy: the column has data
+            systems: vec![System::TreadMarks(ProtocolKind::Lrc)],
+            max_procs: 4,
+        };
+        let keys = sweep.keys();
+        let off = sweep.render(&run_matrix(Preset::Tiny, &sweep.workloads, &keys, 2));
+        let metrics = sweep.render(&crate::run_matrix_obs(
+            Preset::Tiny,
+            &sweep.workloads,
+            &keys,
+            2,
+            cluster::ObsLevel::Metrics,
+        ));
+        assert!(off.contains("p99-lock-us"));
+        // Off: every cell renders "-".  Metrics: at least one cell at >1
+        // process has a real latency, and the measure columns are unchanged
+        // (recording must not perturb the simulation).
+        assert!(off.contains(" -"));
+        let digits = metrics
+            .lines()
+            .filter(|l| l.contains('.') && !l.contains('#'))
+            .count();
+        assert!(digits > 0, "no p99 latencies rendered:\n{metrics}");
+        let strip = |s: &str| {
+            s.lines()
+                .map(|l| l.split_whitespace().take(2).collect::<Vec<_>>().join(" "))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&off), strip(&metrics));
     }
 
     #[test]

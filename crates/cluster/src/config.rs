@@ -12,6 +12,7 @@
 //! comparable identity ([`NetModel`]) that the reproduction harness keys
 //! its run matrices and sweeps on.
 
+use crate::obs::ObsLevel;
 use serde::{Deserialize, Serialize};
 
 /// Virtual-memory page size of the simulated workstations (HP-735: 4 KB).
@@ -66,6 +67,12 @@ pub struct ClusterConfig {
     /// Whether wire occupancy is serialised over one shared medium
     /// (models the FDDI ring; disable for an idealised full-bisection net).
     pub shared_medium: bool,
+    /// Observability level of the run (defaults to [`ObsLevel::Off`] in
+    /// every preset).  Not part of the network cost model: recording only
+    /// reads the virtual clock, so no level can change reported times or
+    /// counters.
+    #[serde(default)]
+    pub obs: ObsLevel,
 }
 
 impl ClusterConfig {
@@ -82,6 +89,7 @@ impl ClusterConfig {
             send_overhead: 80e-6,
             recv_overhead: 80e-6,
             shared_medium: true,
+            obs: ObsLevel::Off,
         }
     }
 
@@ -102,6 +110,7 @@ impl ClusterConfig {
             send_overhead: 80e-6,
             recv_overhead: 80e-6,
             shared_medium: true,
+            obs: ObsLevel::Off,
         }
     }
 
@@ -123,6 +132,7 @@ impl ClusterConfig {
             send_overhead: 80e-6,
             recv_overhead: 80e-6,
             shared_medium: false,
+            obs: ObsLevel::Off,
         }
     }
 
@@ -138,6 +148,7 @@ impl ClusterConfig {
             send_overhead: 0.0,
             recv_overhead: 0.0,
             shared_medium: false,
+            obs: ObsLevel::Off,
         }
     }
 

@@ -51,6 +51,7 @@
 
 pub mod config;
 pub mod net;
+pub mod obs;
 pub mod proc;
 pub mod scenario;
 pub(crate) mod sched;
@@ -59,6 +60,7 @@ pub mod time;
 
 pub use config::{ClusterConfig, NetModel, NetPreset, Overrides};
 pub use net::{Message, Tag};
+pub use obs::{ClusterObs, Histogram, ObsLevel, ProcObs, SpanCat};
 pub use proc::Proc;
 pub use scenario::Scenario;
 pub use stats::{ClusterReport, ProcStats};
@@ -100,12 +102,12 @@ impl Cluster {
         assert!(cfg.nprocs >= 1, "a cluster needs at least one process");
         let core = Arc::new(net::NetworkCore::new(cfg.clone()));
         let f = &f;
-        let results: Vec<(R, ProcStats)> = std::thread::scope(|s| {
+        let results: Vec<(R, ProcStats, Option<obs::ProcObs>)> = std::thread::scope(|s| {
             let mut handles = Vec::with_capacity(cfg.nprocs);
             for id in 0..cfg.nprocs {
                 let core = Arc::clone(&core);
                 handles.push(s.spawn(move || {
-                    let proc = Proc::new(id, Arc::clone(&core));
+                    let mut proc = Proc::new(id, Arc::clone(&core));
                     // A panicking process aborts the whole cluster: peers
                     // blocked on messages it will never send fail fast
                     // instead of hanging the run.  `into_stats` (which hands
@@ -113,8 +115,9 @@ impl Cluster {
                     // deadlock detected at finish aborts the cluster too.
                     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         let r = f(&proc);
+                        let po = proc.take_obs();
                         let stats = proc.into_stats();
-                        (r, stats)
+                        (r, stats, po)
                     })) {
                         Ok(pair) => pair,
                         Err(payload) => {
@@ -159,13 +162,31 @@ impl Cluster {
         });
         let mut out_results = Vec::with_capacity(results.len());
         let mut out_stats = Vec::with_capacity(results.len());
-        for (r, st) in results {
+        let mut out_obs = Vec::with_capacity(results.len());
+        for (r, st, po) in results {
             out_results.push(r);
             out_stats.push(st);
+            if let Some(po) = po {
+                out_obs.push(po);
+            }
         }
+        let obs = if cfg.obs.enabled() {
+            assert_eq!(
+                out_obs.len(),
+                out_results.len(),
+                "a process lost its recorder"
+            );
+            Some(obs::ClusterObs {
+                procs: out_obs,
+                central: core.take_central(),
+            })
+        } else {
+            None
+        };
         ClusterReport {
             results: out_results,
             stats: out_stats,
+            obs,
         }
     }
 }

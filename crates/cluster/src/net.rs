@@ -17,6 +17,7 @@
 //! byte-identical times and counters.
 
 use crate::config::ClusterConfig;
+use crate::obs::{self, Event, EventKind, ObsLevel};
 use crate::sched::{wait_graph, Arbiter, Decision, PState};
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex, MutexGuard};
@@ -97,6 +98,10 @@ struct SimState {
     futile_grants: u64,
     /// Set when the cluster is torn down early.
     aborted: Option<Abort>,
+    /// Central observability event stream (message sends, consumes, arbiter
+    /// grants), recorded under this lock — so in deterministic token order —
+    /// when the config asks for [`ObsLevel::Trace`]; `None` otherwise.
+    trace: Option<Vec<Event>>,
 }
 
 /// The shared state of the simulated network.
@@ -114,6 +119,7 @@ impl NetworkCore {
     /// the arbiter issues the first grant once all have arrived.
     pub fn new(cfg: ClusterConfig) -> Self {
         let n = cfg.nprocs;
+        let tracing = cfg.obs == ObsLevel::Trace;
         NetworkCore {
             cfg,
             state: Mutex::new(SimState {
@@ -122,6 +128,7 @@ impl NetworkCore {
                 medium_free_at: 0.0,
                 futile_grants: 0,
                 aborted: None,
+                trace: if tracing { Some(Vec::new()) } else { None },
             }),
             wake: (0..n).map(|_| Condvar::new()).collect(),
         }
@@ -168,6 +175,15 @@ impl NetworkCore {
     fn dispatch(&self, st: &mut SimState) {
         match st.arb.decide() {
             Decision::Grant(rank) => {
+                if let PState::Parked { key } = st.arb.state(rank) {
+                    if let Some(trace) = &mut st.trace {
+                        trace.push(Event {
+                            t_ns: obs::ns(key),
+                            rank: rank as u32,
+                            kind: EventKind::Grant,
+                        });
+                    }
+                }
                 st.futile_grants += 1;
                 if st.futile_grants >= LIVELOCK_GRANT_LIMIT {
                     let graph = wait_graph(st.arb.states(), &st.mailboxes);
@@ -259,6 +275,19 @@ impl NetworkCore {
         };
         let arrival = start + occupancy + self.cfg.latency;
         st.futile_grants = 0;
+        if let Some(tr) = st.trace.as_mut() {
+            tr.push(Event {
+                t_ns: obs::ns(depart),
+                rank: src as u32,
+                kind: EventKind::Send {
+                    dst: dst as u32,
+                    tag,
+                    bytes: bytes as u64,
+                    datagrams,
+                    arrival_ns: obs::ns(arrival),
+                },
+            });
+        }
         st.mailboxes[dst].push_back(Message {
             src,
             dst,
@@ -315,7 +344,19 @@ impl NetworkCore {
         let pos = Self::find(&st.mailboxes[dst], src, tag)
             .expect("granted receiver must have a matching message");
         st.futile_grants = 0;
-        st.mailboxes[dst].remove(pos).expect("position just found")
+        let m = st.mailboxes[dst].remove(pos).expect("position just found");
+        if let Some(tr) = st.trace.as_mut() {
+            tr.push(Event {
+                t_ns: obs::ns(clock.max(m.arrival)),
+                rank: dst as u32,
+                kind: EventKind::Consume {
+                    src: m.src as u32,
+                    tag: m.tag,
+                    arrival_ns: obs::ns(m.arrival),
+                },
+            });
+        }
+        m
     }
 
     /// Non-blocking variant of [`recv_match`](Self::recv_match): consumes
@@ -339,7 +380,19 @@ impl NetworkCore {
             m.arrival <= now && src.is_none_or(|s| m.src == s) && tag.is_none_or(|t| m.tag == t)
         })?;
         st.futile_grants = 0;
-        st.mailboxes[dst].remove(pos)
+        let m = st.mailboxes[dst].remove(pos)?;
+        if let Some(tr) = st.trace.as_mut() {
+            tr.push(Event {
+                t_ns: obs::ns(now),
+                rank: dst as u32,
+                kind: EventKind::Consume {
+                    src: m.src as u32,
+                    tag: m.tag,
+                    arrival_ns: obs::ns(m.arrival),
+                },
+            });
+        }
+        Some(m)
     }
 
     /// Number of messages queued for `dst` that have arrived by virtual
@@ -355,6 +408,13 @@ impl NetworkCore {
     fn find(q: &VecDeque<Message>, src: Option<usize>, tag: Option<Tag>) -> Option<usize> {
         q.iter()
             .position(|m| src.is_none_or(|s| m.src == s) && tag.is_none_or(|t| m.tag == t))
+    }
+
+    /// Drain the central observability event stream (sends, consumes,
+    /// grants).  Empty below [`ObsLevel::Trace`].  Called once by the
+    /// cluster front end after every process has finished.
+    pub fn take_central(&self) -> Vec<Event> {
+        self.state.lock().trace.take().unwrap_or_default()
     }
 }
 

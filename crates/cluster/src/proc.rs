@@ -2,6 +2,7 @@
 
 use crate::config::ClusterConfig;
 use crate::net::{Message, NetworkCore, Tag};
+use crate::obs::{self, EventSink, NullSink, ObsLevel, ProcObs, Recorder, SpanCat};
 use crate::stats::ProcStats;
 use crate::time::VirtualClock;
 use bytes::Bytes;
@@ -19,22 +20,34 @@ pub struct Proc {
     core: Arc<NetworkCore>,
     clock: VirtualClock,
     stats: RefCell<ProcStats>,
+    /// Observability sink; a [`NullSink`] when the config says `Off`, so
+    /// every emission site costs one predictable branch.
+    sink: Box<dyn EventSink>,
+    obs_on: bool,
 }
 
 impl Proc {
     /// Create the handle for process `id` on the given network.
     pub fn new(id: usize, core: Arc<NetworkCore>) -> Self {
         let latency = core.config().latency;
+        let level = core.config().obs;
         let stats = ProcStats {
             id,
             config_latency: latency,
             ..Default::default()
+        };
+        let sink: Box<dyn EventSink> = if level.enabled() {
+            Box::new(Recorder::new(id as u32, level))
+        } else {
+            Box::new(NullSink)
         };
         Proc {
             id,
             core,
             clock: VirtualClock::new(),
             stats: RefCell::new(stats),
+            sink,
+            obs_on: level.enabled(),
         }
     }
 
@@ -154,6 +167,38 @@ impl Proc {
     /// current virtual time.
     pub fn pending(&self) -> usize {
         self.core.pending(self.id, self.clock.now())
+    }
+
+    /// The observability level this process records at.
+    pub fn obs_level(&self) -> ObsLevel {
+        self.sink.level()
+    }
+
+    /// Open an observability span of `cat` at this process's current virtual
+    /// time.  `arg` is a category-specific operand (page id, lock id, epoch).
+    /// A no-op when observability is off.  Spans nest; every `span_begin`
+    /// must be matched by a [`span_end`](Self::span_end) of the same
+    /// category before the process finishes.
+    pub fn span_begin(&self, cat: SpanCat, arg: u64) {
+        if self.obs_on {
+            self.sink.span_begin(obs::ns(self.clock.now()), cat, arg);
+        }
+    }
+
+    /// Close the innermost open span of `cat` at the current virtual time.
+    /// A no-op when observability is off.
+    pub fn span_end(&self, cat: SpanCat) {
+        if self.obs_on {
+            self.sink.span_end(obs::ns(self.clock.now()), cat);
+        }
+    }
+
+    /// Take this process's recorded observability output (None when the
+    /// level is `Off`).  Called once, after the process closure returns and
+    /// before [`into_stats`](Self::into_stats); the sink is replaced by a
+    /// [`NullSink`].
+    pub fn take_obs(&mut self) -> Option<ProcObs> {
+        std::mem::replace(&mut self.sink, Box::new(NullSink)).finish()
     }
 
     /// Finalise and return the statistics of this process, handing the

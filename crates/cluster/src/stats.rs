@@ -8,6 +8,7 @@
 //! TreadMarks reports); the `msgpass` crate additionally counts user-level
 //! sends (what PVM reports).
 
+use crate::obs::ClusterObs;
 use serde::{Deserialize, Serialize};
 
 /// Communication and timing statistics of a single simulated process.
@@ -47,6 +48,9 @@ pub struct ClusterReport<R> {
     pub results: Vec<R>,
     /// Per-process statistics, indexed by rank.
     pub stats: Vec<ProcStats>,
+    /// Observability output of the run; `None` when the configuration's
+    /// [`obs`](crate::ClusterConfig::obs) level is `Off`.
+    pub obs: Option<ClusterObs>,
 }
 
 impl<R> ClusterReport<R> {
@@ -95,6 +99,7 @@ mod tests {
         let rep = ClusterReport {
             results: vec![(), (), ()],
             stats: vec![mk(1.0, 2, 100), mk(3.5, 4, 50), mk(2.0, 0, 0)],
+            obs: None,
         };
         assert_eq!(rep.parallel_time(), 3.5);
         assert_eq!(rep.total_messages(), 6);
@@ -107,6 +112,7 @@ mod tests {
         let rep: ClusterReport<()> = ClusterReport {
             results: vec![],
             stats: vec![],
+            obs: None,
         };
         assert_eq!(rep.parallel_time(), 0.0);
         assert_eq!(rep.total_messages(), 0);

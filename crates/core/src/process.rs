@@ -26,7 +26,7 @@ use crate::vc::VectorClock;
 use crate::{
     DEFAULT_GC_INTERVAL_THRESHOLD, DEFAULT_HEAP_BYTES, REQUEST_SERVICE_COST, SYNC_OP_COST,
 };
-use cluster::{Message, Proc};
+use cluster::{Message, Proc, SpanCat};
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 
@@ -196,6 +196,10 @@ impl<'a> Tmk<'a> {
             st.stats.remote_lock_acquires += 1;
             st.lock_manager(id)
         };
+        // The remote path from request to applied grant is the lock-acquire
+        // latency of the metrics layer (one span per remote acquire, so the
+        // span count cross-checks against `remote_lock_acquires`).
+        self.proc.span_begin(SpanCat::LockWait, id as u64);
         let payload = {
             let st = self.st.borrow();
             encode_lock_request(id, self.id(), &st.vc)
@@ -227,6 +231,7 @@ impl<'a> Tmk<'a> {
             ls.in_cs = true;
         }
         self.backend.at_acquire(self);
+        self.proc.span_end(SpanCat::LockWait);
     }
 
     /// Release lock `id`.
@@ -268,7 +273,11 @@ impl<'a> Tmk<'a> {
         self.maybe_gc();
     }
 
-    fn barrier_inner(&self, _index: u32) {
+    fn barrier_inner(&self, index: u32) {
+        // One span per episode, entry to release (the full barrier cost,
+        // including the interval close the episode forces); its duration is
+        // the per-process barrier skew the metrics layer reports.
+        self.proc.span_begin(SpanCat::BarrierWait, index as u64);
         self.proc.compute(SYNC_OP_COST);
         let epoch = self.barrier_epoch.get();
         self.barrier_epoch.set(epoch + 1);
@@ -279,6 +288,7 @@ impl<'a> Tmk<'a> {
             // real system's single-process execution has no write traps
             // after the first touch of each page.
             self.st.borrow_mut().stats.barriers += 1;
+            self.proc.span_end(SpanCat::BarrierWait);
             return;
         }
         self.backend.at_barrier(self);
@@ -325,6 +335,7 @@ impl<'a> Tmk<'a> {
             let vc = st.vc.clone();
             st.last_barrier_vc = vc;
         }
+        self.proc.span_end(SpanCat::BarrierWait);
     }
 
     // ----------------------------------------------------------- termination
@@ -351,6 +362,7 @@ impl<'a> Tmk<'a> {
         if n == 1 {
             return;
         }
+        self.proc.span_begin(SpanCat::Exit, 0);
         if self.id() == 0 {
             while self.done_count.get() < n - 1 {
                 let m = self.proc.recv_any();
@@ -369,6 +381,7 @@ impl<'a> Tmk<'a> {
                 self.dispatch(m);
             }
         }
+        self.proc.span_end(SpanCat::Exit);
     }
 
     // ------------------------------------------------------------- internals
@@ -570,11 +583,16 @@ impl<'a> Tmk<'a> {
         if sum - self.last_gc_sum.get() < self.gc_threshold.get() {
             return;
         }
+        // The GC span covers preparation (which may fault pages in and run
+        // the internal sync barrier — those nest as their own spans) plus
+        // the collection itself.
+        self.proc.span_begin(SpanCat::Gc, sum);
         self.backend.prepare_gc(self);
         let horizon = self.st.borrow().vc.clone();
         debug_assert_eq!(horizon.sum(), sum, "GC must not create intervals");
         self.st.borrow_mut().gc(&horizon);
         self.last_gc_sum.set(sum);
+        self.proc.span_end(SpanCat::Gc);
     }
 
     /// The internal synchronization barrier of a protocol's GC preparation

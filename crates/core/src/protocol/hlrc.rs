@@ -115,6 +115,8 @@ impl ConsistencyProtocol for Hlrc {
         if closed.flushes.is_empty() {
             return;
         }
+        rt.proc()
+            .span_begin(cluster::SpanCat::Flush, closed.flushes.len() as u64);
         let seq = closed.seq;
         let mut by_home: BTreeMap<usize, Vec<(PageId, Diff)>> = BTreeMap::new();
         for (page, diff) in closed.flushes {
@@ -142,6 +144,7 @@ impl ConsistencyProtocol for Hlrc {
             assert_eq!(creator, rt.id(), "flush ack for another process");
             assert_eq!(acked_seq, seq, "flush ack for another interval");
         }
+        rt.proc().span_end(cluster::SpanCat::Flush);
     }
 
     fn serve_request(&self, rt: &Tmk, m: Message) -> bool {

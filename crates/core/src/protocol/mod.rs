@@ -305,6 +305,10 @@ impl Tmk<'_> {
     /// arrival served in the meantime applies fresh interval records), so
     /// the fault repeats until the page is clean.
     pub(crate) fn fault_in(&self, page: PageId) {
+        // One fault span per counted fault (entry to validated page), so the
+        // metrics layer's fault-service histogram count cross-checks against
+        // the `page_faults` counter.
+        self.proc().span_begin(cluster::SpanCat::Fault, page as u64);
         self.proc().compute(PAGE_FAULT_COST);
         self.st.borrow_mut().stats.page_faults += 1;
         loop {
@@ -313,6 +317,7 @@ impl Tmk<'_> {
                 break;
             }
         }
+        self.proc().span_end(cluster::SpanCat::Fault);
     }
 }
 

@@ -378,6 +378,10 @@ impl ConsistencyProtocol for Sc {
 /// transferred copy, and then invalidates the copyset that travelled with
 /// it.  Either way the write proceeds only after every acknowledgement.
 fn acquire_exclusive(rt: &Tmk, page: PageId) {
+    // The write fault counts its own `page_faults` (it does not route
+    // through `Tmk::fault_in`), so it opens its own fault span too — the
+    // one-span-per-counted-fault cross-check holds under SC as well.
+    rt.proc().span_begin(cluster::SpanCat::Fault, page as u64);
     rt.proc().compute(PAGE_FAULT_COST);
     let me = rt.id();
     let (is_owner, mgr) = with_state(rt, |_, s, stats| {
@@ -442,6 +446,7 @@ fn acquire_exclusive(rt: &Tmk, page: PageId) {
         s.mode[page as usize] = Mode::Exclusive;
         s.acquiring = None;
     });
+    rt.proc().span_end(cluster::SpanCat::Fault);
 }
 
 /// Hand `page`, its ownership token and its copyset to `requester`,

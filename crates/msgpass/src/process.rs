@@ -2,7 +2,7 @@
 
 use crate::buffer::{RecvBuffer, SendBuffer};
 use crate::COPY_BANDWIDTH;
-use cluster::Proc;
+use cluster::{Proc, SpanCat};
 use std::cell::RefCell;
 
 /// User-level communication statistics, the quantities Table 2 of the paper
@@ -86,8 +86,12 @@ impl<'a> Pvm<'a> {
     /// Blocking receive (`pvm_recv`): waits for a message matching `src`
     /// (any source if `None`) and `tag`, and returns its receive buffer.
     pub fn recv(&self, src: Option<usize>, tag: u32) -> RecvBuffer {
+        // The blocking receive (wait plus unpack copy) is the only
+        // non-compute component of a PVM program's time breakdown.
+        self.proc.span_begin(SpanCat::RecvWait, tag as u64);
         let m = self.proc.recv(src, tag);
         self.charge_copy(m.payload.len());
+        self.proc.span_end(SpanCat::RecvWait);
         RecvBuffer::new(m.src, m.tag, m.payload)
     }
 
@@ -101,8 +105,10 @@ impl<'a> Pvm<'a> {
     /// virtual-time scheduling it could spin forever on a reply that is
     /// still in the caller's virtual future.
     pub fn recv_any(&self, src: Option<usize>) -> RecvBuffer {
+        self.proc.span_begin(SpanCat::RecvWait, u64::from(u32::MAX));
         let m = self.proc.recv_match(src, None);
         self.charge_copy(m.payload.len());
+        self.proc.span_end(SpanCat::RecvWait);
         RecvBuffer::new(m.src, m.tag, m.payload)
     }
 
