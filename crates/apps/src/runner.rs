@@ -15,6 +15,8 @@
 use cluster::{Cluster, ClusterConfig, ClusterObs, Proc, ProcStats};
 use msgpass::Pvm;
 use serde::Serialize;
+use std::sync::Arc;
+use treadmarks::race::{self, RaceReport, SyncClocks};
 use treadmarks::{ProtocolKind, Tmk, TmkStats};
 
 /// Which runtime system an application run used.
@@ -90,6 +92,11 @@ pub struct AppRun {
     /// the cluster config's `obs` level asked for recording.
     #[serde(skip)]
     pub obs: Option<ClusterObs>,
+    /// Happens-before race report of the run; `None` unless the cluster
+    /// config's `analysis` level asked for race detection (message-passing
+    /// runs have no shared memory to check, so PVM runs never carry one).
+    #[serde(skip)]
+    pub race: Option<RaceReport>,
 }
 
 impl AppRun {
@@ -145,32 +152,51 @@ where
     F: Fn(&Tmk) -> f64 + Send + Sync,
 {
     let nprocs = cfg.nprocs;
-    let mut rep = Cluster::run(cfg.clone(), move |p| {
-        let tmk = Tmk::with_heap_and_protocol(p, heap_bytes, protocol);
-        let checksum = body(&tmk);
-        tmk.exit();
-        (checksum, tmk.stats())
+    // The analysis layer lives outside the simulated machine: the recorder
+    // rides the runtime and the clock table is plain shared process memory,
+    // so enabling it cannot change any virtual time or counter.
+    let table = cfg.analysis.enabled().then(|| Arc::new(SyncClocks::new()));
+    let mut rep = Cluster::run(cfg.clone(), {
+        let table = table.clone();
+        move |p| {
+            let tmk = Tmk::with_heap_and_protocol(p, heap_bytes, protocol);
+            if let Some(table) = &table {
+                tmk.enable_racecheck(Arc::clone(table));
+            }
+            let checksum = body(&tmk);
+            tmk.exit();
+            (checksum, tmk.stats(), tmk.take_race_log())
+        }
+    });
+    let race = table.map(|_| {
+        let logs: Vec<race::RaceLog> = rep
+            .results
+            .iter_mut()
+            .map(|(_, _, log)| log.take().expect("racecheck was enabled on every rank"))
+            .collect();
+        race::analyze(nprocs, logs)
     });
     let obs = rep.obs.take();
     #[cfg(feature = "oracle-checks")]
     if let Some(obs) = &obs {
-        let per_proc: Vec<&TmkStats> = rep.results.iter().map(|(_, s)| s).collect();
+        let per_proc: Vec<&TmkStats> = rep.results.iter().map(|(_, s, _)| s).collect();
         cross_check_obs(cfg.obs, obs, &rep.stats, Some(&per_proc));
     }
     let mut agg = TmkStats::default();
-    for (_, st) in &rep.results {
+    for (_, st, _) in &rep.results {
         agg.merge(st);
     }
     AppRun {
         system: System::TreadMarks(protocol),
         nprocs,
-        checksum: rep.results.iter().map(|(c, _)| *c).sum(),
+        checksum: rep.results.iter().map(|(c, _, _)| *c).sum(),
         time: rep.parallel_time(),
         messages: rep.total_datagrams(),
         kilobytes: rep.total_kilobytes(),
         tmk_stats: Some(agg),
         proc_stats: rep.stats,
         obs,
+        race,
     }
 }
 
@@ -212,6 +238,7 @@ where
         tmk_stats: None,
         proc_stats: rep.stats,
         obs,
+        race: None,
     }
 }
 

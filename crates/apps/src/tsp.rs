@@ -407,7 +407,10 @@ pub fn treadmarks_body(tmk: &Tmk, p: &TspParams) -> f64 {
             if qlen == 0 {
                 break;
             }
-            let best = tmk.read_f64(sh.best);
+            // lint:allow(unsync-read): optimistic incumbent read under the
+            // queue lock, not LOCK_BEST; a stale bound only weakens pruning
+            // and every update re-checks under LOCK_BEST.
+            let best = tmk.read_f64_unsync(sh.best);
             let mut slots = vec![0i32; qlen];
             tmk.read_i32_slice(sh.queue, &mut slots);
             let mut best_idx = 0usize;
@@ -458,7 +461,9 @@ pub fn treadmarks_body(tmk: &Tmk, p: &TspParams) -> f64 {
                         // Pool exhausted: solve the child in place rather
                         // than queueing it (bounds the shared pool), unless
                         // a freshly-read incumbent already dominates it.
-                        let cur = tmk.read_f64(sh.best);
+                        // lint:allow(unsync-read): optimistic incumbent
+                        // read; stale values only weaken pruning.
+                        let cur = tmk.read_f64_unsync(sh.best);
                         if child_bound >= cur {
                             continue;
                         }
@@ -491,7 +496,10 @@ pub fn treadmarks_body(tmk: &Tmk, p: &TspParams) -> f64 {
         let Some(tour) = found else { break };
 
         // ---- recursive_solve privately ------------------------------------
-        let best_now = tmk.read_f64(sh.best);
+        // lint:allow(unsync-read): optimistic incumbent read outside any
+        // lock; stale values only weaken pruning, and the update below
+        // re-reads under LOCK_BEST before writing.
+        let best_now = tmk.read_f64_unsync(sh.best);
         let (found_best, nodes) = recursive_solve(&dist, &tour, nc, best_now);
         tmk.proc().compute(nodes as f64 * COST_NODE);
         if found_best < best_now {

@@ -39,6 +39,7 @@ fn engine_throughput(c: &mut Criterion) {
     for (w, sys, n) in configs {
         let label = format!("engine/{}/{sys}/{n}p", w.name());
         // Explicit throughput numbers (criterion's shim prints only times).
+        // lint:allow(wall-clock): benchmark measures this machine's throughput
         let started = Instant::now();
         let iters = 5;
         let mut events = 0u64;
@@ -75,6 +76,7 @@ fn executor_fanout(c: &mut Criterion) {
     }
     for jobs in job_counts {
         let label = format!("matrix_tiny_jobs_{jobs}");
+        // lint:allow(wall-clock): benchmark measures this machine's throughput
         let started = Instant::now();
         let matrix = run_matrix(Preset::Tiny, &[], &keys, jobs);
         let wall = started.elapsed().as_secs_f64();

@@ -19,6 +19,7 @@
 //! cargo run -p bench --release --bin reproduce -- --json            # machine-readable dump
 //! cargo run -p bench --release --bin reproduce -- --metrics         # latency histograms + profile
 //! cargo run -p bench --release --bin reproduce -- --trace trace.json  # Perfetto trace export
+//! cargo run -p bench --release --bin reproduce -- --racecheck       # happens-before race detector
 //! cargo run -p bench --release --bin reproduce -- --jobs 1          # serial execution
 //! cargo run -p bench --release --bin reproduce -- --bench-out BENCH_PR3.json
 //! ```
@@ -70,16 +71,24 @@
 //! reruns and `--jobs` values — CI diffs the trace exactly as it diffs the
 //! JSON dump.  Sweeps always run at metrics level: their tables include a
 //! per-cell p99 lock-acquire latency column.
+//!
+//! `--racecheck` (docs/ANALYSIS.md) computes the same matrix with the
+//! happens-before data-race detector enabled on every DSM run and appends
+//! one report line per checked run plus a `racecheck summary:` total (with
+//! `--json`, per-run `races` fields instead).  Like the observability
+//! levels the detector lives outside the cost model, so every simulated
+//! number stays bit-identical to a `--racecheck`-free run; the exit status
+//! is nonzero when any race is found.
 
 use apps::runner::System;
 use apps::Workload;
 use bench::scenario::{workload_by_name, ResolvedScenario};
 use bench::sweep::{Sweep, Vary};
 use bench::{
-    exec, obs, problem_size, proc_series, run_matrix_obs, run_record_json, Preset, RunKey,
-    RunMatrix,
+    exec, obs, problem_size, proc_series, render_race_reports, run_matrix_full, run_matrix_obs,
+    run_record_json, Preset, RunKey, RunMatrix,
 };
-use cluster::{NetModel, NetPreset, ObsLevel, Scenario};
+use cluster::{AnalysisLevel, NetModel, NetPreset, ObsLevel, Scenario};
 use treadmarks::ProtocolKind;
 
 fn table1(matrix: &RunMatrix, workloads: &[Workload]) {
@@ -488,6 +497,11 @@ fn main() {
     } else {
         ObsLevel::Off
     };
+    let analysis_level = if wants("--racecheck") {
+        AnalysisLevel::Race
+    } else {
+        AnalysisLevel::Off
+    };
 
     // `--workload` (repeatable) narrows the set; a scenario file's subset
     // applies when no explicit flag does.
@@ -516,6 +530,9 @@ fn main() {
         if trace_out.is_some() {
             fail("--trace only applies to the reproduction; sweeps record at metrics level");
         }
+        if analysis_level.enabled() {
+            fail("--racecheck only applies to the reproduction; sweeps have no race rendering");
+        }
         // The reproduction-only output selectors have no sweep rendering;
         // reject them rather than silently printing the ASCII figures to a
         // consumer that asked for a table or the JSON dump.
@@ -540,6 +557,7 @@ fn main() {
             max_procs,
         };
         let keys = sweep.keys();
+        // lint:allow(wall-clock): times this machine's execution for the --bench-out report
         let started = std::time::Instant::now();
         let matrix = run_matrix_obs(preset, &sweep.workloads, &keys, jobs, obs_level);
         let wall_seconds = started.elapsed().as_secs_f64();
@@ -621,8 +639,16 @@ fn main() {
         }
     }
 
+    // lint:allow(wall-clock): times this machine's execution for the --bench-out report
     let started = std::time::Instant::now();
-    let matrix = run_matrix_obs(preset, &seq_workloads, &keys, jobs, obs_level);
+    let matrix = run_matrix_full(
+        preset,
+        &seq_workloads,
+        &keys,
+        jobs,
+        obs_level,
+        analysis_level,
+    );
     let wall_seconds = started.elapsed().as_secs_f64();
 
     if want_json {
@@ -639,6 +665,17 @@ fn main() {
         }
         if want_metrics {
             print!("\n{}", obs::metrics_report(&matrix));
+        }
+    }
+
+    if analysis_level.enabled() {
+        let report = render_race_reports(&matrix);
+        if want_json {
+            // stdout is a pure JSON document (the per-run `races` fields are
+            // already in it), so the readable report goes to stderr.
+            eprint!("{report}");
+        } else {
+            print!("\nRace check (happens-before, byte-range granularity):\n{report}");
         }
     }
 
@@ -659,5 +696,14 @@ fn main() {
             fail(format!("cannot write {path}: {err}"));
         }
         eprintln!("bench report written to {path}");
+    }
+
+    // A racecheck run that found races fails the invocation — after every
+    // requested output has been written, so the report is never lost.
+    let races_found = matrix
+        .runs()
+        .any(|(_, r)| r.race.as_ref().is_some_and(|rep| !rep.is_race_free()));
+    if races_found {
+        std::process::exit(1);
     }
 }

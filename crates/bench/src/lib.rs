@@ -23,7 +23,7 @@ pub mod sweep;
 
 use apps::runner::{AppRun, SeqRun, System};
 use apps::{barnes, ep, fft3d, ilink, is, qsort, sor, tsp, water, Workload};
-use cluster::{ClusterConfig, NetModel, NetPreset, ObsLevel, SpanCat};
+use cluster::{AnalysisLevel, ClusterConfig, NetModel, NetPreset, ObsLevel, SpanCat};
 
 /// Problem-size preset used by the harness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -281,6 +281,24 @@ pub fn run_matrix_obs(
     jobs: usize,
     obs: ObsLevel,
 ) -> RunMatrix {
+    run_matrix_full(preset, seq_workloads, keys, jobs, obs, AnalysisLevel::Off)
+}
+
+/// [`run_matrix_obs`] with an analysis level on top: like the observability
+/// level it reaches the simulations through the configuration
+/// ([`ClusterConfig::analysis`]), is *not* part of the [`RunKey`], and never
+/// perturbs the simulated output — a matrix computed under
+/// [`AnalysisLevel::Race`] carries a [`apps::runner::AppRun::race`] report
+/// per DSM run and is otherwise bit-identical to one computed at
+/// [`AnalysisLevel::Off`].
+pub fn run_matrix_full(
+    preset: Preset,
+    seq_workloads: &[Workload],
+    keys: &[RunKey],
+    jobs: usize,
+    obs: ObsLevel,
+    analysis: AnalysisLevel,
+) -> RunMatrix {
     let mut seq_keys: Vec<Workload> = Vec::new();
     for &w in seq_workloads {
         if !seq_keys.contains(&w) {
@@ -315,6 +333,7 @@ pub fn run_matrix_obs(
                 Task::Run(key) => {
                     let mut cfg = key.config();
                     cfg.obs = obs;
+                    cfg.analysis = analysis;
                     Done::Run(
                         key,
                         Box::new(run_parallel_on(key.workload, key.system, &cfg, preset)),
@@ -335,6 +354,47 @@ pub fn run_matrix_obs(
         }
     }
     matrix
+}
+
+/// Render the happens-before race reports of a matrix computed under
+/// [`AnalysisLevel::Race`]: one summary line per checked run (PVM runs are
+/// message-passing only and carry no report), the full per-race detail for
+/// any run that is not race-free, and a final `racecheck summary:` line
+/// totalling races over checked runs — the line CI greps for.
+///
+/// Deterministic like every other rendering: runs appear in request order
+/// and each report is itself deterministically sorted.
+pub fn render_race_reports(matrix: &RunMatrix) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let mut checked = 0usize;
+    let mut total_races = 0usize;
+    for (key, run) in matrix.runs() {
+        let Some(report) = &run.race else { continue };
+        checked += 1;
+        total_races += report.races.len();
+        writeln!(
+            out,
+            "  {:<12} {:<10} {:<10} n={:<3} {}",
+            key.workload.name(),
+            run.system.to_string(),
+            key.net.label(),
+            key.nprocs,
+            report.render().lines().next().unwrap_or_default()
+        )
+        .unwrap();
+        if !report.is_race_free() {
+            for line in report.render().lines().skip(1) {
+                writeln!(out, "    {line}").unwrap();
+            }
+        }
+    }
+    writeln!(
+        out,
+        "racecheck summary: {total_races} race(s) across {checked} checked run(s)"
+    )
+    .unwrap();
+    out
 }
 
 /// One JSON record per run with every virtual time carried both as decimal
@@ -390,6 +450,15 @@ pub fn run_record_json(key: &RunKey, run: &AppRun) -> String {
         let events: usize =
             obs.central.len() + obs.procs.iter().map(|p| p.events.len()).sum::<usize>();
         rec.push_str(&format!(", \"obs_events\": {events}"));
+    }
+    if let Some(race) = &run.race {
+        // Present only when the run was computed under a racecheck analysis
+        // level; the simulated fields above are bit-identical either way.
+        rec.push_str(&format!(
+            ", \"race_accesses\": {}, \"races\": {}",
+            race.accesses,
+            race.races.len()
+        ));
     }
     rec.push('}');
     rec

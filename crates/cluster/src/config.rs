@@ -12,6 +12,7 @@
 //! comparable identity ([`NetModel`]) that the reproduction harness keys
 //! its run matrices and sweeps on.
 
+use crate::analysis::AnalysisLevel;
 use crate::obs::ObsLevel;
 use serde::{Deserialize, Serialize};
 
@@ -73,6 +74,12 @@ pub struct ClusterConfig {
     /// counters.
     #[serde(default)]
     pub obs: ObsLevel,
+    /// Run-time analysis level (defaults to [`AnalysisLevel::Off`] in every
+    /// preset).  Like [`obs`](Self::obs) it is not part of the cost model:
+    /// an analysis only observes the run, so no level can change reported
+    /// times, counters or checksums.
+    #[serde(default)]
+    pub analysis: AnalysisLevel,
 }
 
 impl ClusterConfig {
@@ -90,6 +97,7 @@ impl ClusterConfig {
             recv_overhead: 80e-6,
             shared_medium: true,
             obs: ObsLevel::Off,
+            analysis: AnalysisLevel::Off,
         }
     }
 
@@ -111,6 +119,7 @@ impl ClusterConfig {
             recv_overhead: 80e-6,
             shared_medium: true,
             obs: ObsLevel::Off,
+            analysis: AnalysisLevel::Off,
         }
     }
 
@@ -133,6 +142,7 @@ impl ClusterConfig {
             recv_overhead: 80e-6,
             shared_medium: false,
             obs: ObsLevel::Off,
+            analysis: AnalysisLevel::Off,
         }
     }
 
@@ -149,6 +159,7 @@ impl ClusterConfig {
             recv_overhead: 0.0,
             shared_medium: false,
             obs: ObsLevel::Off,
+            analysis: AnalysisLevel::Off,
         }
     }
 

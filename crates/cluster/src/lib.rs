@@ -49,6 +49,7 @@
 
 #![deny(missing_docs)]
 
+pub mod analysis;
 pub mod config;
 pub mod net;
 pub mod obs;
@@ -58,6 +59,7 @@ pub(crate) mod sched;
 pub mod stats;
 pub mod time;
 
+pub use analysis::AnalysisLevel;
 pub use config::{ClusterConfig, NetModel, NetPreset, Overrides};
 pub use net::{Message, Tag};
 pub use obs::{ClusterObs, Histogram, ObsLevel, ProcObs, SpanCat};

@@ -99,8 +99,33 @@ impl<'a> Tmk<'a> {
         if out.is_empty() {
             return;
         }
+        self.read_bytes_unrecorded(addr, out);
+        self.race_record(crate::race::AccessKind::Read, addr, out.len());
+    }
+
+    /// The read itself — fault path and all — without a race-detector
+    /// record; the recorded accessors and the annotated `_unsync` readers
+    /// share it so both cost exactly the same simulated time.
+    fn read_bytes_unrecorded(&self, addr: SharedAddr, out: &mut [u8]) {
         self.ensure_valid(addr, out.len());
         self.st.borrow_mut().read_bytes(addr, out);
+    }
+
+    /// Read one `f64` as an *annotated unsynchronized read*: identical to
+    /// [`Tmk::read_f64`] in cost and protocol behaviour, but exempt from the
+    /// happens-before race detector — the DSM analogue of a relaxed atomic
+    /// load or a ThreadSanitizer benign-race annotation.
+    ///
+    /// Use it only where a racy read is *intentional* and stale values are
+    /// provably harmless (e.g. TSP's optimistic branch-and-bound incumbent,
+    /// re-checked under its lock before every update).  The conflicting
+    /// write stays recorded, so any unannotated racy reader is still
+    /// caught.  `xtask lint` requires every call site to carry a
+    /// `lint:allow(unsync-read)` justification marker.
+    pub fn read_f64_unsync(&self, addr: SharedAddr) -> f64 {
+        let mut b = [0u8; 8];
+        self.read_bytes_unrecorded(addr, &mut b);
+        f64::from_le_bytes(b)
     }
 
     /// Write `src` to shared memory starting at `addr`.
@@ -118,6 +143,7 @@ impl<'a> Tmk<'a> {
         self.backend.prepare_write(self, addr, src.len());
         self.st.borrow_mut().write_bytes(addr, src);
         self.backend.access_done(self);
+        self.race_record(crate::race::AccessKind::Write, addr, src.len());
     }
 
     // --------------------------------------------------------- typed access

@@ -70,6 +70,7 @@ pub mod page;
 pub mod process;
 pub mod proto;
 pub mod protocol;
+pub mod race;
 pub mod state;
 pub mod stats;
 pub mod vc;
@@ -78,6 +79,7 @@ pub use heap::SharedAddr;
 pub use page::{Diff, DiffRun, PageId};
 pub use process::Tmk;
 pub use protocol::{ConsistencyProtocol, ProtocolKind};
+pub use race::RaceReport;
 pub use stats::TmkStats;
 pub use vc::VectorClock;
 
@@ -606,6 +608,115 @@ mod tests {
             }
         });
         assert_eq!(rep.results[0], 7);
+    }
+
+    /// Run `f` racechecked on `n` processes under `protocol` and return the
+    /// race report next to the per-process results.
+    fn run_racechecked<R: Send>(
+        protocol: ProtocolKind,
+        n: usize,
+        f: impl Fn(&Tmk) -> R + Send + Sync,
+    ) -> (ClusterReport<(R, Option<race::RaceLog>)>, race::RaceReport) {
+        use std::sync::Arc;
+        let table = Arc::new(race::SyncClocks::new());
+        let mut rep = Cluster::run(ClusterConfig::calibrated_fddi(n), {
+            let table = Arc::clone(&table);
+            move |p| {
+                let tmk = Tmk::with_protocol(p, protocol);
+                tmk.enable_racecheck(Arc::clone(&table));
+                let r = f(&tmk);
+                tmk.exit();
+                (r, tmk.take_race_log())
+            }
+        });
+        let logs: Vec<race::RaceLog> = rep
+            .results
+            .iter_mut()
+            .map(|(_, l)| l.take().expect("racecheck was enabled"))
+            .collect();
+        let report = race::analyze(n, logs);
+        (rep, report)
+    }
+
+    #[test]
+    fn racecheck_passes_synchronized_patterns_under_every_protocol() {
+        for protocol in ProtocolKind::all() {
+            let n = 4;
+            let (rep, races) = run_racechecked(protocol, n, move |tmk| {
+                let a = tmk.malloc(4096);
+                let counter = tmk.malloc(8);
+                if tmk.id() == 0 {
+                    for i in 0..512 {
+                        tmk.write_f64(a + i * 8, i as f64);
+                    }
+                }
+                tmk.barrier(0);
+                let mut sum = 0.0;
+                for i in 0..512 {
+                    sum += tmk.read_f64(a + i * 8);
+                }
+                for _ in 0..5 {
+                    tmk.lock_acquire(0);
+                    let v = tmk.read_i64(counter);
+                    tmk.write_i64(counter, v + 1);
+                    tmk.lock_release(0);
+                }
+                tmk.barrier(1);
+                sum + tmk.read_i64(counter) as f64
+            });
+            assert!(
+                races.is_race_free(),
+                "{protocol}: false positives:\n{}",
+                races.render()
+            );
+            let expect: f64 = (0..512).map(|i| i as f64).sum::<f64>() + (n * 5) as f64;
+            assert!(rep.results.iter().all(|(s, _)| (s - expect).abs() < 1e-9));
+        }
+    }
+
+    #[test]
+    fn racecheck_flags_unsynchronized_writes_under_every_protocol() {
+        for protocol in ProtocolKind::all() {
+            let (_, races) = run_racechecked(protocol, 2, |tmk| {
+                let a = tmk.malloc(4096);
+                tmk.barrier(0);
+                // Both ranks write the same eight bytes with no sync.
+                tmk.write_i64(a, tmk.id() as i64);
+                tmk.barrier(1);
+            });
+            assert_eq!(races.races.len(), 1, "{protocol}:\n{}", races.render());
+            let race = &races.races[0];
+            assert_eq!((race.a.rank, race.b.rank), (0, 1), "{protocol}");
+            assert_eq!(race.a.kind, race::AccessKind::Write, "{protocol}");
+            assert_eq!(race.b.kind, race::AccessKind::Write, "{protocol}");
+        }
+    }
+
+    #[test]
+    fn racecheck_does_not_change_simulation_output() {
+        let body = |tmk: &Tmk| {
+            let a = tmk.malloc(8 * 1024);
+            if tmk.id() == 0 {
+                let data: Vec<f64> = (0..1024).map(|i| i as f64).collect();
+                tmk.write_f64_slice(a, &data);
+            }
+            tmk.barrier(0);
+            let mut out = vec![0.0; 1024];
+            tmk.read_f64_slice(a, &mut out);
+            tmk.barrier(1);
+            out[1023]
+        };
+        let plain = run(4, body);
+        let (checked, races) = run_racechecked(ProtocolKind::Lrc, 4, body);
+        assert!(races.is_race_free(), "{}", races.render());
+        for (p, c) in plain.stats.iter().zip(&checked.stats) {
+            assert_eq!(p.finish_time.to_bits(), c.finish_time.to_bits());
+            assert_eq!(p.messages_sent, c.messages_sent);
+            assert_eq!(p.bytes_sent, c.bytes_sent);
+        }
+        for (p, (c, _)) in plain.results.iter().zip(&checked.results) {
+            assert_eq!(p.to_bits(), c.to_bits());
+        }
     }
 
     #[test]

@@ -20,6 +20,7 @@
 
 use crate::proto::*;
 use crate::protocol::{ConsistencyProtocol, ProtocolKind};
+use crate::race;
 use crate::state::DsmState;
 use crate::stats::TmkStats;
 use crate::vc::VectorClock;
@@ -29,6 +30,7 @@ use crate::{
 use cluster::{Message, Proc, SpanCat};
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A TreadMarks endpoint bound to one simulated process.
 ///
@@ -81,6 +83,11 @@ pub struct Tmk<'a> {
     gc_threshold: Cell<u64>,
     /// `vc.sum()` at the last garbage collection.
     last_gc_sum: Cell<u64>,
+    /// Happens-before race recorder (see [`crate::race`]); attached by
+    /// [`Tmk::enable_racecheck`], absent in ordinary runs.
+    race: RefCell<Option<race::Recorder>>,
+    /// Fast-path mirror of `race.is_some()`, checked on every shared access.
+    race_on: Cell<bool>,
 }
 
 impl<'a> Tmk<'a> {
@@ -125,6 +132,50 @@ impl<'a> Tmk<'a> {
             done_count: Cell::new(0),
             gc_threshold: Cell::new(DEFAULT_GC_INTERVAL_THRESHOLD),
             last_gc_sum: Cell::new(0),
+            race: RefCell::new(None),
+            race_on: Cell::new(false),
+        }
+    }
+
+    /// Attach a happens-before race recorder sharing the run-wide clock
+    /// table `table` (see [`crate::race`]).  Must be called before the
+    /// first shared access or synchronization operation, identically on
+    /// every process.  Recording never advances the virtual clock or sends
+    /// a message, so the run's reported times, counters and checksums are
+    /// bit-identical to an unrecorded run.
+    pub fn enable_racecheck(&self, table: Arc<race::SyncClocks>) {
+        *self.race.borrow_mut() = Some(race::Recorder::new(self.id(), self.nprocs(), table));
+        self.race_on.set(true);
+    }
+
+    /// Detach the race recorder and return this rank's access log, to be
+    /// fed to [`race::analyze`] together with the other ranks' logs.
+    /// Returns `None` if [`Tmk::enable_racecheck`] was never called.
+    pub fn take_race_log(&self) -> Option<race::RaceLog> {
+        self.race_on.set(false);
+        self.race.borrow_mut().take().map(race::Recorder::finish)
+    }
+
+    /// Record a shared access with the race recorder, if one is attached.
+    #[inline]
+    pub(crate) fn race_record(&self, kind: race::AccessKind, addr: usize, len: usize) {
+        if !self.race_on.get() || len == 0 {
+            return;
+        }
+        let now = cluster::obs::ns(self.proc.clock());
+        if let Some(r) = self.race.borrow_mut().as_mut() {
+            r.record(kind, addr, len, now);
+        }
+    }
+
+    /// Run a synchronization-edge hook on the race recorder, if attached.
+    #[inline]
+    fn race_hook(&self, f: impl FnOnce(&mut race::Recorder)) {
+        if !self.race_on.get() {
+            return;
+        }
+        if let Some(r) = self.race.borrow_mut().as_mut() {
+            f(r);
         }
     }
 
@@ -191,10 +242,18 @@ impl<'a> Tmk<'a> {
             if ls.have_token {
                 ls.in_cs = true;
                 st.stats.local_lock_acquires += 1;
-                return;
+                None
+            } else {
+                st.stats.remote_lock_acquires += 1;
+                Some(st.lock_manager(id))
             }
-            st.stats.remote_lock_acquires += 1;
-            st.lock_manager(id)
+        };
+        let Some(manager) = manager else {
+            // Local reacquire: the published clock (if any) was last written
+            // by this process's own release, so the join is a no-op, but the
+            // segment boundary and context still apply.
+            self.race_hook(|r| r.on_lock_acquired(id));
+            return;
         };
         // The remote path from request to applied grant is the lock-acquire
         // latency of the metrics layer (one span per remote acquire, so the
@@ -231,6 +290,10 @@ impl<'a> Tmk<'a> {
             ls.in_cs = true;
         }
         self.backend.at_acquire(self);
+        // Analysis acquire edge: join the clock published by the releaser
+        // whose token we now hold (the grant message was received above, so
+        // the publication is visible).
+        self.race_hook(|r| r.on_lock_acquired(id));
         self.proc.span_end(SpanCat::LockWait);
     }
 
@@ -241,6 +304,12 @@ impl<'a> Tmk<'a> {
     /// the requester lacks) are handed over now.
     pub fn lock_release(&self, id: u32) {
         self.proc.compute(SYNC_OP_COST);
+        // Analysis release edge, *before* any grant can be sent (here or
+        // later from `handle_forwarded`): publish the clock covering the
+        // critical section, then advance past it.  Taking the edge at grant
+        // time instead would let the anachronistically-served grant cover
+        // accesses made after this release.
+        self.race_hook(|r| r.on_lock_release(id));
         if self.nprocs() > 1 {
             self.backend.at_release(self);
         }
@@ -288,6 +357,7 @@ impl<'a> Tmk<'a> {
             // real system's single-process execution has no write traps
             // after the first touch of each page.
             self.st.borrow_mut().stats.barriers += 1;
+            self.race_hook(|r| r.on_barrier_local(index));
             self.proc.span_end(SpanCat::BarrierWait);
             return;
         }
@@ -307,6 +377,11 @@ impl<'a> Tmk<'a> {
                 self.dispatch(m);
             }
             let arrived = self.arrivals.borrow_mut().remove(&epoch).unwrap();
+            // Analysis barrier edge: every worker published its clock
+            // before sending the arrival just collected, so all n-1
+            // publications are visible; merge them before any release
+            // message can carry the episode forward.
+            self.race_hook(|r| r.on_barrier_manager(index, n - 1));
             for (src, src_vc) in arrived {
                 self.proc.compute(SYNC_OP_COST);
                 let payload = {
@@ -325,15 +400,24 @@ impl<'a> Tmk<'a> {
                 let wires = st.record_wires_not_covered_by(&st.last_barrier_vc);
                 encode_barrier_preencoded(epoch, &st.vc, &wires)
             };
+            // Analysis arrival edge: publish before the arrival message so
+            // the manager's merge (which runs only after receiving it) sees
+            // this clock.
+            self.race_hook(|r| r.on_barrier_publish());
             self.proc.send(0, TAG_BARRIER_ARRIVE, payload);
             let reply = self.wait_reply(TAG_BARRIER_RELEASE);
             let (got_epoch, merged_vc, records) = decode_barrier(reply.payload, n);
             assert_eq!(got_epoch, epoch, "barrier release for the wrong episode");
-            let mut st = self.st.borrow_mut();
-            st.apply_interval_records(&records);
-            st.vc.merge(&merged_vc);
-            let vc = st.vc.clone();
-            st.last_barrier_vc = vc;
+            {
+                let mut st = self.st.borrow_mut();
+                st.apply_interval_records(&records);
+                st.vc.merge(&merged_vc);
+                let vc = st.vc.clone();
+                st.last_barrier_vc = vc;
+            }
+            // Analysis release edge: the manager merged and published
+            // before sending the release message received above.
+            self.race_hook(|r| r.on_barrier_done(index));
         }
         self.proc.span_end(SpanCat::BarrierWait);
     }

@@ -1,0 +1,870 @@
+//! Happens-before data-race detection for the DSM runtime.
+//!
+//! Lazy release consistency only guarantees sequentially-consistent results
+//! for *data-race-free* programs, so the entire reproduction rests on the
+//! nine applications being properly labeled.  This module turns that
+//! assumption into a machine-checked property: when a run is started with
+//! [`cluster::AnalysisLevel::Race`], every shared read and write is recorded
+//! together with an **analysis vector clock**, and a post-mortem pass flags
+//! every conflicting access pair (same page, overlapping byte ranges, at
+//! least one write, different ranks) that is not ordered by happens-before.
+//!
+//! # Analysis clocks, not protocol clocks
+//!
+//! The detector deliberately does **not** reuse the protocol's interval
+//! vector clocks: those only advance when an interval is dirty (and the SC
+//! backend never advances them at all), so they cannot express the
+//! happens-before order of the *program*.  Instead each rank keeps its own
+//! analysis clock and applies the textbook lock/barrier vector-clock
+//! algorithm, which makes detection uniform across LRC, HLRC and SC:
+//!
+//! * a rank's own component starts at `1`; accesses are stamped with the
+//!   clock current at access time;
+//! * at a **release edge** (lock release, barrier arrival) the rank first
+//!   publishes its clock to the side table, then increments its own
+//!   component;
+//! * at an **acquire edge** (lock grant applied, barrier release applied)
+//!   the rank joins the published clock into its own;
+//! * access `a` happens-before access `b` iff
+//!   `clock(b)[rank(a)] >= clock(a)[rank(a)]`.
+//!
+//! The side table ([`SyncClocks`]) is shared process memory, **not** wire
+//! traffic: piggybacking analysis clocks on protocol messages would change
+//! message sizes and therefore virtual times, and the analysis layer must be
+//! invisible to the cost model.  Every table update happens on the releasing
+//! side *before* the message that transfers the synchronisation right is
+//! sent, and every read happens on the acquiring side *after* that message
+//! is received, so the table is wall-clock ordered by the same queues that
+//! order the simulated messages — recording stays deterministic.
+//!
+//! The lock release edge is taken at `lock_release` time rather than at
+//! grant time on purpose: the runtime serves lock grants *anachronistically*
+//! (the payload is computed at serve time while the departure is backdated
+//! to the release time), so copying the clock at grant time would create
+//! happens-before edges covering accesses the releaser performed after the
+//! release — edges the DSM does not actually promise.
+//!
+//! See `docs/ANALYSIS.md` for the full model, including why the analyzer
+//! checks both directions of every pair and how the report stays
+//! byte-identical across reruns and executor widths.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use crate::page::PageId;
+use cluster::config::PAGE_SIZE;
+
+/// Whether a recorded access read or wrote shared memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AccessKind {
+    /// The access wrote shared memory.
+    Write,
+    /// The access read shared memory.
+    Read,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Write => write!(f, "write"),
+            AccessKind::Read => write!(f, "read"),
+        }
+    }
+}
+
+/// The synchronisation context a segment of accesses executed in.
+///
+/// Purely descriptive — it names the last synchronisation operation the
+/// rank performed, so a reported race can say *where* in the program's
+/// synchronisation structure each access sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SyncCtx {
+    /// Before the rank's first synchronisation operation.
+    Start,
+    /// After acquiring (and still conceptually inside) the named lock.
+    AfterAcquire(u32),
+    /// After releasing the named lock.
+    AfterRelease(u32),
+    /// After the barrier with the given application index
+    /// (`u32::MAX` denotes the internal garbage-collection barrier).
+    AfterBarrier(u32),
+}
+
+impl fmt::Display for SyncCtx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyncCtx::Start => write!(f, "start"),
+            SyncCtx::AfterAcquire(l) => write!(f, "holding lock {l}"),
+            SyncCtx::AfterRelease(l) => write!(f, "after releasing lock {l}"),
+            SyncCtx::AfterBarrier(u32::MAX) => write!(f, "after gc barrier"),
+            SyncCtx::AfterBarrier(b) => write!(f, "after barrier {b}"),
+        }
+    }
+}
+
+fn join_into(dst: &mut [u32], src: &[u32]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = (*d).max(*s);
+    }
+}
+
+/// State of one in-flight barrier episode in [`SyncClocks`].
+#[derive(Debug, Default)]
+struct BarrierSlot {
+    /// Clocks published by arriving workers (order is wall-clock arrival
+    /// order and therefore nondeterministic; only their componentwise
+    /// maximum is ever used, which is order-free).
+    arrivals: Vec<Vec<u32>>,
+    /// The merged clock the manager published for the release.
+    release: Option<Vec<u32>>,
+    /// Workers that still have to read `release` before the slot can be
+    /// garbage-collected.
+    readers_left: usize,
+}
+
+/// Shared side table carrying analysis clocks across synchronisation edges.
+///
+/// One instance is shared by all ranks of a racechecked run.  It is *not*
+/// part of the simulated machine: see the module docs for why the table is
+/// deterministic despite living outside the virtual-time arbiter.
+#[derive(Debug, Default)]
+pub struct SyncClocks {
+    locks: Mutex<BTreeMap<u32, Vec<u32>>>,
+    barriers: Mutex<BTreeMap<u64, BarrierSlot>>,
+}
+
+impl SyncClocks {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        SyncClocks::default()
+    }
+
+    /// Release edge of `lock`: join the releaser's clock into the lock's
+    /// published clock.  Called *before* the grant can possibly be sent.
+    fn lock_release(&self, lock: u32, clock: &[u32]) {
+        let mut locks = self.locks.lock().unwrap();
+        match locks.get_mut(&lock) {
+            Some(l) => join_into(l, clock),
+            None => {
+                locks.insert(lock, clock.to_vec());
+            }
+        }
+    }
+
+    /// Acquire edge of `lock`: read the published clock, if any rank has
+    /// ever released this lock.
+    fn lock_acquire(&self, lock: u32) -> Option<Vec<u32>> {
+        self.locks.lock().unwrap().get(&lock).cloned()
+    }
+
+    /// A worker publishes its clock for barrier `episode` before sending
+    /// its arrival message.
+    fn barrier_publish(&self, episode: u64, clock: Vec<u32>) {
+        self.barriers
+            .lock()
+            .unwrap()
+            .entry(episode)
+            .or_default()
+            .arrivals
+            .push(clock);
+    }
+
+    /// The manager merges all published arrival clocks with its own and
+    /// publishes the result, to be read by `readers` workers.  Called after
+    /// all arrival messages were received and before any release message is
+    /// sent.
+    fn barrier_merge(&self, episode: u64, own: &[u32], readers: usize) -> Vec<u32> {
+        let mut barriers = self.barriers.lock().unwrap();
+        let slot = barriers.entry(episode).or_default();
+        assert_eq!(
+            slot.arrivals.len(),
+            readers,
+            "barrier episode {episode}: manager merged before all arrivals were published"
+        );
+        let mut merged = own.to_vec();
+        for a in &slot.arrivals {
+            join_into(&mut merged, a);
+        }
+        slot.release = Some(merged.clone());
+        slot.readers_left = readers;
+        if readers == 0 {
+            barriers.remove(&episode);
+        }
+        merged
+    }
+
+    /// A worker reads the merged clock after receiving its release message.
+    fn barrier_read_release(&self, episode: u64) -> Vec<u32> {
+        let mut barriers = self.barriers.lock().unwrap();
+        let slot = barriers
+            .get_mut(&episode)
+            .expect("barrier release read before the manager merged");
+        let merged = slot
+            .release
+            .clone()
+            .expect("barrier release read before the manager merged");
+        slot.readers_left -= 1;
+        if slot.readers_left == 0 {
+            barriers.remove(&episode);
+        }
+        merged
+    }
+}
+
+/// A coalesced byte range of same-kind accesses within one page and one
+/// segment.  `end` is exclusive; `first_ns` is the virtual time of the
+/// earliest access the range covers.
+#[derive(Debug, Clone, Copy)]
+struct ByteRange {
+    start: u32,
+    end: u32,
+    first_ns: u64,
+}
+
+/// Accesses of one segment to one page, coalesced per kind.
+#[derive(Debug, Default)]
+struct PageAccess {
+    writes: Vec<ByteRange>,
+    reads: Vec<ByteRange>,
+}
+
+/// Insert `[start, end)` into a sorted, non-overlapping range list, merging
+/// ranges that overlap or touch and keeping the earliest first-access time.
+fn insert_range(ranges: &mut Vec<ByteRange>, start: u32, end: u32, now_ns: u64) {
+    // Find the first existing range that could merge with the new one.
+    let i = ranges.partition_point(|r| r.end < start);
+    let mut merged = ByteRange {
+        start,
+        end,
+        first_ns: now_ns,
+    };
+    let mut j = i;
+    while j < ranges.len() && ranges[j].start <= merged.end {
+        merged.start = merged.start.min(ranges[j].start);
+        merged.end = merged.end.max(ranges[j].end);
+        merged.first_ns = merged.first_ns.min(ranges[j].first_ns);
+        j += 1;
+    }
+    ranges.splice(i..j, std::iter::once(merged));
+}
+
+/// One maximal run of accesses with a constant analysis clock.
+#[derive(Debug)]
+struct Segment {
+    /// The analysis clock all accesses of this segment are stamped with.
+    clock: Vec<u32>,
+    /// Synchronisation context the segment executed in.
+    ctx: SyncCtx,
+    /// Per-page coalesced accesses.
+    pages: BTreeMap<PageId, PageAccess>,
+}
+
+impl Segment {
+    fn new(clock: Vec<u32>, ctx: SyncCtx) -> Self {
+        Segment {
+            clock,
+            ctx,
+            pages: BTreeMap::new(),
+        }
+    }
+}
+
+/// Per-rank recorder driven by the DSM runtime's access and
+/// synchronisation hooks.
+///
+/// Created by `Tmk::enable_racecheck`, harvested by `Tmk::take_race_log`.
+/// Recording never touches the virtual clock or sends a message, so a
+/// racechecked run reports bit-identical times, counters and checksums.
+#[derive(Debug)]
+pub struct Recorder {
+    rank: usize,
+    shared: Arc<SyncClocks>,
+    clock: Vec<u32>,
+    /// Analysis barrier-episode counter.  Barrier episodes are globally
+    /// ordered in this SPMD runtime (including the GC barrier, which every
+    /// rank enters together), so the counter identifies the same barrier on
+    /// every rank — unlike the wire epoch, which the GC barrier reuses.
+    episode: u64,
+    cur: Segment,
+    done: Vec<Segment>,
+    accesses: u64,
+}
+
+impl Recorder {
+    /// Create a recorder for `rank` of `nprocs` sharing `table`.
+    pub fn new(rank: usize, nprocs: usize, table: Arc<SyncClocks>) -> Self {
+        let mut clock = vec![0u32; nprocs];
+        clock[rank] = 1;
+        Recorder {
+            rank,
+            shared: table,
+            cur: Segment::new(clock.clone(), SyncCtx::Start),
+            clock,
+            episode: 0,
+            done: Vec::new(),
+            accesses: 0,
+        }
+    }
+
+    fn new_segment(&mut self, ctx: SyncCtx) {
+        let next = Segment::new(self.clock.clone(), ctx);
+        let prev = std::mem::replace(&mut self.cur, next);
+        if !prev.pages.is_empty() {
+            self.done.push(prev);
+        }
+    }
+
+    /// Record a shared-memory access of `len` bytes at heap address `addr`.
+    pub fn record(&mut self, kind: AccessKind, addr: usize, len: usize, now_ns: u64) {
+        debug_assert!(len > 0);
+        self.accesses += 1;
+        let mut at = addr;
+        let end = addr + len;
+        while at < end {
+            let page = (at / PAGE_SIZE) as PageId;
+            let off = (at % PAGE_SIZE) as u32;
+            let page_end = (at - at % PAGE_SIZE) + PAGE_SIZE;
+            let stop = end.min(page_end);
+            let upto = off + (stop - at) as u32;
+            let pa = self.cur.pages.entry(page).or_default();
+            let ranges = match kind {
+                AccessKind::Write => &mut pa.writes,
+                AccessKind::Read => &mut pa.reads,
+            };
+            insert_range(ranges, off, upto, now_ns);
+            at = stop;
+        }
+    }
+
+    /// Acquire edge: the grant for `lock` has been applied (or the rank
+    /// still held the token locally).
+    pub fn on_lock_acquired(&mut self, lock: u32) {
+        if let Some(published) = self.shared.lock_acquire(lock) {
+            join_into(&mut self.clock, &published);
+        }
+        self.new_segment(SyncCtx::AfterAcquire(lock));
+    }
+
+    /// Release edge for `lock`: publish, then advance the own component.
+    /// Must run before the grant message can be sent.
+    pub fn on_lock_release(&mut self, lock: u32) {
+        self.shared.lock_release(lock, &self.clock);
+        self.clock[self.rank] += 1;
+        self.new_segment(SyncCtx::AfterRelease(lock));
+    }
+
+    /// Barrier arrival on a worker rank: publish the clock for this
+    /// episode, then advance the own component.  Must run before the
+    /// arrival message is sent.
+    pub fn on_barrier_publish(&mut self) {
+        self.shared
+            .barrier_publish(self.episode, self.clock.clone());
+        self.clock[self.rank] += 1;
+    }
+
+    /// Barrier release applied on a worker rank: join the merged clock.
+    /// Must run after the release message was received.
+    pub fn on_barrier_done(&mut self, index: u32) {
+        let merged = self.shared.barrier_read_release(self.episode);
+        join_into(&mut self.clock, &merged);
+        self.episode += 1;
+        self.new_segment(SyncCtx::AfterBarrier(index));
+    }
+
+    /// The whole barrier on the manager rank: merge all published arrival
+    /// clocks with its own.  Must run after all arrivals were received and
+    /// before any release message is sent.
+    pub fn on_barrier_manager(&mut self, index: u32, workers: usize) {
+        let merged = self
+            .shared
+            .barrier_merge(self.episode, &self.clock, workers);
+        self.clock[self.rank] += 1;
+        join_into(&mut self.clock, &merged);
+        self.episode += 1;
+        self.new_segment(SyncCtx::AfterBarrier(index));
+    }
+
+    /// A barrier on a single-process run: a pure segment boundary.
+    pub fn on_barrier_local(&mut self, index: u32) {
+        self.clock[self.rank] += 1;
+        self.episode += 1;
+        self.new_segment(SyncCtx::AfterBarrier(index));
+    }
+
+    /// Finish recording and hand back the rank's access log.
+    pub fn finish(mut self) -> RaceLog {
+        self.new_segment(SyncCtx::Start);
+        RaceLog {
+            rank: self.rank,
+            accesses: self.accesses,
+            segments: self.done,
+        }
+    }
+}
+
+/// The complete access log of one rank, as returned by `Tmk::take_race_log`.
+#[derive(Debug)]
+pub struct RaceLog {
+    rank: usize,
+    accesses: u64,
+    segments: Vec<Segment>,
+}
+
+/// One side of a reported race.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceSite {
+    /// Rank that performed the access.
+    pub rank: usize,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// First byte of the recorded (coalesced) range within the page.
+    pub start: u32,
+    /// One past the last byte of the recorded range.
+    pub end: u32,
+    /// Virtual time (nanoseconds) of the earliest access in the range.
+    pub time_ns: u64,
+    /// Synchronisation context the access executed in.
+    pub ctx: SyncCtx,
+}
+
+/// A conflicting access pair not ordered by happens-before.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Race {
+    /// Page both accesses touched.
+    pub page: PageId,
+    /// First byte of the conflicting overlap within the page.
+    pub overlap_start: u32,
+    /// One past the last byte of the conflicting overlap.
+    pub overlap_end: u32,
+    /// The site with the lower (rank, time) identity.
+    pub a: RaceSite,
+    /// The other site.
+    pub b: RaceSite,
+}
+
+impl fmt::Display for Race {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "page {} bytes [{}, {}): rank {} {} [{}, {}) @ {} ns ({}) || rank {} {} [{}, {}) @ {} ns ({})",
+            self.page,
+            self.overlap_start,
+            self.overlap_end,
+            self.a.rank,
+            self.a.kind,
+            self.a.start,
+            self.a.end,
+            self.a.time_ns,
+            self.a.ctx,
+            self.b.rank,
+            self.b.kind,
+            self.b.start,
+            self.b.end,
+            self.b.time_ns,
+            self.b.ctx,
+        )
+    }
+}
+
+/// Result of the post-mortem happens-before analysis of one run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceReport {
+    /// Number of simulated processes the run used.
+    pub nprocs: usize,
+    /// Total number of access records the ranks logged (before
+    /// coalescing into byte ranges).
+    pub accesses: u64,
+    /// All detected races, deduplicated per access-site pair and sorted
+    /// deterministically.
+    pub races: Vec<Race>,
+}
+
+impl RaceReport {
+    /// Whether the run was data-race-free.
+    pub fn is_race_free(&self) -> bool {
+        self.races.is_empty()
+    }
+
+    /// Render the report as deterministic human-readable text.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if self.races.is_empty() {
+            let _ = writeln!(
+                out,
+                "racecheck: 0 races ({} accesses, {} procs)",
+                self.accesses, self.nprocs
+            );
+            return out;
+        }
+        let _ = writeln!(
+            out,
+            "racecheck: {} race(s) ({} accesses, {} procs)",
+            self.races.len(),
+            self.accesses,
+            self.nprocs
+        );
+        const MAX_SHOWN: usize = 64;
+        for race in self.races.iter().take(MAX_SHOWN) {
+            let _ = writeln!(out, "  race: {race}");
+        }
+        if self.races.len() > MAX_SHOWN {
+            let _ = writeln!(out, "  ... and {} more", self.races.len() - MAX_SHOWN);
+        }
+        out
+    }
+}
+
+/// One flattened access record during analysis.
+#[derive(Debug, Clone, Copy)]
+struct Rec {
+    rank: usize,
+    seg: usize,
+    kind: AccessKind,
+    start: u32,
+    end: u32,
+    ns: u64,
+}
+
+/// Run the happens-before analysis over the per-rank logs of one run.
+///
+/// `logs` must be ordered by rank (`logs[r].rank == r`).  The result is a
+/// pure function of the logs: records are processed in a deterministically
+/// sorted order and the final report is deduplicated and sorted, so two
+/// identical runs render byte-identical reports regardless of executor
+/// width or wall-clock interleaving.
+pub fn analyze(nprocs: usize, logs: Vec<RaceLog>) -> RaceReport {
+    assert_eq!(logs.len(), nprocs, "one log per rank");
+    for (r, log) in logs.iter().enumerate() {
+        assert_eq!(log.rank, r, "logs must be ordered by rank");
+    }
+    let accesses = logs.iter().map(|l| l.accesses).sum();
+
+    // Flatten to per-page record lists.  BTreeMap iteration keeps pages in
+    // a deterministic order.
+    let mut by_page: BTreeMap<PageId, Vec<Rec>> = BTreeMap::new();
+    for log in &logs {
+        for (seg_idx, seg) in log.segments.iter().enumerate() {
+            for (&page, pa) in &seg.pages {
+                let recs = by_page.entry(page).or_default();
+                for (kind, ranges) in [
+                    (AccessKind::Write, &pa.writes),
+                    (AccessKind::Read, &pa.reads),
+                ] {
+                    for r in ranges {
+                        recs.push(Rec {
+                            rank: log.rank,
+                            seg: seg_idx,
+                            kind,
+                            start: r.start,
+                            end: r.end,
+                            ns: r.first_ns,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    let clock_of = |rec: &Rec| -> &[u32] { &logs[rec.rank].segments[rec.seg].clock };
+    // `a` happens-before `b` iff b's clock covers a's own component.
+    let hb = |a: &Rec, b: &Rec| -> bool { clock_of(b)[a.rank] >= clock_of(a)[a.rank] };
+
+    // Dedup key: the identity of an access-site pair (page + both sites'
+    // rank/segment/kind).  Byte ranges and times are accumulated.
+    type PairKey = (PageId, usize, usize, AccessKind, usize, usize, AccessKind);
+    let mut found: BTreeMap<PairKey, Race> = BTreeMap::new();
+
+    for (&page, recs) in by_page.iter_mut() {
+        // Deterministic processing order: virtual time, then identity.
+        recs.sort_by_key(|r| (r.ns, r.rank, r.seg, r.kind, r.start, r.end));
+
+        // Per-rank cursors over this page's records support sound pruning:
+        // a rank's segment clocks only grow, so the clock of its *next*
+        // unprocessed record bounds all its future records from below.
+        let by_rank: Vec<Vec<usize>> = {
+            let mut v = vec![Vec::new(); nprocs];
+            for (i, r) in recs.iter().enumerate() {
+                v[r.rank].push(i);
+            }
+            v
+        };
+        let mut cursor = vec![0usize; nprocs];
+        let mut shadow: Vec<usize> = Vec::new();
+        let mut since_prune = 0usize;
+
+        for i in 0..recs.len() {
+            let b = recs[i];
+            cursor[b.rank] += 1;
+            for &ai in &shadow {
+                let a = recs[ai];
+                if a.rank == b.rank {
+                    continue; // program order
+                }
+                if a.kind == AccessKind::Read && b.kind == AccessKind::Read {
+                    continue;
+                }
+                let (os, oe) = (a.start.max(b.start), a.end.min(b.end));
+                if os >= oe {
+                    continue;
+                }
+                // Both directions: the anachronistic lock grant means
+                // happens-before is not always consistent with virtual-time
+                // order, so `b hb a` is possible even though a sorts first.
+                if hb(&a, &b) || hb(&b, &a) {
+                    continue;
+                }
+                let site = |r: &Rec| RaceSite {
+                    rank: r.rank,
+                    kind: r.kind,
+                    start: r.start,
+                    end: r.end,
+                    time_ns: r.ns,
+                    ctx: logs[r.rank].segments[r.seg].ctx,
+                };
+                // Order the pair by identity, not discovery order.
+                let (x, y) = if (a.rank, a.seg, a.kind, a.start) <= (b.rank, b.seg, b.kind, b.start)
+                {
+                    (a, b)
+                } else {
+                    (b, a)
+                };
+                let key = (page, x.rank, x.seg, x.kind, y.rank, y.seg, y.kind);
+                found
+                    .entry(key)
+                    .and_modify(|race| {
+                        race.overlap_start = race.overlap_start.min(os);
+                        race.overlap_end = race.overlap_end.max(oe);
+                        for (site, rec) in [(&mut race.a, &x), (&mut race.b, &y)] {
+                            site.start = site.start.min(rec.start);
+                            site.end = site.end.max(rec.end);
+                            site.time_ns = site.time_ns.min(rec.ns);
+                        }
+                    })
+                    .or_insert_with(|| Race {
+                        page,
+                        overlap_start: os,
+                        overlap_end: oe,
+                        a: site(&x),
+                        b: site(&y),
+                    });
+            }
+            shadow.push(i);
+            since_prune += 1;
+            if since_prune >= 64 {
+                since_prune = 0;
+                shadow.retain(|&ai| {
+                    let a = recs[ai];
+                    let own = clock_of(&a)[a.rank];
+                    // Keep `a` while some other rank may still produce a
+                    // record not ordered after it.
+                    (0..nprocs).any(|s| {
+                        s != a.rank
+                            && cursor[s] < by_rank[s].len()
+                            && clock_of(&recs[by_rank[s][cursor[s]]])[a.rank] < own
+                    })
+                });
+            }
+        }
+    }
+
+    RaceReport {
+        nprocs,
+        accesses,
+        races: found.into_values().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(table: &Arc<SyncClocks>) -> (Recorder, Recorder) {
+        (
+            Recorder::new(0, 2, Arc::clone(table)),
+            Recorder::new(1, 2, Arc::clone(table)),
+        )
+    }
+
+    fn report(logs: Vec<RaceLog>) -> RaceReport {
+        let n = logs.len();
+        analyze(n, logs)
+    }
+
+    #[test]
+    fn insert_range_coalesces_overlapping_and_touching() {
+        let mut v = Vec::new();
+        insert_range(&mut v, 10, 20, 5);
+        insert_range(&mut v, 30, 40, 6);
+        insert_range(&mut v, 20, 30, 7); // bridges both
+        assert_eq!(v.len(), 1);
+        assert_eq!((v[0].start, v[0].end, v[0].first_ns), (10, 40, 5));
+        insert_range(&mut v, 50, 60, 1);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn unsynchronized_writes_race() {
+        let table = Arc::new(SyncClocks::new());
+        let (mut r0, mut r1) = pair(&table);
+        r0.record(AccessKind::Write, 0, 8, 10);
+        r1.record(AccessKind::Write, 4, 8, 12);
+        let rep = report(vec![r0.finish(), r1.finish()]);
+        assert_eq!(rep.races.len(), 1);
+        let race = &rep.races[0];
+        assert_eq!(race.page, 0);
+        assert_eq!((race.overlap_start, race.overlap_end), (4, 8));
+        assert_eq!((race.a.rank, race.b.rank), (0, 1));
+        assert_eq!(race.a.kind, AccessKind::Write);
+        assert_eq!(race.b.kind, AccessKind::Write);
+    }
+
+    #[test]
+    fn read_read_is_not_a_race() {
+        let table = Arc::new(SyncClocks::new());
+        let (mut r0, mut r1) = pair(&table);
+        r0.record(AccessKind::Read, 0, 64, 10);
+        r1.record(AccessKind::Read, 0, 64, 12);
+        assert!(report(vec![r0.finish(), r1.finish()]).is_race_free());
+    }
+
+    #[test]
+    fn disjoint_ranges_do_not_race() {
+        let table = Arc::new(SyncClocks::new());
+        let (mut r0, mut r1) = pair(&table);
+        r0.record(AccessKind::Write, 0, 8, 10);
+        r1.record(AccessKind::Write, 8, 8, 12);
+        assert!(report(vec![r0.finish(), r1.finish()]).is_race_free());
+    }
+
+    #[test]
+    fn lock_handoff_orders_the_accesses() {
+        let table = Arc::new(SyncClocks::new());
+        let (mut r0, mut r1) = pair(&table);
+        // Global order: r0's critical section completes, then r1's begins.
+        r0.on_lock_acquired(7);
+        r0.record(AccessKind::Write, 0, 8, 10);
+        r0.on_lock_release(7);
+        r1.on_lock_acquired(7);
+        r1.record(AccessKind::Write, 0, 8, 20);
+        r1.on_lock_release(7);
+        assert!(report(vec![r0.finish(), r1.finish()]).is_race_free());
+    }
+
+    #[test]
+    fn access_after_release_races_with_later_critical_section() {
+        let table = Arc::new(SyncClocks::new());
+        let (mut r0, mut r1) = pair(&table);
+        r0.on_lock_acquired(7);
+        r0.on_lock_release(7);
+        // r0 writes *after* releasing: concurrent with r1's section.
+        r0.record(AccessKind::Write, 0, 8, 10);
+        r1.on_lock_acquired(7);
+        r1.record(AccessKind::Write, 0, 8, 20);
+        let rep = report(vec![r0.finish(), r1.finish()]);
+        assert_eq!(rep.races.len(), 1);
+        assert_eq!(rep.races[0].a.ctx, SyncCtx::AfterRelease(7));
+        assert_eq!(rep.races[0].b.ctx, SyncCtx::AfterAcquire(7));
+    }
+
+    /// Run one barrier across two recorders in the manager/worker order the
+    /// runtime uses (worker publishes, manager merges, worker joins).
+    fn barrier(r0: &mut Recorder, r1: &mut Recorder, index: u32) {
+        r1.on_barrier_publish();
+        r0.on_barrier_manager(index, 1);
+        r1.on_barrier_done(index);
+    }
+
+    #[test]
+    fn barrier_orders_writes_before_reads() {
+        let table = Arc::new(SyncClocks::new());
+        let (mut r0, mut r1) = pair(&table);
+        r0.record(AccessKind::Write, 100, 8, 10);
+        barrier(&mut r0, &mut r1, 0);
+        r1.record(AccessKind::Read, 100, 8, 20);
+        assert!(report(vec![r0.finish(), r1.finish()]).is_race_free());
+    }
+
+    #[test]
+    fn writes_on_both_sides_of_a_barrier_still_race_within_a_side() {
+        let table = Arc::new(SyncClocks::new());
+        let (mut r0, mut r1) = pair(&table);
+        barrier(&mut r0, &mut r1, 0);
+        // Post-barrier accesses of different ranks are concurrent.
+        r0.record(AccessKind::Write, 0, 8, 30);
+        r1.record(AccessKind::Read, 0, 8, 40);
+        let rep = report(vec![r0.finish(), r1.finish()]);
+        assert_eq!(rep.races.len(), 1);
+        assert_eq!(rep.races[0].a.ctx, SyncCtx::AfterBarrier(0));
+        assert_eq!(rep.races[0].b.ctx, SyncCtx::AfterBarrier(0));
+        assert_eq!(rep.races[0].b.kind, AccessKind::Read);
+    }
+
+    #[test]
+    fn pruning_does_not_drop_a_live_early_record() {
+        // Rank 0 writes once at the start and never synchronises on lock 1;
+        // rank 1 spins through many critical sections (driving the pruning
+        // pass) before touching the same bytes.  The early record must
+        // survive and the race must be found.
+        let table = Arc::new(SyncClocks::new());
+        let (mut r0, mut r1) = pair(&table);
+        r0.record(AccessKind::Write, 0, 8, 1);
+        for i in 0..200u64 {
+            r1.on_lock_acquired(1);
+            r1.record(AccessKind::Write, 4096, 8, 10 + i);
+            r1.on_lock_release(1);
+        }
+        r1.record(AccessKind::Read, 0, 8, 1000);
+        let rep = report(vec![r0.finish(), r1.finish()]);
+        assert_eq!(rep.races.len(), 1);
+        assert_eq!(rep.races[0].page, 0);
+    }
+
+    #[test]
+    fn many_ordered_rounds_stay_race_free_and_prune() {
+        // Barrier-separated alternating writers: fully ordered, and the
+        // pruning keeps the shadow state from growing with the round count.
+        let table = Arc::new(SyncClocks::new());
+        let (mut r0, mut r1) = pair(&table);
+        for round in 0..300u32 {
+            if round % 2 == 0 {
+                r0.record(AccessKind::Write, 0, 8, u64::from(round) * 10);
+            } else {
+                r1.record(AccessKind::Write, 0, 8, u64::from(round) * 10);
+            }
+            barrier(&mut r0, &mut r1, round);
+        }
+        assert!(report(vec![r0.finish(), r1.finish()]).is_race_free());
+    }
+
+    #[test]
+    fn report_renders_deterministically() {
+        let mk = || {
+            let table = Arc::new(SyncClocks::new());
+            let (mut r0, mut r1) = pair(&table);
+            r0.record(AccessKind::Write, 0, 16, 10);
+            r1.record(AccessKind::Write, 8, 16, 12);
+            r1.record(AccessKind::Read, 4096, 8, 14);
+            r0.record(AccessKind::Write, 4096, 8, 16);
+            report(vec![r0.finish(), r1.finish()])
+        };
+        let (a, b) = (mk(), mk());
+        assert_eq!(a, b);
+        assert_eq!(a.render(), b.render());
+        assert!(a.render().contains("race"));
+    }
+
+    #[test]
+    fn cross_page_access_is_split_per_page() {
+        let table = Arc::new(SyncClocks::new());
+        let (mut r0, mut r1) = pair(&table);
+        // Straddles the page-0/page-1 boundary.
+        r0.record(AccessKind::Write, 4090, 12, 10);
+        r1.record(AccessKind::Write, 4094, 8, 12);
+        let rep = report(vec![r0.finish(), r1.finish()]);
+        assert_eq!(rep.races.len(), 2);
+        assert_eq!(rep.races[0].page, 0);
+        assert_eq!(rep.races[1].page, 1);
+    }
+}

@@ -1,0 +1,424 @@
+//! Repository automation tasks.  The only task so far is `lint`: a static
+//! source analysis enforcing the determinism discipline the simulation
+//! depends on, run by the CI lint job next to rustfmt and clippy.
+//!
+//! ```text
+//! cargo run -p xtask -- lint            # lint the workspace
+//! cargo run -p xtask -- lint --root DIR # lint another tree (used by CI's
+//!                                       # seeded-violation check)
+//! ```
+//!
+//! ## Rules
+//!
+//! **Determinism hazards** (`HashMap`/`HashSet` with their hash-ordered
+//! iteration, `Instant::now`, `SystemTime`, `thread_rng`/`rand::`) are
+//! forbidden outright in the simulation crates `crates/core`,
+//! `crates/cluster` and `crates/msgpass`: every byte of their output must be
+//! a pure function of the configuration, so there is no justifiable use and
+//! no allow marker is honoured there.
+//!
+//! In the host-side crates `crates/apps` and `crates/bench` the hash
+//! containers and RNG rules still apply (checksums and tables must be
+//! byte-stable), but *wall-clock reads* are legitimate when they measure
+//! this machine's own execution (benchmark throughput, `--bench-out`
+//! timing).  Those sites must carry a justification marker on the same line
+//! or in the comment block immediately above:
+//!
+//! ```text
+//! // lint:allow(wall-clock): measures this machine's throughput
+//! let started = Instant::now();
+//! ```
+//!
+//! **Annotated unsynchronized reads** (`*_unsync(...)` heap accessors, the
+//! race detector's benign-race escape hatch) must likewise carry a
+//! `lint:allow(unsync-read): <why the race is harmless>` marker at every
+//! call site in the host crates.
+//!
+//! **Hook discipline**: `impl ConsistencyProtocol for` is permitted only
+//! under `crates/core/src/protocol/` — backends live behind the trait, and
+//! nothing outside the protocol layer may reimplement the hook surface.
+//!
+//! A marker must carry a non-empty reason after its colon; a bare
+//! `lint:allow(wall-clock):` is itself a finding.  Doc and line comments
+//! are stripped before token matching, so prose *about* a hazard never
+//! trips the linter.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Crates whose output must be a pure function of the configuration: no
+/// hazard is justifiable, no allow marker is honoured.
+const SIM_CRATES: [&str; 3] = ["crates/core", "crates/cluster", "crates/msgpass"];
+
+/// Host-side crates: hazards still apply, but wall-clock reads (and
+/// annotated unsynchronized reads) are allowed with a justification marker.
+const HOST_CRATES: [&str; 2] = ["crates/apps", "crates/bench"];
+
+/// One rule violation at one source line.
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Finding {
+    file: PathBuf,
+    line: usize,
+    msg: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.file.display(), self.line, self.msg)
+    }
+}
+
+/// The hazard tokens and the marker rule (if any) that can justify them in
+/// the host crates.  In simulation crates every one is a hard error.
+const HAZARDS: [(&str, Option<&str>); 6] = [
+    ("HashMap", None),
+    ("HashSet", None),
+    ("Instant::now", Some("wall-clock")),
+    ("SystemTime", Some("wall-clock")),
+    ("thread_rng", None),
+    ("rand::", None),
+];
+
+fn is_under(rel: &Path, roots: &[&str]) -> bool {
+    roots.iter().any(|r| rel.starts_with(r))
+}
+
+/// The line with any `//` comment removed, so tokens in prose (doc
+/// comments, trailing notes) are never matched.  Cheap and slightly
+/// over-eager (a `//` inside a string literal also truncates), which only
+/// makes the linter more lenient, never false-positive.
+fn code_part(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// True if line `idx` (0-based) is justified for `rule`: a
+/// `lint:allow(<rule>): <non-empty reason>` marker on the line itself or in
+/// the contiguous comment block immediately above it.
+fn has_marker(lines: &[&str], idx: usize, rule: &str) -> bool {
+    let tag = format!("lint:allow({rule}):");
+    let carries = |line: &str| {
+        line.find(&tag)
+            .map(|i| !line[i + tag.len()..].trim().is_empty())
+            .unwrap_or(false)
+    };
+    if carries(lines[idx]) {
+        return true;
+    }
+    let mut k = idx;
+    while k > 0 && lines[k - 1].trim_start().starts_with("//") {
+        k -= 1;
+        if carries(lines[k]) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Lint one file's contents; `rel` is its path relative to the tree root.
+fn lint_source(rel: &Path, text: &str, findings: &mut Vec<Finding>) {
+    let sim = is_under(rel, &SIM_CRATES);
+    let host = is_under(rel, &HOST_CRATES);
+    let in_protocol_layer = rel.starts_with("crates/core/src/protocol");
+    let lines: Vec<&str> = text.lines().collect();
+    let mut push = |line: usize, msg: String| {
+        findings.push(Finding {
+            file: rel.to_path_buf(),
+            line: line + 1,
+            msg,
+        })
+    };
+    for (i, &raw) in lines.iter().enumerate() {
+        let code = code_part(raw);
+        if (sim || host) && !code.trim().is_empty() {
+            for (token, marker) in HAZARDS {
+                if !code.contains(token) {
+                    continue;
+                }
+                match marker {
+                    Some(rule) if host => {
+                        if !has_marker(&lines, i, rule) {
+                            push(
+                                i,
+                                format!(
+                                    "`{token}` needs a `lint:allow({rule}): <reason>` marker \
+                                     (same line or the comment block above)"
+                                ),
+                            );
+                        }
+                    }
+                    _ => push(
+                        i,
+                        format!(
+                            "determinism hazard `{token}` is forbidden in {} crates",
+                            if sim { "simulation" } else { "host" }
+                        ),
+                    ),
+                }
+            }
+            if host && code.contains("_unsync(") && !has_marker(&lines, i, "unsync-read") {
+                push(
+                    i,
+                    "annotated unsynchronized read needs a `lint:allow(unsync-read): <reason>` \
+                     marker (same line or the comment block above)"
+                        .to_string(),
+                );
+            }
+        }
+        if code.contains("ConsistencyProtocol for")
+            && code.trim_start().starts_with("impl")
+            && !in_protocol_layer
+        {
+            push(
+                i,
+                "`impl ConsistencyProtocol` outside crates/core/src/protocol/: protocol \
+                 backends live behind the trait in the protocol layer only"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// Every `.rs` file under the linted crate roots of `root`, lexicographically
+/// sorted so the report (and CI diff of it) is deterministic.
+fn rust_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+            .map(|e| e.map(|e| e.path()))
+            .collect::<Result<_, _>>()?;
+        entries.sort();
+        for path in entries {
+            if path.is_dir() {
+                if path.file_name().is_some_and(|n| n == "target") {
+                    continue;
+                }
+                walk(&path, out)?;
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+        Ok(())
+    }
+    let mut out = Vec::new();
+    for crate_root in SIM_CRATES.iter().chain(HOST_CRATES.iter()) {
+        let dir = root.join(crate_root);
+        if dir.is_dir() {
+            walk(&dir, &mut out)?;
+        }
+    }
+    Ok(out)
+}
+
+/// Lint the workspace tree at `root`, returning every finding sorted by
+/// (file, line).
+fn lint_tree(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for path in rust_files(root)? {
+        let text = std::fs::read_to_string(&path)?;
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        lint_source(&rel, &text, &mut findings);
+    }
+    findings.sort();
+    Ok(findings)
+}
+
+fn usage() -> ! {
+    eprintln!("usage: cargo run -p xtask -- lint [--root DIR]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) != Some("lint") {
+        usage();
+    }
+    let root = match args.get(1).map(String::as_str) {
+        None => Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .expect("xtask lives one level below the workspace root")
+            .to_path_buf(),
+        Some("--root") => match args.get(2) {
+            Some(dir) if args.len() == 3 => PathBuf::from(dir),
+            _ => usage(),
+        },
+        Some(_) => usage(),
+    };
+    let findings = match lint_tree(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("xtask lint: cannot read {}: {e}", root.display());
+            std::process::exit(2);
+        }
+    };
+    if findings.is_empty() {
+        println!("xtask lint: clean ({} ok)", root.display());
+        return;
+    }
+    for f in &findings {
+        println!("{f}");
+    }
+    eprintln!("xtask lint: {} finding(s)", findings.len());
+    std::process::exit(1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scratch tree under the system temp dir, removed on drop.
+    struct Tree(PathBuf);
+
+    impl Tree {
+        fn new(case: &str) -> Self {
+            let dir =
+                std::env::temp_dir().join(format!("xtask-lint-{}-{case}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            Tree(dir)
+        }
+
+        fn write(&self, rel: &str, text: &str) {
+            let path = self.0.join(rel);
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(path, text).unwrap();
+        }
+
+        fn lint(&self) -> Vec<Finding> {
+            lint_tree(&self.0).unwrap()
+        }
+    }
+
+    impl Drop for Tree {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn hash_containers_are_forbidden_in_simulation_crates() {
+        let t = Tree::new("sim-hash");
+        t.write(
+            "crates/core/src/bad.rs",
+            "use std::collections::HashMap;\nfn f() { let _: HashSet<u32>; }\n",
+        );
+        let f = t.lint();
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f[0].msg.contains("HashMap"));
+        assert_eq!(f[0].line, 1);
+        assert!(f[1].msg.contains("HashSet"));
+    }
+
+    #[test]
+    fn wall_clock_in_sim_crates_has_no_marker_escape() {
+        let t = Tree::new("sim-clock");
+        t.write(
+            "crates/msgpass/src/bad.rs",
+            "// lint:allow(wall-clock): markers are not honoured here\n\
+             fn f() { let _ = std::time::Instant::now(); }\n",
+        );
+        let f = t.lint();
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].msg.contains("forbidden in simulation crates"));
+    }
+
+    #[test]
+    fn wall_clock_in_host_crates_wants_a_reasoned_marker() {
+        let t = Tree::new("host-clock");
+        t.write(
+            "crates/bench/src/a.rs",
+            "fn f() { let _ = Instant::now(); }\n",
+        );
+        t.write(
+            "crates/bench/src/b.rs",
+            "// lint:allow(wall-clock):\nfn f() { let _ = Instant::now(); }\n",
+        );
+        t.write(
+            "crates/bench/src/c.rs",
+            "// lint:allow(wall-clock): times this machine\nfn f() { let _ = Instant::now(); }\n",
+        );
+        t.write(
+            "crates/bench/src/d.rs",
+            "fn f() { let _ = Instant::now(); } // lint:allow(wall-clock): same-line form\n",
+        );
+        let f = t.lint();
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().any(|f| f.file.ends_with("a.rs")), "unmarked site");
+        assert!(f.iter().any(|f| f.file.ends_with("b.rs")), "empty reason");
+    }
+
+    #[test]
+    fn comment_prose_about_hazards_is_ignored() {
+        let t = Tree::new("prose");
+        t.write(
+            "crates/core/src/doc.rs",
+            "/// Unlike a HashMap, a BTreeMap iterates deterministically.\n\
+             // SystemTime would break replay.\nfn f() {}\n",
+        );
+        assert!(t.lint().is_empty());
+    }
+
+    #[test]
+    fn unsync_reads_want_a_marker_in_host_crates() {
+        let t = Tree::new("unsync");
+        t.write(
+            "crates/apps/src/a.rs",
+            "fn f(t: &Tmk) { let _ = t.read_f64_unsync(0); }\n",
+        );
+        t.write(
+            "crates/apps/src/b.rs",
+            "fn f(t: &Tmk) {\n    // lint:allow(unsync-read): stale reads only weaken pruning\n    \
+             // and the update re-checks under the lock.\n    let _ = t.read_f64_unsync(0);\n}\n",
+        );
+        let f = t.lint();
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].file.ends_with("a.rs"));
+        assert!(f[0].msg.contains("unsync-read"));
+    }
+
+    #[test]
+    fn protocol_impls_outside_the_protocol_layer_are_flagged() {
+        let t = Tree::new("hooks");
+        t.write(
+            "crates/core/src/protocol/mine.rs",
+            "impl ConsistencyProtocol for Mine {}\n",
+        );
+        t.write(
+            "crates/apps/src/rogue.rs",
+            "impl ConsistencyProtocol for Rogue {}\n",
+        );
+        let f = t.lint();
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].file.ends_with("rogue.rs"));
+    }
+
+    #[test]
+    fn findings_are_sorted_by_file_then_line() {
+        let t = Tree::new("sorted");
+        t.write(
+            "crates/core/src/z.rs",
+            "fn f() { let _: HashMap<u32, u32>; }\n",
+        );
+        t.write(
+            "crates/core/src/a.rs",
+            "fn f() {}\nfn g() { let _: HashSet<u32>; }\nfn h() { thread_rng(); }\n",
+        );
+        let f = t.lint();
+        let order: Vec<(String, usize)> = f
+            .iter()
+            .map(|f| (f.file.display().to_string(), f.line))
+            .collect();
+        let mut sorted = order.clone();
+        sorted.sort();
+        assert_eq!(order, sorted);
+        assert_eq!(f.len(), 3);
+    }
+
+    #[test]
+    fn the_real_tree_is_clean() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap();
+        let f = lint_tree(root).unwrap();
+        assert!(f.is_empty(), "lint findings in the tree: {f:#?}");
+    }
+}
