@@ -14,8 +14,8 @@
 //!   is needed.  At 8 processes these simultaneous broadcasts saturate the
 //!   network, which is why PVM's own speedup is poor here.
 
-use crate::runner::{block_range, run_pvm_on, run_treadmarks_on, AppRun, SeqRun};
-use cluster::ClusterConfig;
+use crate::runner::{block_range, try_run_pvm_on, try_run_treadmarks_on, AppRun, SeqRun};
+use cluster::{ClusterConfig, RunFailure};
 use msgpass::Pvm;
 use treadmarks::{ProtocolKind, Tmk};
 
@@ -416,9 +416,20 @@ pub fn treadmarks_with(nprocs: usize, p: &BarnesParams, protocol: ProtocolKind) 
 /// arbitrary cluster model (see `cluster::NetPreset` and the scenario
 /// subsystem).
 pub fn treadmarks_on(cfg: &ClusterConfig, p: &BarnesParams, protocol: ProtocolKind) -> AppRun {
+    try_treadmarks_on(cfg, p, protocol).unwrap_or_else(|f| panic!("{f}"))
+}
+
+/// Fallible variant of [`treadmarks_on`]: a structured [`RunFailure`]
+/// (deadlock, livelock, or fault-plan crash) comes back as `Err` instead
+/// of a panic, so the fuzzing harness can record it and keep going.
+pub fn try_treadmarks_on(
+    cfg: &ClusterConfig,
+    p: &BarnesParams,
+    protocol: ProtocolKind,
+) -> Result<AppRun, RunFailure> {
     let p = p.clone();
     let heap = (p.bodies * BODY_F64 * 8 + (1 << 20)).next_power_of_two();
-    run_treadmarks_on(cfg, heap, protocol, move |tmk| treadmarks_body(tmk, &p))
+    try_run_treadmarks_on(cfg, heap, protocol, move |tmk| treadmarks_body(tmk, &p))
 }
 
 /// Run the PVM version on the paper's calibrated FDDI testbed.
@@ -428,8 +439,13 @@ pub fn pvm(nprocs: usize, p: &BarnesParams) -> AppRun {
 
 /// Run the PVM version on an arbitrary cluster model.
 pub fn pvm_on(cfg: &ClusterConfig, p: &BarnesParams) -> AppRun {
+    try_pvm_on(cfg, p).unwrap_or_else(|f| panic!("{f}"))
+}
+
+/// Fallible variant of [`pvm_on`]; see [`try_treadmarks_on`].
+pub fn try_pvm_on(cfg: &ClusterConfig, p: &BarnesParams) -> Result<AppRun, RunFailure> {
     let p = p.clone();
-    run_pvm_on(cfg, move |pvm| pvm_body(pvm, &p))
+    try_run_pvm_on(cfg, move |pvm| pvm_body(pvm, &p))
 }
 
 #[cfg(test)]

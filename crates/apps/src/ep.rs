@@ -11,8 +11,8 @@
 //! Because the communication is negligible relative to the computation, both
 //! systems achieve near-linear speedup (Figure 1 of the paper).
 
-use crate::runner::{block_range, run_pvm_on, run_treadmarks_on, AppRun, SeqRun};
-use cluster::ClusterConfig;
+use crate::runner::{block_range, try_run_pvm_on, try_run_treadmarks_on, AppRun, SeqRun};
+use cluster::{ClusterConfig, RunFailure};
 use msgpass::Pvm;
 use treadmarks::{ProtocolKind, Tmk};
 
@@ -197,8 +197,19 @@ pub fn treadmarks_with(nprocs: usize, p: &EpParams, protocol: ProtocolKind) -> A
 /// arbitrary cluster model (see `cluster::NetPreset` and the scenario
 /// subsystem).
 pub fn treadmarks_on(cfg: &ClusterConfig, p: &EpParams, protocol: ProtocolKind) -> AppRun {
+    try_treadmarks_on(cfg, p, protocol).unwrap_or_else(|f| panic!("{f}"))
+}
+
+/// Fallible variant of [`treadmarks_on`]: a structured [`RunFailure`]
+/// (deadlock, livelock, or fault-plan crash) comes back as `Err` instead
+/// of a panic, so the fuzzing harness can record it and keep going.
+pub fn try_treadmarks_on(
+    cfg: &ClusterConfig,
+    p: &EpParams,
+    protocol: ProtocolKind,
+) -> Result<AppRun, RunFailure> {
     let p = p.clone();
-    run_treadmarks_on(cfg, 1 << 20, protocol, move |tmk| treadmarks_body(tmk, &p))
+    try_run_treadmarks_on(cfg, 1 << 20, protocol, move |tmk| treadmarks_body(tmk, &p))
 }
 
 /// PVM version: private tabulation; process 0 receives every other process's
@@ -244,8 +255,13 @@ pub fn pvm(nprocs: usize, p: &EpParams) -> AppRun {
 
 /// Run the PVM version on an arbitrary cluster model.
 pub fn pvm_on(cfg: &ClusterConfig, p: &EpParams) -> AppRun {
+    try_pvm_on(cfg, p).unwrap_or_else(|f| panic!("{f}"))
+}
+
+/// Fallible variant of [`pvm_on`]; see [`try_treadmarks_on`].
+pub fn try_pvm_on(cfg: &ClusterConfig, p: &EpParams) -> Result<AppRun, RunFailure> {
     let p = p.clone();
-    run_pvm_on(cfg, move |pvm| pvm_body(pvm, &p))
+    try_run_pvm_on(cfg, move |pvm| pvm_body(pvm, &p))
 }
 
 #[cfg(test)]

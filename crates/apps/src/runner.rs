@@ -12,7 +12,7 @@
 //! * for the **PVM** versions, messages are the user-level sends and data is
 //!   the user data packed into them, as PVM itself counts.
 
-use cluster::{Cluster, ClusterConfig, ClusterObs, Proc, ProcStats};
+use cluster::{Cluster, ClusterConfig, ClusterObs, Proc, ProcStats, RunFailure};
 use msgpass::Pvm;
 use serde::Serialize;
 use std::sync::Arc;
@@ -79,6 +79,16 @@ pub struct AppRun {
     pub messages: u64,
     /// Kilobytes of data, counted per the paper's convention for this system.
     pub kilobytes: f64,
+    /// Schedule seed the run's arbiter broke virtual-time ties with; 0 is
+    /// the engine's historical rank-order discipline.
+    pub sched_seed: u64,
+    /// Hash of the run's fault plan ([`cluster::FaultPlan::hash`]); 0 for
+    /// the empty (fault-free) plan.
+    pub fault_hash: u64,
+    /// Counters of the faults the plan actually injected (all zero for the
+    /// empty plan under schedule seed 0).
+    #[serde(skip)]
+    pub faults: cluster::FaultStats,
     /// Aggregated DSM runtime statistics (TreadMarks runs only).
     #[serde(skip)]
     pub tmk_stats: Option<TmkStats>,
@@ -151,12 +161,27 @@ pub fn run_treadmarks_on<F>(
 where
     F: Fn(&Tmk) -> f64 + Send + Sync,
 {
+    try_run_treadmarks_on(cfg, heap_bytes, protocol, body).unwrap_or_else(|f| panic!("{f}"))
+}
+
+/// As [`run_treadmarks_on`], but a structured [`RunFailure`] — a deadlock,
+/// livelock, or fault-plan crash — comes back as an `Err` instead of a
+/// panic, so the fuzzing harness can classify it as a finding and continue.
+pub fn try_run_treadmarks_on<F>(
+    cfg: &ClusterConfig,
+    heap_bytes: usize,
+    protocol: ProtocolKind,
+    body: F,
+) -> Result<AppRun, RunFailure>
+where
+    F: Fn(&Tmk) -> f64 + Send + Sync,
+{
     let nprocs = cfg.nprocs;
     // The analysis layer lives outside the simulated machine: the recorder
     // rides the runtime and the clock table is plain shared process memory,
     // so enabling it cannot change any virtual time or counter.
     let table = cfg.analysis.enabled().then(|| Arc::new(SyncClocks::new()));
-    let mut rep = Cluster::run(cfg.clone(), {
+    let mut rep = Cluster::try_run(cfg.clone(), {
         let table = table.clone();
         move |p| {
             let tmk = Tmk::with_heap_and_protocol(p, heap_bytes, protocol);
@@ -167,7 +192,7 @@ where
             tmk.exit();
             (checksum, tmk.stats(), tmk.take_race_log())
         }
-    });
+    })?;
     let race = table.map(|_| {
         let logs: Vec<race::RaceLog> = rep
             .results
@@ -186,18 +211,21 @@ where
     for (_, st, _) in &rep.results {
         agg.merge(st);
     }
-    AppRun {
+    Ok(AppRun {
         system: System::TreadMarks(protocol),
         nprocs,
         checksum: rep.results.iter().map(|(c, _, _)| *c).sum(),
         time: rep.parallel_time(),
         messages: rep.total_datagrams(),
         kilobytes: rep.total_kilobytes(),
+        sched_seed: cfg.sched_seed,
+        fault_hash: cfg.fault.hash(),
+        faults: rep.faults,
         tmk_stats: Some(agg),
         proc_stats: rep.stats,
         obs,
         race,
-    }
+    })
 }
 
 /// Run `body` on `nprocs` PVM processes over the calibrated FDDI cluster.
@@ -215,12 +243,21 @@ pub fn run_pvm_on<F>(cfg: &ClusterConfig, body: F) -> AppRun
 where
     F: Fn(&Pvm) -> f64 + Send + Sync,
 {
+    try_run_pvm_on(cfg, body).unwrap_or_else(|f| panic!("{f}"))
+}
+
+/// As [`run_pvm_on`], but a structured [`RunFailure`] comes back as an
+/// `Err` instead of a panic.  See [`try_run_treadmarks_on`].
+pub fn try_run_pvm_on<F>(cfg: &ClusterConfig, body: F) -> Result<AppRun, RunFailure>
+where
+    F: Fn(&Pvm) -> f64 + Send + Sync,
+{
     let nprocs = cfg.nprocs;
-    let mut rep = Cluster::run(cfg.clone(), move |p| {
+    let mut rep = Cluster::try_run(cfg.clone(), move |p| {
         let pvm = Pvm::new(p);
         let checksum = body(&pvm);
         (checksum, pvm.user_stats())
-    });
+    })?;
     let obs = rep.obs.take();
     #[cfg(feature = "oracle-checks")]
     if let Some(obs) = &obs {
@@ -228,18 +265,21 @@ where
     }
     let user_messages: u64 = rep.results.iter().map(|(_, s)| s.messages).sum();
     let user_bytes: u64 = rep.results.iter().map(|(_, s)| s.bytes).sum();
-    AppRun {
+    Ok(AppRun {
         system: System::Pvm,
         nprocs,
         checksum: rep.results.iter().map(|(c, _)| *c).sum(),
         time: rep.parallel_time(),
         messages: user_messages,
         kilobytes: user_bytes as f64 / 1024.0,
+        sched_seed: cfg.sched_seed,
+        fault_hash: cfg.fault.hash(),
+        faults: rep.faults,
         tmk_stats: None,
         proc_stats: rep.stats,
         obs,
         race: None,
-    }
+    })
 }
 
 /// Cross-check the observability output against the independently maintained

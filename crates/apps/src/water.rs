@@ -15,8 +15,8 @@
 //!   their accumulated force contributions to the owners afterwards — two
 //!   user-level messages per pair of interacting processes.
 
-use crate::runner::{block_range, run_pvm_on, run_treadmarks_on, AppRun, SeqRun};
-use cluster::ClusterConfig;
+use crate::runner::{block_range, try_run_pvm_on, try_run_treadmarks_on, AppRun, SeqRun};
+use cluster::{ClusterConfig, RunFailure};
 use msgpass::Pvm;
 use treadmarks::{ProtocolKind, Tmk};
 
@@ -326,9 +326,20 @@ pub fn treadmarks_with(nprocs: usize, p: &WaterParams, protocol: ProtocolKind) -
 /// arbitrary cluster model (see `cluster::NetPreset` and the scenario
 /// subsystem).
 pub fn treadmarks_on(cfg: &ClusterConfig, p: &WaterParams, protocol: ProtocolKind) -> AppRun {
+    try_treadmarks_on(cfg, p, protocol).unwrap_or_else(|f| panic!("{f}"))
+}
+
+/// Fallible variant of [`treadmarks_on`]: a structured [`RunFailure`]
+/// (deadlock, livelock, or fault-plan crash) comes back as `Err` instead
+/// of a panic, so the fuzzing harness can record it and keep going.
+pub fn try_treadmarks_on(
+    cfg: &ClusterConfig,
+    p: &WaterParams,
+    protocol: ProtocolKind,
+) -> Result<AppRun, RunFailure> {
     let p = p.clone();
     let heap = (p.molecules * 48 + (1 << 20)).next_power_of_two();
-    run_treadmarks_on(cfg, heap, protocol, move |tmk| treadmarks_body(tmk, &p))
+    try_run_treadmarks_on(cfg, heap, protocol, move |tmk| treadmarks_body(tmk, &p))
 }
 
 /// Run the PVM version on the paper's calibrated FDDI testbed.
@@ -338,8 +349,13 @@ pub fn pvm(nprocs: usize, p: &WaterParams) -> AppRun {
 
 /// Run the PVM version on an arbitrary cluster model.
 pub fn pvm_on(cfg: &ClusterConfig, p: &WaterParams) -> AppRun {
+    try_pvm_on(cfg, p).unwrap_or_else(|f| panic!("{f}"))
+}
+
+/// Fallible variant of [`pvm_on`]; see [`try_treadmarks_on`].
+pub fn try_pvm_on(cfg: &ClusterConfig, p: &WaterParams) -> Result<AppRun, RunFailure> {
     let p = p.clone();
-    run_pvm_on(cfg, move |pvm| pvm_body(pvm, &p))
+    try_run_pvm_on(cfg, move |pvm| pvm_body(pvm, &p))
 }
 
 #[cfg(test)]

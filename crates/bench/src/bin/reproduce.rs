@@ -16,6 +16,9 @@
 //! cargo run -p bench --release --bin reproduce -- --scenario examples/scenarios/atm_16procs.toml
 //! cargo run -p bench --release --bin reproduce -- sweep --vary procs      # speedup past 8
 //! cargo run -p bench --release --bin reproduce -- sweep --vary bandwidth  # runtime vs bandwidth
+//! cargo run -p bench --release --bin reproduce -- fuzz --seeds 25         # schedule exploration
+//! cargo run -p bench --release --bin reproduce -- fuzz --seeds 25 --faults lossy
+//! cargo run -p bench --release --bin reproduce -- fuzz --until-failure --faults FILE
 //! cargo run -p bench --release --bin reproduce -- --json            # machine-readable dump
 //! cargo run -p bench --release --bin reproduce -- --metrics         # latency histograms + profile
 //! cargo run -p bench --release --bin reproduce -- --trace trace.json  # Perfetto trace export
@@ -53,6 +56,24 @@
 //! paper's 8, or runtime versus a ×0.25…×4 scaling of one interconnect
 //! field, per workload × system (see `bench::sweep`).
 //!
+//! `fuzz --seeds N` (docs/FUZZING.md) fans the selected workload × system
+//! points across N fuzz seeds: seed 0 is the pristine schedule, seed `s`
+//! seeds the arbiter's tie-breaking and re-keys the fault plan named by
+//! `--faults {lossy,partitioned,FILE}` (default: no faults).  Every run is
+//! checked against the invariant battery (`bench::invariants`); failures
+//! are shrunk to minimal reproducer scenarios (`bench::shrink`) replayable
+//! with `--scenario`, and the exit status is nonzero when anything failed.
+//! `--until-failure` stops at the first failing seed.  The report is
+//! byte-identical across reruns and `--jobs` widths.
+//!
+//! A scenario file may itself carry `sched_seed`, `tie_limit` and a
+//! `[fault]` section (the shape fuzz reproducers use): the reproduction
+//! then runs under that tuning, stamping `sched_seed` / `fault_hash` into
+//! `--json` records and the `--bench-out` report — absent at the defaults,
+//! so untuned output stays byte-identical.  A scenario whose plan crashes
+//! processes replays as a verdict table instead of a matrix (a crashed run
+//! has no complete result to tabulate).
+//!
 //! `--json` replaces the human-readable tables with a machine-readable dump
 //! of every run, with every virtual time printed both as a decimal and as
 //! its raw f64 bit pattern.  CI runs the dump twice and `diff`s the
@@ -82,13 +103,15 @@
 
 use apps::runner::System;
 use apps::Workload;
+use bench::fuzz::{run_fuzz, FuzzSpec};
 use bench::scenario::{workload_by_name, ResolvedScenario};
 use bench::sweep::{Sweep, Vary};
 use bench::{
-    exec, obs, problem_size, proc_series, render_race_reports, run_matrix_full, run_matrix_obs,
-    run_record_json, Preset, RunKey, RunMatrix,
+    exec, invariants, obs, problem_size, proc_series, render_race_reports, run_matrix_obs,
+    run_matrix_tuned, run_record_json, run_sequential, try_run_parallel_on, Preset, RunKey,
+    RunMatrix, RunTuning,
 };
-use cluster::{AnalysisLevel, NetModel, NetPreset, ObsLevel, Scenario};
+use cluster::{AnalysisLevel, FaultPlan, NetModel, NetPreset, ObsLevel, Scenario};
 use treadmarks::ProtocolKind;
 
 fn table1(matrix: &RunMatrix, workloads: &[Workload]) {
@@ -239,7 +262,7 @@ fn json_dump(
 /// The engine-throughput report written by `--bench-out`: deterministic
 /// matrix totals first (byte-stable across runs and job counts — CI diffs
 /// them), wall-clock timing of this execution second.
-fn bench_report(matrix: &RunMatrix, jobs: usize, wall_seconds: f64) -> String {
+fn bench_report(matrix: &RunMatrix, tuning: &RunTuning, jobs: usize, wall_seconds: f64) -> String {
     let mut events = 0u64; // transport messages processed (sent == consumed)
     let mut virtual_seconds = 0.0f64;
     let mut checksum_xor = 0u64;
@@ -248,8 +271,20 @@ fn bench_report(matrix: &RunMatrix, jobs: usize, wall_seconds: f64) -> String {
         virtual_seconds += run.time;
         checksum_xor ^= run.checksum.to_bits();
     }
+    // The tuning stamps appear only when non-default, so an untuned report
+    // stays byte-identical to every report the harness ever produced.
+    let mut tuning_fields = String::new();
+    if tuning.sched_seed != 0 {
+        tuning_fields.push_str(&format!("    \"sched_seed\": {},\n", tuning.sched_seed));
+    }
+    if tuning.fault.hash() != 0 {
+        tuning_fields.push_str(&format!(
+            "    \"fault_plan_hash\": \"{:016x}\",\n",
+            tuning.fault.hash()
+        ));
+    }
     format!(
-        "{{\n  \"preset\": \"{:?}\",\n  \"deterministic\": {{\n    \"runs\": {},\n    \
+        "{{\n  \"preset\": \"{:?}\",\n  \"deterministic\": {{\n{tuning_fields}    \"runs\": {},\n    \
          \"total_messages\": {},\n    \"total_virtual_seconds\": {},\n    \
          \"total_virtual_seconds_bits\": \"{:016x}\",\n    \"checksum_bits_xor\": \"{:016x}\"\n  }},\n  \
          \"timing\": {{\n    \"jobs\": {},\n    \"wall_seconds\": {:.3},\n    \
@@ -324,7 +359,14 @@ fn list_catalogue(json: bool) {
                 .join(", ")
         };
         println!("  \"presets\": [{}],", quoted(&presets));
-        println!("  \"sweep_axes\": [{}]", quoted(&axes));
+        println!("  \"sweep_axes\": [{}],", quoted(&axes));
+        let kinds: Vec<String> = FaultPlan::kinds()
+            .iter()
+            .map(|(name, desc)| {
+                format!("    {{\"name\": \"{name}\", \"description\": \"{desc}\"}}")
+            })
+            .collect();
+        println!("  \"fault_kinds\": [\n{}\n  ]", kinds.join(",\n"));
         println!("}}");
         return;
     }
@@ -362,6 +404,10 @@ fn list_catalogue(json: bool) {
     }
     println!("\nProblem-size presets: {}", presets.join(", "));
     println!("Sweep axes (sweep --vary AXIS): {}", axes.join(", "));
+    println!("\nFault kinds (scenario [fault] section; fuzz --faults {{lossy,partitioned,FILE}}):");
+    for (name, desc) in FaultPlan::kinds() {
+        println!("  {name:<12} {desc}");
+    }
 }
 
 fn fail(msg: impl std::fmt::Display) -> ! {
@@ -369,10 +415,60 @@ fn fail(msg: impl std::fmt::Display) -> ! {
     std::process::exit(1);
 }
 
+/// Replay a scenario whose fault plan crashes processes: instead of a
+/// reproduction matrix (impossible — crashed runs have no results to
+/// tabulate), classify every workload × system point through the invariant
+/// battery and print one verdict line each, naming the fault context.  The
+/// fan uses the ordered executor, so the table is byte-identical across
+/// `--jobs` widths.
+#[allow(clippy::too_many_arguments)]
+fn replay_verdicts(
+    preset: Preset,
+    net: NetModel,
+    nprocs: usize,
+    workloads: &[Workload],
+    systems: &[System],
+    tuning: &RunTuning,
+    jobs: usize,
+) {
+    println!(
+        "Crash-plan scenario: verdict replay at {nprocs} processes (net {}, {preset:?} preset)",
+        net.label()
+    );
+    let seqs: Vec<_> = workloads
+        .iter()
+        .map(|&w| (w, run_sequential(w, preset)))
+        .collect();
+    let points: Vec<(Workload, System)> = workloads
+        .iter()
+        .flat_map(|&w| systems.iter().map(move |&sys| (w, sys)))
+        .collect();
+    let tasks: Vec<_> = points
+        .iter()
+        .map(|&(w, sys)| {
+            let seq = &seqs.iter().find(|(k, _)| *k == w).unwrap().1;
+            move || {
+                let mut cfg = net.config(nprocs);
+                tuning.apply(&mut cfg);
+                invariants::verdict(try_run_parallel_on(w, sys, &cfg, preset), seq)
+            }
+        })
+        .collect();
+    for (&(w, sys), verdict) in points.iter().zip(exec::run_ordered(jobs, tasks)) {
+        println!(
+            "  {:<12} {:<10} {}",
+            w.name(),
+            sys.to_string(),
+            verdict.summary()
+        );
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let sweep_mode = args.first().map(String::as_str) == Some("sweep");
-    if sweep_mode {
+    let fuzz_mode = args.first().map(String::as_str) == Some("fuzz");
+    if sweep_mode || fuzz_mode {
         args.remove(0);
     }
 
@@ -382,7 +478,7 @@ fn main() {
             .position(|a| a == flag)
             .and_then(|i| args.get(i + 1))
     };
-    const VALUE_FLAGS: [&str; 10] = [
+    const VALUE_FLAGS: [&str; 12] = [
         "--protocol",
         "--jobs",
         "--bench-out",
@@ -393,20 +489,24 @@ fn main() {
         "--workload",
         "--figure",
         "--trace",
+        "--seeds",
+        "--faults",
     ];
     for flag in VALUE_FLAGS {
         if args.last().map(String::as_str) == Some(flag) {
             fail(format!("{flag} requires a value"));
         }
     }
-    // `sweep` is only a subcommand in first position; catch it anywhere
-    // else (except as a flag's value, e.g. a `--bench-out sweep` filename)
-    // rather than silently running the full reproduction.
-    if !sweep_mode {
+    // `sweep` and `fuzz` are only subcommands in first position; catch them
+    // anywhere else (except as a flag's value, e.g. a `--bench-out sweep`
+    // filename) rather than silently running the full reproduction.
+    if !sweep_mode && !fuzz_mode {
         for (i, arg) in args.iter().enumerate() {
             let is_flag_value = i > 0 && VALUE_FLAGS.contains(&args[i - 1].as_str());
-            if arg == "sweep" && !is_flag_value {
-                fail("`sweep` must be the first argument: `reproduce sweep --vary ...`");
+            if (arg == "sweep" || arg == "fuzz") && !is_flag_value {
+                fail(format!(
+                    "`{arg}` must be the first argument: `reproduce {arg} ...`"
+                ));
             }
         }
     }
@@ -421,8 +521,15 @@ fn main() {
 
     // Defaults shared by the CLI and scenario resolution: sweeps default
     // to a top of 16 processes so `--vary procs` goes past the paper's 8
-    // even when a scenario file leaves `procs` unset.
-    let default_procs = if sweep_mode { 16 } else { 8 };
+    // even when a scenario file leaves `procs` unset; fuzz campaigns
+    // default to 4 so a many-seed sweep stays fast.
+    let default_procs = if sweep_mode {
+        16
+    } else if fuzz_mode {
+        4
+    } else {
+        8
+    };
 
     // The scenario file (if any) supplies defaults; explicit CLI flags
     // override its individual fields below.
@@ -526,6 +633,79 @@ fn main() {
             .unwrap_or_else(|| Workload::all().to_vec())
     };
 
+    if fuzz_mode {
+        // Fuzz renders its own deterministic report; the reproduction-only
+        // output selectors have no meaning here.
+        for flag in [
+            "--json",
+            "--table1",
+            "--table2",
+            "--figure",
+            "--trace",
+            "--racecheck",
+            "--metrics",
+            "--bench-out",
+            "--vary",
+        ] {
+            if wants(flag) {
+                fail(format!("{flag} does not apply to fuzz mode"));
+            }
+        }
+        let seeds: u64 = match flag_value("--seeds") {
+            None => 10,
+            Some(v) => match v.parse() {
+                Ok(n) if n >= 1 => n,
+                _ => fail(format!("--seeds requires a positive integer, got '{v}'")),
+            },
+        };
+        let plan: FaultPlan = match flag_value("--faults").map(String::as_str) {
+            // No --faults: fuzz the scenario's plan if one was loaded,
+            // otherwise pure schedule exploration on a fault-free cluster.
+            None => scenario
+                .as_ref()
+                .map(|s| s.tuning.fault.clone())
+                .unwrap_or_default(),
+            Some("lossy") => FaultPlan::lossy(1),
+            Some("partition") | Some("partitioned") => FaultPlan::partitioned(1, max_procs),
+            Some(path) => {
+                let parsed =
+                    Scenario::from_path(std::path::Path::new(path)).unwrap_or_else(|e| fail(e));
+                parsed.fault.unwrap_or_else(|| {
+                    fail(format!(
+                        "{path} carries no [fault] section; \
+                         --faults takes `lossy`, `partitioned` or a scenario file with [fault]"
+                    ))
+                })
+            }
+        };
+        let spec = FuzzSpec {
+            preset,
+            net,
+            nprocs: max_procs,
+            workloads: selected_workloads,
+            systems,
+            seeds,
+            plan,
+            until_failure: wants("--until-failure"),
+            jobs,
+        };
+        let out = run_fuzz(&spec);
+        print!("{}", out.report);
+        // Like --racecheck: a campaign that found anything fails the
+        // invocation, after the report (and every reproducer) is printed.
+        if !out.findings.is_empty() {
+            std::process::exit(1);
+        }
+        return;
+    }
+    for flag in ["--seeds", "--faults", "--until-failure"] {
+        if wants(flag) {
+            fail(format!(
+                "{flag} only applies to fuzz mode: `reproduce fuzz ...`"
+            ));
+        }
+    }
+
     if sweep_mode {
         if trace_out.is_some() {
             fail("--trace only applies to the reproduction; sweeps record at metrics level");
@@ -566,7 +746,7 @@ fn main() {
             print!("\n{}", obs::metrics_report(&matrix));
         }
         if let Some(path) = bench_out {
-            let report = bench_report(&matrix, jobs, wall_seconds);
+            let report = bench_report(&matrix, &RunTuning::default(), jobs, wall_seconds);
             if let Err(err) = std::fs::write(&path, &report) {
                 fail(format!("cannot write {path}: {err}"));
             }
@@ -577,6 +757,29 @@ fn main() {
 
     if wants("--vary") {
         fail("--vary only applies to sweep mode; run `reproduce sweep --vary ...`");
+    }
+
+    // The scenario's tuning (schedule seed, tie cap, fault plan) rides on
+    // every run of the reproduction.  A plan that crashes processes cannot
+    // fill a matrix — the crashed runs have no results to tabulate — so it
+    // replays as a verdict table instead: one classified outcome per
+    // workload × system, naming the fault context.  This is how a shrunk
+    // fuzz reproducer with a crash is replayed.
+    let tuning = scenario
+        .as_ref()
+        .map(|s| s.tuning.clone())
+        .unwrap_or_default();
+    if !tuning.fault.crashes.is_empty() {
+        replay_verdicts(
+            preset,
+            net,
+            max_procs,
+            &selected_workloads,
+            &systems,
+            &tuning,
+            jobs,
+        );
+        return;
     }
     let want_json = wants("--json");
     let figure_arg = flag_value("--figure");
@@ -641,13 +844,14 @@ fn main() {
 
     // lint:allow(wall-clock): times this machine's execution for the --bench-out report
     let started = std::time::Instant::now();
-    let matrix = run_matrix_full(
+    let matrix = run_matrix_tuned(
         preset,
         &seq_workloads,
         &keys,
         jobs,
         obs_level,
         analysis_level,
+        &tuning,
     );
     let wall_seconds = started.elapsed().as_secs_f64();
 
@@ -691,7 +895,7 @@ fn main() {
     }
 
     if let Some(path) = bench_out {
-        let report = bench_report(&matrix, jobs, wall_seconds);
+        let report = bench_report(&matrix, &tuning, jobs, wall_seconds);
         if let Err(err) = std::fs::write(&path, &report) {
             fail(format!("cannot write {path}: {err}"));
         }

@@ -1,0 +1,427 @@
+//! Seeded schedule-exploration and fault-injection fuzzing.
+//!
+//! `reproduce fuzz` fans every `(workload, system)` point of a spec across
+//! `--seeds N` fuzz seeds.  Seed 0 is the pristine run — schedule seed 0
+//! (rank order) and the plan exactly as given — so one point of every
+//! campaign is the engine's historical behaviour; seed `s > 0` explores a
+//! perturbed world: the arbiter breaks virtual-time ties with schedule
+//! seed `s` and the fault plan's per-link streams re-key through
+//! [`FaultPlan::for_seed`].  Every run is classified by the invariant
+//! battery ([`crate::invariants`]); anything that is not a clean pass —
+//! wrong checksum, data race, cross-backend disagreement, deadlock,
+//! livelock, fault-plan crash — becomes a [`Finding`], is greedily shrunk
+//! to a minimal tuning ([`crate::shrink`]), and is rendered as a scenario
+//! file ([`cluster::Scenario`] TOML) that `reproduce --scenario` replays
+//! exactly.
+//!
+//! Everything here is deterministic: the fan runs on the ordered executor
+//! ([`crate::exec`]), the report is assembled in request order, and each
+//! simulated run is a pure function of its configuration — so the whole
+//! report is byte-identical across reruns and `--jobs` widths, which CI
+//! asserts.
+
+use crate::invariants::{self, RunVerdict};
+use crate::{exec, run_sequential, shrink, try_run_parallel_on, Preset, RunTuning};
+use apps::runner::{SeqRun, System};
+use apps::Workload;
+use cluster::{AnalysisLevel, ClusterConfig, FaultPlan, NetModel, Scenario};
+
+/// What to fuzz: the cross product of workloads and systems, explored over
+/// `seeds` fuzz seeds under a base fault plan.
+#[derive(Debug, Clone)]
+pub struct FuzzSpec {
+    /// Problem-size preset (Tiny keeps a campaign in seconds).
+    pub preset: Preset,
+    /// The interconnect model every run uses.
+    pub net: NetModel,
+    /// Processor count of every run.
+    pub nprocs: usize,
+    /// Workloads to fan over.
+    pub workloads: Vec<Workload>,
+    /// Systems to fan over.
+    pub systems: Vec<System>,
+    /// Number of fuzz seeds; seed 0 is always the pristine run.
+    pub seeds: u64,
+    /// Base fault plan; seed `s > 0` runs it re-keyed via
+    /// [`FaultPlan::for_seed`].
+    pub plan: FaultPlan,
+    /// Stop after the first seed whose batch produced a finding.
+    pub until_failure: bool,
+    /// Worker threads for the per-seed fan (the report is identical for
+    /// every value).
+    pub jobs: usize,
+}
+
+/// One invariant failure the fuzzer found, shrunk and ready to replay.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The workload that failed.
+    pub workload: Workload,
+    /// The system it failed under.
+    pub system: System,
+    /// The fuzz seed of the failing run.
+    pub seed: u64,
+    /// How it failed.
+    pub verdict: RunVerdict,
+    /// The minimal tuning that still reproduces the verdict kind.
+    pub shrunk: RunTuning,
+    /// A scenario file (TOML) replaying the shrunk failure via
+    /// `reproduce --scenario`.
+    pub reproducer: String,
+}
+
+/// The outcome of a campaign: the findings plus the deterministic textual
+/// report (one line per seed, each finding's summary and reproducer, and a
+/// final `findings: N` line).
+#[derive(Debug, Clone)]
+pub struct FuzzReport {
+    /// Every finding, in (seed, workload, system) order.
+    pub findings: Vec<Finding>,
+    /// The rendered report; byte-identical across reruns and jobs widths.
+    pub report: String,
+}
+
+/// The tuning fuzz seed `seed` explores under base plan `plan`: seed 0 is
+/// pristine (schedule seed 0, the plan as given — the empty plan stays
+/// bit-identical to the un-fuzzed harness), seed `s > 0` breaks ties with
+/// schedule seed `s` and re-keys the plan's fault streams per seed.
+pub fn tuning_for(plan: &FaultPlan, seed: u64) -> RunTuning {
+    let fault = if seed == 0 || plan.is_empty() {
+        plan.clone()
+    } else {
+        plan.for_seed(seed)
+    };
+    RunTuning {
+        sched_seed: seed,
+        tie_limit: None,
+        fault,
+    }
+}
+
+/// The scenario-file name of a system (`lrc` / `hlrc` / `sc` / `pvm`),
+/// accepted back by `reproduce --scenario` and `--systems`.
+fn system_name(sys: System) -> &'static str {
+    match sys {
+        System::TreadMarks(protocol) => protocol.name(),
+        System::Pvm => "pvm",
+    }
+}
+
+fn preset_name(p: Preset) -> &'static str {
+    match p {
+        Preset::Tiny => "tiny",
+        Preset::Scaled => "scaled",
+        Preset::Paper => "paper",
+    }
+}
+
+/// The cluster configuration of one fuzz point: the spec's interconnect at
+/// its processor count, racecheck enabled (the race detector is one of the
+/// invariants and never perturbs simulated output), and the tuning applied.
+fn point_config(spec: &FuzzSpec, tuning: &RunTuning) -> ClusterConfig {
+    let mut cfg = spec.net.config(spec.nprocs);
+    cfg.analysis = AnalysisLevel::Race;
+    tuning.apply(&mut cfg);
+    cfg
+}
+
+/// Render the shrunk failure as a scenario file that `reproduce --scenario`
+/// replays: one workload, the named systems, the spec's testbed, and the
+/// shrunk schedule seed / tie cap / fault plan.
+fn reproducer(spec: &FuzzSpec, w: Workload, systems: &[System], tuning: &RunTuning) -> String {
+    Scenario {
+        name: format!(
+            "fuzz-{}-{}",
+            w.name().to_ascii_lowercase(),
+            systems
+                .iter()
+                .map(|&s| system_name(s))
+                .collect::<Vec<_>>()
+                .join("-")
+        ),
+        net: spec.net.preset,
+        procs: Some(spec.nprocs),
+        preset: Some(preset_name(spec.preset).to_string()),
+        workloads: vec![w.name().to_string()],
+        systems: systems
+            .iter()
+            .map(|&s| system_name(s).to_string())
+            .collect(),
+        overrides: spec.net.overrides,
+        sched_seed: (tuning.sched_seed != 0).then_some(tuning.sched_seed),
+        tie_limit: tuning.tie_limit,
+        fault: (!tuning.fault.is_empty() || tuning.fault.seed != 0).then(|| tuning.fault.clone()),
+    }
+    .to_toml()
+}
+
+/// Run a fuzz campaign.
+///
+/// Per seed, the `(workload, system)` cross product fans across the
+/// ordered executor; each run's verdict comes from the invariant battery,
+/// and per workload the completed DSM backends are additionally checked
+/// for bitwise cross-backend agreement.  Failures are shrunk (re-running
+/// the failing point under candidate tunings until the verdict kind stops
+/// reproducing under anything smaller) and rendered as reproducer
+/// scenarios.  With `until_failure`, later seeds are skipped once a seed
+/// batch has produced a finding.
+pub fn run_fuzz(spec: &FuzzSpec) -> FuzzReport {
+    use std::fmt::Write as _;
+    let seqs: Vec<(Workload, SeqRun)> = spec
+        .workloads
+        .iter()
+        .map(|&w| (w, run_sequential(w, spec.preset)))
+        .collect();
+    let seq_of = |w: Workload| &seqs.iter().find(|(k, _)| *k == w).unwrap().1;
+    let points: Vec<(Workload, System)> = spec
+        .workloads
+        .iter()
+        .flat_map(|&w| spec.systems.iter().map(move |&s| (w, s)))
+        .collect();
+
+    let mut report = String::new();
+    writeln!(
+        report,
+        "fuzz: {} seed(s) x {} point(s) ({} workload(s) x {} system(s)), preset {}, \
+         net {}, {} procs, plan {}",
+        spec.seeds,
+        points.len(),
+        spec.workloads.len(),
+        spec.systems.len(),
+        preset_name(spec.preset),
+        spec.net.label(),
+        spec.nprocs,
+        if spec.plan.is_empty() && spec.plan.seed == 0 {
+            "empty".to_string()
+        } else {
+            format!("{:016x}", spec.plan.hash())
+        },
+    )
+    .unwrap();
+
+    let mut findings: Vec<Finding> = Vec::new();
+    for seed in 0..spec.seeds {
+        let tuning = tuning_for(&spec.plan, seed);
+        let tasks: Vec<_> = points
+            .iter()
+            .map(|&(w, sys)| {
+                let tuning = tuning.clone();
+                let seq = seq_of(w);
+                move || {
+                    let cfg = point_config(spec, &tuning);
+                    let result = try_run_parallel_on(w, sys, &cfg, spec.preset);
+                    let checksum = result.as_ref().ok().map(|r| r.checksum);
+                    (invariants::verdict(result, seq), checksum)
+                }
+            })
+            .collect();
+        let outcomes = exec::run_ordered(spec.jobs, tasks);
+
+        // Per-point verdicts, then the per-workload cross-backend check
+        // over whichever DSM backends completed this seed.
+        let mut seed_failures: Vec<(Workload, System, RunVerdict)> = Vec::new();
+        for (&(w, sys), (v, _)) in points.iter().zip(&outcomes) {
+            if v.is_failure() {
+                seed_failures.push((w, sys, v.clone()));
+            }
+        }
+        for &w in &spec.workloads {
+            let completed: Vec<(System, f64)> = points
+                .iter()
+                .zip(&outcomes)
+                .filter(|((pw, _), _)| *pw == w)
+                .filter_map(|(&(_, sys), (_, checksum))| checksum.map(|c| (sys, c)))
+                .collect();
+            let v = invariants::cross_backend_equality(&completed);
+            if v.is_failure() {
+                let offender = completed.first().map(|&(s, _)| s).unwrap_or(System::Pvm);
+                seed_failures.push((w, offender, v));
+            }
+        }
+
+        if seed_failures.is_empty() {
+            writeln!(report, "seed {seed}: {} run(s), all pass", points.len()).unwrap();
+        } else {
+            for (w, sys, v) in &seed_failures {
+                writeln!(
+                    report,
+                    "seed {seed}: FAIL {}/{}: {}",
+                    w.name(),
+                    system_name(*sys),
+                    v.summary()
+                )
+                .unwrap();
+            }
+            for (w, sys, v) in seed_failures {
+                let finding = shrink_finding(spec, w, sys, seed, v, &tuning, seq_of(w));
+                writeln!(
+                    report,
+                    "  shrunk reproducer for {}/{}:",
+                    w.name(),
+                    system_name(sys)
+                )
+                .unwrap();
+                for line in finding.reproducer.lines() {
+                    if line.is_empty() {
+                        writeln!(report).unwrap();
+                    } else {
+                        writeln!(report, "    {line}").unwrap();
+                    }
+                }
+                findings.push(finding);
+            }
+            if spec.until_failure {
+                writeln!(report, "stopping at seed {seed} (--until-failure)").unwrap();
+                break;
+            }
+        }
+    }
+    writeln!(report, "findings: {}", findings.len()).unwrap();
+    FuzzReport { findings, report }
+}
+
+/// Shrink one failure: re-run the failing point under candidate tunings,
+/// keeping a candidate only while the verdict kind still reproduces, then
+/// render the reproducer scenario.  Cross-backend violations re-run every
+/// completing system of the workload and reproduce when any pair of DSM
+/// backends still disagrees bitwise.
+fn shrink_finding(
+    spec: &FuzzSpec,
+    w: Workload,
+    sys: System,
+    seed: u64,
+    verdict: RunVerdict,
+    tuning: &RunTuning,
+    seq: &SeqRun,
+) -> Finding {
+    let kind = verdict.kind();
+    let cross_backend =
+        matches!(&verdict, RunVerdict::Violation(msg) if msg.contains("backends disagree"));
+    let shrunk = if cross_backend {
+        shrink::shrink(tuning, |t| {
+            let cfg = point_config(spec, t);
+            let completed: Vec<(System, f64)> = spec
+                .systems
+                .iter()
+                .filter_map(|&s| {
+                    try_run_parallel_on(w, s, &cfg, spec.preset)
+                        .ok()
+                        .map(|r| (s, r.checksum))
+                })
+                .collect();
+            invariants::cross_backend_equality(&completed).is_failure()
+        })
+    } else {
+        shrink::shrink(tuning, |t| {
+            let cfg = point_config(spec, t);
+            invariants::verdict(try_run_parallel_on(w, sys, &cfg, spec.preset), seq).kind() == kind
+        })
+    };
+    let systems: Vec<System> = if cross_backend {
+        spec.systems.clone()
+    } else {
+        vec![sys]
+    };
+    let reproducer = reproducer(spec, w, &systems, &shrunk);
+    Finding {
+        workload: w,
+        system: sys,
+        seed,
+        verdict,
+        shrunk,
+        reproducer,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::NetPreset;
+    use treadmarks::ProtocolKind;
+
+    fn tiny_spec(systems: Vec<System>, seeds: u64, plan: FaultPlan) -> FuzzSpec {
+        FuzzSpec {
+            preset: Preset::Tiny,
+            net: NetModel::preset(NetPreset::Fddi),
+            nprocs: 2,
+            workloads: vec![Workload::Ep],
+            systems,
+            seeds,
+            plan,
+            until_failure: false,
+            jobs: 2,
+        }
+    }
+
+    #[test]
+    fn seed_zero_is_the_pristine_tuning() {
+        assert!(tuning_for(&FaultPlan::default(), 0).is_default());
+        // And with a plan, seed 0 runs the plan exactly as given.
+        let plan = FaultPlan::lossy(7);
+        let t = tuning_for(&plan, 0);
+        assert_eq!(t.sched_seed, 0);
+        assert_eq!(t.fault, plan);
+        // Seed s > 0 re-keys the streams and seeds the arbiter.
+        let t = tuning_for(&plan, 3);
+        assert_eq!(t.sched_seed, 3);
+        assert_ne!(t.fault.seed, plan.seed);
+        assert_eq!(t.fault.drop, plan.drop);
+    }
+
+    #[test]
+    fn a_clean_campaign_reports_zero_findings() {
+        let spec = tiny_spec(
+            vec![System::TreadMarks(ProtocolKind::Lrc), System::Pvm],
+            2,
+            FaultPlan::default(),
+        );
+        let out = run_fuzz(&spec);
+        assert!(out.findings.is_empty(), "{}", out.report);
+        assert!(
+            out.report.trim_end().ends_with("findings: 0"),
+            "{}",
+            out.report
+        );
+        assert!(out.report.contains("seed 0: 2 run(s), all pass"));
+    }
+
+    #[test]
+    fn the_report_is_bit_identical_across_jobs_widths() {
+        let mut narrow = tiny_spec(
+            vec![System::TreadMarks(ProtocolKind::Lrc), System::Pvm],
+            3,
+            FaultPlan::lossy(5),
+        );
+        let mut wide = narrow.clone();
+        narrow.jobs = 1;
+        wide.jobs = 4;
+        assert_eq!(run_fuzz(&narrow).report, run_fuzz(&wide).report);
+    }
+
+    #[test]
+    fn a_crash_plan_yields_a_shrunk_replayable_reproducer() {
+        let plan = FaultPlan {
+            crashes: vec!["1@0.00001".parse().unwrap()],
+            ..FaultPlan::default()
+        };
+        let spec = tiny_spec(vec![System::TreadMarks(ProtocolKind::Lrc)], 1, plan);
+        let out = run_fuzz(&spec);
+        assert_eq!(out.findings.len(), 1, "{}", out.report);
+        let f = &out.findings[0];
+        assert!(
+            f.verdict.kind() == "crash" || f.verdict.kind() == "deadlock",
+            "{}",
+            f.verdict.summary()
+        );
+        // The reproducer is a valid scenario that carries the crash.
+        let s = Scenario::parse_toml(&f.reproducer).unwrap();
+        assert_eq!(s.procs, Some(2));
+        assert_eq!(s.workloads, vec!["EP".to_string()]);
+        assert_eq!(s.systems, vec!["lrc".to_string()]);
+        assert_eq!(s.fault.as_ref().unwrap().crashes.len(), 1);
+        // And shrinking was a fixpoint: the shrunk tuning still has the
+        // crash and nothing else.
+        assert!(f.shrunk.fault.partitions.is_empty());
+        assert_eq!(f.shrunk.sched_seed, 0);
+    }
+}

@@ -17,13 +17,18 @@
 #![deny(missing_docs)]
 
 pub mod exec;
+pub mod fuzz;
+pub mod invariants;
 pub mod obs;
 pub mod scenario;
+pub mod shrink;
 pub mod sweep;
 
 use apps::runner::{AppRun, SeqRun, System};
 use apps::{barnes, ep, fft3d, ilink, is, qsort, sor, tsp, water, Workload};
-use cluster::{AnalysisLevel, ClusterConfig, NetModel, NetPreset, ObsLevel, SpanCat};
+use cluster::{
+    AnalysisLevel, ClusterConfig, FaultPlan, NetModel, NetPreset, ObsLevel, RunFailure, SpanCat,
+};
 
 /// Problem-size preset used by the harness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +63,45 @@ macro_rules! dispatch {
             System::Pvm => $mod::pvm_on($cfg, &$params),
         }
     };
+}
+
+macro_rules! try_dispatch {
+    ($mod:ident, $params:expr, $sys:expr, $cfg:expr) => {
+        match $sys {
+            System::TreadMarks(protocol) => $mod::try_treadmarks_on($cfg, &$params, protocol),
+            System::Pvm => $mod::try_pvm_on($cfg, &$params),
+        }
+    };
+}
+
+/// The schedule-exploration and fault-injection knobs of a run, all riding
+/// on [`ClusterConfig`]: the arbiter's tie-break seed, the optional cap on
+/// seeded draws (bisected by the shrinker), and the fault plan.  The
+/// default (`seed 0`, no cap, empty plan) is the engine's historical
+/// behaviour, byte for byte.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunTuning {
+    /// Arbiter tie-break seed; 0 is rank order.
+    pub sched_seed: u64,
+    /// Cap on seeded tie-break draws (rank order afterwards).
+    pub tie_limit: Option<u64>,
+    /// The fault plan to inject.
+    pub fault: FaultPlan,
+}
+
+impl RunTuning {
+    /// True when this tuning is the engine's historical default, so the run
+    /// is byte-identical to one that never heard of tuning.
+    pub fn is_default(&self) -> bool {
+        self.sched_seed == 0 && self.tie_limit.is_none() && self.fault.is_empty()
+    }
+
+    /// Stamp the tuning onto a cluster configuration.
+    pub fn apply(&self, cfg: &mut ClusterConfig) {
+        cfg.sched_seed = self.sched_seed;
+        cfg.tie_limit = self.tie_limit;
+        cfg.fault = self.fault.clone();
+    }
 }
 
 /// Run the sequential reference for a workload under a preset.
@@ -101,6 +145,32 @@ pub fn run_parallel_on(w: Workload, sys: System, cfg: &ClusterConfig, preset: Pr
         Workload::BarnesHut => dispatch!(barnes, barnes_params(preset), sys, cfg),
         Workload::Fft3d => dispatch!(fft3d, fft_params(preset), sys, cfg),
         Workload::Ilink => dispatch!(ilink, ilink_params(preset), sys, cfg),
+    }
+}
+
+/// As [`run_parallel_on`], but a structured [`RunFailure`] — a virtual-time
+/// deadlock or livelock, or a fault-plan crash — comes back as an `Err`
+/// instead of a panic, so the fuzzing harness can classify it as a finding
+/// and keep going.
+pub fn try_run_parallel_on(
+    w: Workload,
+    sys: System,
+    cfg: &ClusterConfig,
+    preset: Preset,
+) -> Result<AppRun, RunFailure> {
+    match w {
+        Workload::Ep => try_dispatch!(ep, ep_params(preset), sys, cfg),
+        Workload::SorZero => try_dispatch!(sor, sor_params(preset, true), sys, cfg),
+        Workload::SorNonzero => try_dispatch!(sor, sor_params(preset, false), sys, cfg),
+        Workload::IsSmall => try_dispatch!(is, is_params(preset, false), sys, cfg),
+        Workload::IsLarge => try_dispatch!(is, is_params(preset, true), sys, cfg),
+        Workload::Tsp => try_dispatch!(tsp, tsp_params(preset), sys, cfg),
+        Workload::Qsort => try_dispatch!(qsort, qsort_params(preset), sys, cfg),
+        Workload::Water288 => try_dispatch!(water, water_params(preset, false), sys, cfg),
+        Workload::Water1728 => try_dispatch!(water, water_params(preset, true), sys, cfg),
+        Workload::BarnesHut => try_dispatch!(barnes, barnes_params(preset), sys, cfg),
+        Workload::Fft3d => try_dispatch!(fft3d, fft_params(preset), sys, cfg),
+        Workload::Ilink => try_dispatch!(ilink, ilink_params(preset), sys, cfg),
     }
 }
 
@@ -299,6 +369,33 @@ pub fn run_matrix_full(
     obs: ObsLevel,
     analysis: AnalysisLevel,
 ) -> RunMatrix {
+    run_matrix_tuned(
+        preset,
+        seq_workloads,
+        keys,
+        jobs,
+        obs,
+        analysis,
+        &RunTuning::default(),
+    )
+}
+
+/// [`run_matrix_full`] with a [`RunTuning`] applied to every parallel run:
+/// the schedule seed, tie-break cap and fault plan reach the simulations
+/// through the configuration, exactly like the observability and analysis
+/// levels — not part of the [`RunKey`], and a no-op at the default tuning.
+/// Crash plans panic the matrix (a crashed run has no complete result to
+/// store); the fuzzer fans crash plans through [`try_run_parallel_on`]
+/// instead.
+pub fn run_matrix_tuned(
+    preset: Preset,
+    seq_workloads: &[Workload],
+    keys: &[RunKey],
+    jobs: usize,
+    obs: ObsLevel,
+    analysis: AnalysisLevel,
+    tuning: &RunTuning,
+) -> RunMatrix {
     let mut seq_keys: Vec<Workload> = Vec::new();
     for &w in seq_workloads {
         if !seq_keys.contains(&w) {
@@ -328,12 +425,14 @@ pub fn run_matrix_full(
     let closures: Vec<_> = tasks
         .into_iter()
         .map(|t| {
+            let tuning = tuning.clone();
             move || match t {
                 Task::Seq(w) => Done::Seq(w, run_sequential(w, preset)),
                 Task::Run(key) => {
                     let mut cfg = key.config();
                     cfg.obs = obs;
                     cfg.analysis = analysis;
+                    tuning.apply(&mut cfg);
                     Done::Run(
                         key,
                         Box::new(run_parallel_on(key.workload, key.system, &cfg, preset)),
@@ -421,6 +520,18 @@ pub fn run_record_json(key: &RunKey, run: &AppRun) -> String {
             .map(|s| s.datagrams_received)
             .sum::<u64>(),
     );
+    // The tuning stamps appear only when nonzero, so a default-tuned dump
+    // stays byte-identical to every dump the harness ever produced.
+    if run.sched_seed != 0 {
+        rec.push_str(&format!(", \"sched_seed\": {}", run.sched_seed));
+    }
+    if run.fault_hash != 0 {
+        rec.push_str(&format!(
+            ", \"fault_hash\": \"{:016x}\", \"faults_injected\": {}",
+            run.fault_hash,
+            run.faults.injected()
+        ));
+    }
     if let Some(t) = &run.tmk_stats {
         rec.push_str(&format!(
             ", \"page_faults\": {}, \"diff_requests\": {}, \"diff_flushes\": {}, \

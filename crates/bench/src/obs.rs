@@ -145,6 +145,18 @@ pub fn chrome_trace_json(matrix: &RunMatrix) -> String {
                     ts_us(ev.t_ns),
                     ev.rank
                 )),
+                EventKind::Fault {
+                    kind,
+                    dst,
+                    delay_ns,
+                } => lines.push(format!(
+                    "{{\"name\": \"fault:{}\", \"cat\": \"fault\", \"ph\": \"i\", \"s\": \"t\", \
+                     \"ts\": {}, \"pid\": {pid}, \"tid\": {}, \"args\": {{\"dst\": {dst}, \
+                     \"delay_ns\": {delay_ns}}}}}",
+                    kind.name(),
+                    ts_us(ev.t_ns),
+                    ev.rank
+                )),
                 _ => unreachable!("central stream holds transport/sched events only"),
             }
         }

@@ -7,7 +7,7 @@
 //! `reproduce --scenario FILE` goes through [`ResolvedScenario::resolve`];
 //! explicit CLI flags then override individual fields.
 
-use crate::Preset;
+use crate::{Preset, RunTuning};
 use apps::runner::System;
 use apps::Workload;
 use cluster::{NetModel, Scenario};
@@ -29,6 +29,11 @@ pub struct ResolvedScenario {
     pub workloads: Vec<Workload>,
     /// Systems to compare, in [`System::all`] order.
     pub systems: Vec<System>,
+    /// Schedule seed, tie-break cap and fault plan (all default unless the
+    /// file carries `sched_seed` / `tie_limit` / `[fault]` keys), applied
+    /// to every run the scenario drives — this is how a fuzz reproducer
+    /// replays its finding.
+    pub tuning: RunTuning,
 }
 
 /// Look a workload up by its harness name (`EP`, `SOR-Zero`, ...),
@@ -110,6 +115,11 @@ impl ResolvedScenario {
             preset,
             workloads,
             systems,
+            tuning: RunTuning {
+                sched_seed: s.sched_seed.unwrap_or(0),
+                tie_limit: s.tie_limit,
+                fault: s.fault.clone().unwrap_or_default(),
+            },
         })
     }
 }
@@ -127,6 +137,18 @@ mod tests {
         assert_eq!(r.net, NetModel::preset(NetPreset::Fddi));
         assert_eq!(r.workloads, Workload::all().to_vec());
         assert_eq!(r.systems, System::all().to_vec());
+        assert!(r.tuning.is_default());
+    }
+
+    #[test]
+    fn seeds_and_fault_plans_resolve_onto_the_tuning() {
+        let s =
+            Scenario::parse_toml("sched_seed = 7\ntie_limit = 3\n[fault]\ndrop = 0.01").unwrap();
+        let r = ResolvedScenario::resolve(&s, Preset::Tiny, 8).unwrap();
+        assert_eq!(r.tuning.sched_seed, 7);
+        assert_eq!(r.tuning.tie_limit, Some(3));
+        assert_eq!(r.tuning.fault.drop, 0.01);
+        assert!(!r.tuning.is_default());
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! its run matrices and sweeps on.
 
 use crate::analysis::AnalysisLevel;
+use crate::fault::FaultPlan;
 use crate::obs::ObsLevel;
 use serde::{Deserialize, Serialize};
 
@@ -80,6 +81,25 @@ pub struct ClusterConfig {
     /// times, counters or checksums.
     #[serde(default)]
     pub analysis: AnalysisLevel,
+    /// Deterministic fault-injection plan (defaults to the inert empty plan
+    /// in every preset).  A non-empty plan *is* part of the cost model: its
+    /// injected delays and retransmitted datagrams change reported times
+    /// and counters — bit-reproducibly, as a pure function of
+    /// `(plan, seed)`.  See [`crate::fault`].
+    #[serde(default)]
+    pub fault: FaultPlan,
+    /// Seed of the arbiter's tie-break stream.  `0` (the default in every
+    /// preset) breaks virtual-time ties by rank, bit-identical to the
+    /// pre-fault engine; any other value breaks ties by a seeded draw, so
+    /// one scenario explores many legal schedules.
+    #[serde(default)]
+    pub sched_seed: u64,
+    /// Optional cap on the number of seeded tie-break decisions: after this
+    /// many draws the arbiter falls back to rank order.  `None` means
+    /// unlimited.  The shrinker bisects this to find the minimal seeded
+    /// prefix a finding needs.
+    #[serde(default)]
+    pub tie_limit: Option<u64>,
 }
 
 impl ClusterConfig {
@@ -98,6 +118,9 @@ impl ClusterConfig {
             shared_medium: true,
             obs: ObsLevel::Off,
             analysis: AnalysisLevel::Off,
+            fault: FaultPlan::default(),
+            sched_seed: 0,
+            tie_limit: None,
         }
     }
 
@@ -120,6 +143,9 @@ impl ClusterConfig {
             shared_medium: true,
             obs: ObsLevel::Off,
             analysis: AnalysisLevel::Off,
+            fault: FaultPlan::default(),
+            sched_seed: 0,
+            tie_limit: None,
         }
     }
 
@@ -143,6 +169,9 @@ impl ClusterConfig {
             shared_medium: false,
             obs: ObsLevel::Off,
             analysis: AnalysisLevel::Off,
+            fault: FaultPlan::default(),
+            sched_seed: 0,
+            tie_limit: None,
         }
     }
 
@@ -160,6 +189,9 @@ impl ClusterConfig {
             shared_medium: false,
             obs: ObsLevel::Off,
             analysis: AnalysisLevel::Off,
+            fault: FaultPlan::default(),
+            sched_seed: 0,
+            tie_limit: None,
         }
     }
 

@@ -51,6 +51,7 @@
 
 pub mod analysis;
 pub mod config;
+pub mod fault;
 pub mod net;
 pub mod obs;
 pub mod proc;
@@ -61,7 +62,8 @@ pub mod time;
 
 pub use analysis::AnalysisLevel;
 pub use config::{ClusterConfig, NetModel, NetPreset, Overrides};
-pub use net::{Message, Tag};
+pub use fault::{Crash, CrashPoint, FaultKind, FaultPlan, FaultStats, Partition};
+pub use net::{Message, RunFailure, Tag};
 pub use obs::{ClusterObs, Histogram, ObsLevel, ProcObs, SpanCat};
 pub use proc::Proc;
 pub use scenario::Scenario;
@@ -79,6 +81,31 @@ use std::sync::Arc;
 /// communication statistics.
 pub struct Cluster;
 
+/// Install (once per host process) a panic hook that silences the engine's
+/// typed teardown payloads — the crash, deadlock, livelock and peer-abort
+/// panics [`Cluster::try_run`] raises internally and always catches.  They
+/// are control flow, not errors, and a fuzz campaign provokes thousands;
+/// without this the default hook prints a `Box<dyn Any>` line (and under
+/// `RUST_BACKTRACE`, a backtrace) per simulated failure.  Every other
+/// payload chains to the previously installed hook, so genuine panics
+/// still print exactly as before.
+fn quiet_teardown_hook() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let p = info.payload();
+            let typed = p.is::<net::PeerAbort>()
+                || p.is::<net::DeadlockAbort>()
+                || p.is::<net::LivelockAbort>()
+                || p.is::<net::CrashPayload>();
+            if !typed {
+                previous(info);
+            }
+        }));
+    });
+}
+
 impl Cluster {
     /// Run `f` on `cfg.nprocs` simulated processes and collect the results.
     ///
@@ -93,75 +120,122 @@ impl Cluster {
     /// # Panics
     ///
     /// Panics if any process thread panics (the lowest-rank panic is
-    /// propagated), or if the run deadlocks — every process blocked in a
-    /// receive with no deliverable message — in which case the panic message
-    /// carries the full wait graph.
+    /// propagated), or on any structured [`RunFailure`] — a virtual-time
+    /// deadlock or livelock (the panic message carries the full wait graph
+    /// and fault context) or a fault-plan crash.  Harnesses that must
+    /// survive failures (the fuzzer) use [`Cluster::try_run`] instead.
     pub fn run<F, R>(cfg: ClusterConfig, f: F) -> ClusterReport<R>
     where
         F: Fn(&Proc) -> R + Send + Sync,
         R: Send,
     {
+        Self::try_run(cfg, f).unwrap_or_else(|failure| panic!("{failure}"))
+    }
+
+    /// As [`Cluster::run`], but deadlocks, livelocks and fault-plan crashes
+    /// come back as a structured [`RunFailure`] instead of a panic, so a
+    /// fuzzing harness can classify them as findings and keep going.
+    ///
+    /// Genuine panics in the process closure (assertion failures, runtime
+    /// bugs) still propagate as panics: they are errors in the program under
+    /// test, not verdicts about its schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a process thread panics with anything other than the
+    /// engine's typed teardown payloads.
+    pub fn try_run<F, R>(cfg: ClusterConfig, f: F) -> Result<ClusterReport<R>, RunFailure>
+    where
+        F: Fn(&Proc) -> R + Send + Sync,
+        R: Send,
+    {
         assert!(cfg.nprocs >= 1, "a cluster needs at least one process");
+        quiet_teardown_hook();
         let core = Arc::new(net::NetworkCore::new(cfg.clone()));
         let f = &f;
-        let results: Vec<(R, ProcStats, Option<obs::ProcObs>)> = std::thread::scope(|s| {
-            let mut handles = Vec::with_capacity(cfg.nprocs);
-            for id in 0..cfg.nprocs {
-                let core = Arc::clone(&core);
-                handles.push(s.spawn(move || {
-                    let mut proc = Proc::new(id, Arc::clone(&core));
-                    // A panicking process aborts the whole cluster: peers
-                    // blocked on messages it will never send fail fast
-                    // instead of hanging the run.  `into_stats` (which hands
-                    // the scheduling token back) runs inside the guard so a
-                    // deadlock detected at finish aborts the cluster too.
-                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        let r = f(&proc);
-                        let po = proc.take_obs();
-                        let stats = proc.into_stats();
-                        (r, stats, po)
-                    })) {
-                        Ok(pair) => pair,
+        let results: Result<Vec<(R, ProcStats, Option<obs::ProcObs>)>, RunFailure> =
+            std::thread::scope(|s| {
+                let mut handles = Vec::with_capacity(cfg.nprocs);
+                for id in 0..cfg.nprocs {
+                    let core = Arc::clone(&core);
+                    handles.push(s.spawn(move || {
+                        let mut proc = Proc::new(id, Arc::clone(&core));
+                        // A panicking process aborts the whole cluster: peers
+                        // blocked on messages it will never send fail fast
+                        // instead of hanging the run.  `into_stats` (which hands
+                        // the scheduling token back) runs inside the guard so a
+                        // deadlock detected at finish aborts the cluster too.
+                        // A fault-plan crash is the one exception: it already
+                        // tore itself down via `core.crash`, and its peers
+                        // must run on — the crash kills one process, not the
+                        // cluster.
+                        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            let r = f(&proc);
+                            let po = proc.take_obs();
+                            let stats = proc.into_stats();
+                            (r, stats, po)
+                        })) {
+                            Ok(tuple) => tuple,
+                            Err(payload) => {
+                                if payload.downcast_ref::<net::CrashPayload>().is_none() {
+                                    core.abort(id);
+                                }
+                                std::panic::resume_unwind(payload);
+                            }
+                        }
+                    }));
+                }
+                // Join every thread before propagating a failure, and prefer
+                // the *originating* panic over the typed `PeerAbort` panics of
+                // the peers it took down, so the surfaced message is the root
+                // cause (deterministically the lowest-rank originator).
+                let joined: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+                let mut out = Vec::with_capacity(joined.len());
+                let mut originator = None;
+                let mut victim = None;
+                let mut failure: Option<RunFailure> = None;
+                let mut crashed = false;
+                for j in joined {
+                    match j {
+                        Ok(tuple) => out.push(tuple),
                         Err(payload) => {
-                            core.abort(id);
-                            std::panic::resume_unwind(payload);
+                            if payload.downcast_ref::<net::CrashPayload>().is_some() {
+                                crashed = true;
+                            } else if let Some(d) = payload.downcast_ref::<net::DeadlockAbort>() {
+                                failure.get_or_insert(RunFailure::Deadlock(d.0.clone()));
+                            } else if let Some(l) = payload.downcast_ref::<net::LivelockAbort>() {
+                                failure.get_or_insert(RunFailure::Livelock(l.0.clone()));
+                            } else if payload.downcast_ref::<net::PeerAbort>().is_some() {
+                                victim.get_or_insert(payload);
+                            } else {
+                                originator.get_or_insert(payload);
+                            }
                         }
                     }
-                }));
-            }
-            // Join every thread before propagating a failure, and prefer
-            // the *originating* panic over the typed `PeerAbort` panics of
-            // the peers it took down, so the surfaced message is the root
-            // cause (deterministically the lowest-rank originator).
-            let joined: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
-            let mut out = Vec::with_capacity(joined.len());
-            let mut originator = None;
-            let mut victim = None;
-            for j in joined {
-                match j {
-                    Ok(pair) => out.push(pair),
-                    Err(payload) if payload.downcast_ref::<net::PeerAbort>().is_some() => {
-                        victim.get_or_insert(payload);
-                    }
-                    Err(payload) => {
-                        originator.get_or_insert(payload);
-                    }
                 }
-            }
-            if let Some(payload) = originator {
-                std::panic::resume_unwind(payload);
-            }
-            if let Some(payload) = victim {
-                // Every victim should be accompanied by its originator; if
-                // one ever surfaces alone, rethrow it readably.
-                let who = payload
-                    .downcast_ref::<net::PeerAbort>()
-                    .expect("checked above")
-                    .0;
-                panic!("cluster aborted: process {who} panicked");
-            }
-            out
-        });
+                if let Some(payload) = originator {
+                    std::panic::resume_unwind(payload);
+                }
+                if let Some(failure) = failure {
+                    return Err(failure);
+                }
+                if let Some(payload) = victim {
+                    // Every victim should be accompanied by its originator; if
+                    // one ever surfaces alone, rethrow it readably.
+                    let who = payload
+                        .downcast_ref::<net::PeerAbort>()
+                        .expect("checked above")
+                        .0;
+                    panic!("cluster aborted: process {who} panicked");
+                }
+                if crashed {
+                    // Crashed ranks produced no result, so there is nothing
+                    // complete to report — but nothing deadlocked either.
+                    return Err(RunFailure::Crashed(core.crashed()));
+                }
+                Ok(out)
+            });
+        let results = results?;
         let mut out_results = Vec::with_capacity(results.len());
         let mut out_stats = Vec::with_capacity(results.len());
         let mut out_obs = Vec::with_capacity(results.len());
@@ -185,11 +259,12 @@ impl Cluster {
         } else {
             None
         };
-        ClusterReport {
+        Ok(ClusterReport {
             results: out_results,
             stats: out_stats,
             obs,
-        }
+            faults: core.fault_stats(),
+        })
     }
 }
 

@@ -17,6 +17,7 @@
 //! byte-identical times and counters.
 
 use crate::config::ClusterConfig;
+use crate::fault::{FaultKind, FaultState, FaultStats};
 use crate::obs::{self, Event, EventKind, ObsLevel};
 use crate::sched::{wait_graph, Arbiter, Decision, PState};
 use bytes::Bytes;
@@ -49,6 +50,81 @@ pub struct Message {
 /// what propagates — a typed marker, not a fragile message-prefix match.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct PeerAbort(pub(crate) usize);
+
+/// Panic payload of the virtual-time deadlock detector: the full report
+/// (wait graph plus fault context).  `Cluster::try_run` downcasts on this to
+/// return a structured [`RunFailure::Deadlock`] instead of crashing the
+/// harness.
+#[derive(Debug, Clone)]
+pub(crate) struct DeadlockAbort(pub(crate) String);
+
+/// Panic payload of the livelock detector; see [`DeadlockAbort`].
+#[derive(Debug, Clone)]
+pub(crate) struct LivelockAbort(pub(crate) String);
+
+/// Panic payload a process thread unwinds with when its fault-plan crash
+/// point fires: not an error in the program under test, but the injected
+/// fault itself.  The fields are never read by the engine (the crash is
+/// recorded in `SimState` before the unwind) — they exist so a panic hook
+/// that `Debug`-prints an escaped payload names the crash.
+#[derive(Debug, Clone, Copy)]
+#[allow(dead_code)]
+pub(crate) struct CrashPayload {
+    /// Rank of the crashed process.
+    pub(crate) rank: usize,
+    /// Virtual time at which the crash fired, seconds.
+    pub(crate) at: f64,
+}
+
+/// Structured failure of a cluster run, returned by `Cluster::try_run`
+/// instead of panicking the harness, so the fuzzer can classify failures as
+/// findings rather than aborting the matrix.
+///
+/// `Display` renders the full human report; for deadlock and livelock it
+/// begins with the same `virtual-time deadlock`/`virtual-time livelock`
+/// line the panicking `Cluster::run` path has always produced.
+#[derive(Debug, Clone)]
+pub enum RunFailure {
+    /// Every live process was blocked in a receive with no deliverable
+    /// message.  The report carries the full wait graph plus the fault
+    /// context (crashed peers, fault-plan partitions), so a deadlock caused
+    /// by an injected crash or partition names its cause.
+    Deadlock(String),
+    /// The futile-grant livelock detector fired; the report carries the
+    /// wait graph.
+    Livelock(String),
+    /// Fault-plan crashes killed these `(rank, virtual_time)` processes and
+    /// the survivors ran to completion: there is no full result set to
+    /// report, but nothing deadlocked either.
+    Crashed(Vec<(usize, f64)>),
+}
+
+impl RunFailure {
+    /// Stable one-word classification (`deadlock` / `livelock` / `crash`)
+    /// used in fuzz reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RunFailure::Deadlock(_) => "deadlock",
+            RunFailure::Livelock(_) => "livelock",
+            RunFailure::Crashed(_) => "crash",
+        }
+    }
+}
+
+impl std::fmt::Display for RunFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunFailure::Deadlock(report) | RunFailure::Livelock(report) => f.write_str(report),
+            RunFailure::Crashed(ranks) => {
+                write!(f, "process crash:")?;
+                for (rank, at) in ranks {
+                    write!(f, " rank {rank} died at t={at:.6} by fault plan;")?;
+                }
+                write!(f, " survivors completed")
+            }
+        }
+    }
+}
 
 /// Why the simulation was torn down early.
 #[derive(Debug, Clone)]
@@ -98,6 +174,11 @@ struct SimState {
     futile_grants: u64,
     /// Set when the cluster is torn down early.
     aborted: Option<Abort>,
+    /// Runtime fault-injection state; `None` when the plan is empty, so the
+    /// pre-fault transmit path is preserved byte for byte.
+    faults: Option<FaultState>,
+    /// `(rank, virtual_time)` of every fault-plan crash that fired.
+    crashed: Vec<(usize, f64)>,
     /// Central observability event stream (message sends, consumes, arbiter
     /// grants), recorded under this lock — so in deterministic token order —
     /// when the config asks for [`ObsLevel::Trace`]; `None` otherwise.
@@ -120,14 +201,18 @@ impl NetworkCore {
     pub fn new(cfg: ClusterConfig) -> Self {
         let n = cfg.nprocs;
         let tracing = cfg.obs == ObsLevel::Trace;
+        let faults = FaultState::new(&cfg.fault, n);
+        let arb = Arbiter::with_seed(n, cfg.sched_seed, cfg.tie_limit);
         NetworkCore {
             cfg,
             state: Mutex::new(SimState {
                 mailboxes: (0..n).map(|_| VecDeque::new()).collect(),
-                arb: Arbiter::new(n),
+                arb,
                 medium_free_at: 0.0,
                 futile_grants: 0,
                 aborted: None,
+                faults,
+                crashed: Vec::new(),
                 trace: if tracing { Some(Vec::new()) } else { None },
             }),
             wake: (0..n).map(|_| Condvar::new()).collect(),
@@ -162,11 +247,84 @@ impl NetworkCore {
         }
     }
 
+    /// Tear down process `id` because its fault-plan crash point fired at
+    /// virtual time `at`: record the crash, stamp it into the trace, mark
+    /// the process finished and hand the token on.  The process layer then
+    /// unwinds its thread with a [`CrashPayload`] — the crash kills only the
+    /// one process; peers run on (and may then deadlock, which the detector
+    /// reports naming this crash as context).
+    pub(crate) fn crash(&self, id: usize, at: f64) {
+        let mut st = self.state.lock();
+        st.crashed.push((id, at));
+        if let Some(f) = st.faults.as_mut() {
+            f.stats.crashes += 1;
+        }
+        if let Some(tr) = st.trace.as_mut() {
+            tr.push(Event {
+                t_ns: obs::ns(at),
+                rank: id as u32,
+                kind: EventKind::Fault {
+                    kind: FaultKind::Crash,
+                    dst: id as u32,
+                    delay_ns: 0,
+                },
+            });
+        }
+        st.arb.set(id, PState::Finished);
+        if st.aborted.is_none() {
+            self.dispatch(&mut st);
+        }
+    }
+
+    /// `(rank, virtual_time)` of every fault-plan crash that has fired.
+    pub(crate) fn crashed(&self) -> Vec<(usize, f64)> {
+        self.state.lock().crashed.clone()
+    }
+
+    /// Counters of the faults injected so far, with the arbiter's seeded
+    /// tie-break draws folded in.  All zero for an empty plan under seed 0.
+    pub fn fault_stats(&self) -> FaultStats {
+        let st = self.state.lock();
+        let mut stats = st.faults.as_ref().map(|f| f.stats).unwrap_or_default();
+        stats.tie_breaks = st.arb.tie_draws();
+        stats
+    }
+
     fn panic_aborted(abort: &Abort) -> ! {
         match abort {
             Abort::Panic(who) => std::panic::panic_any(PeerAbort(*who)),
-            Abort::Deadlock(graph) | Abort::Livelock(graph) => panic!("{graph}"),
+            Abort::Deadlock(graph) => std::panic::panic_any(DeadlockAbort(graph.clone())),
+            Abort::Livelock(graph) => std::panic::panic_any(LivelockAbort(graph.clone())),
         }
+    }
+
+    /// Lines appended to a deadlock/livelock report naming the fault context:
+    /// which peers were crashed by the plan, and which plan partitions could
+    /// have blocked delivery — so an injected-fault deadlock names its cause
+    /// instead of presenting as a protocol bug.
+    fn fault_context(st: &SimState) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for &(rank, at) in &st.crashed {
+            let _ = writeln!(
+                out,
+                "  fault context: process {rank} crashed by fault plan at t={at:.6}"
+            );
+        }
+        if let Some(f) = &st.faults {
+            for p in &f.plan().partitions {
+                let _ = writeln!(out, "  fault context: fault-plan partition {p}");
+            }
+        }
+        out
+    }
+
+    /// True when the wait-graph diagnostic should also go to stderr: under an
+    /// active fault plan or a nonzero schedule seed, failures are *expected*
+    /// findings consumed structurally by the fuzzer, and printing each one
+    /// would drown the fuzz report.
+    fn report_to_stderr(&self) -> bool {
+        self.cfg.fault.is_empty() && self.cfg.sched_seed == 0
     }
 
     /// Run one scheduling decision and wake the granted process, or tear the
@@ -187,12 +345,15 @@ impl NetworkCore {
                 st.futile_grants += 1;
                 if st.futile_grants >= LIVELOCK_GRANT_LIMIT {
                     let graph = wait_graph(st.arb.states(), &st.mailboxes);
+                    let context = Self::fault_context(st);
                     let report = format!(
                         "virtual-time livelock: {LIVELOCK_GRANT_LIMIT} consecutive turns granted \
                          (next: process {rank}) without any message transmitted or consumed; \
-                         a poll loop is spinning without making progress\n{graph}"
+                         a poll loop is spinning without making progress\n{graph}{context}"
                     );
-                    eprintln!("{report}");
+                    if self.report_to_stderr() {
+                        eprintln!("{report}");
+                    }
                     st.aborted = Some(Abort::Livelock(report));
                     for cv in &self.wake {
                         cv.notify_all();
@@ -204,8 +365,11 @@ impl NetworkCore {
             }
             Decision::Wait | Decision::AllDone => {}
             Decision::Deadlock => {
-                let graph = wait_graph(st.arb.states(), &st.mailboxes);
-                eprintln!("{graph}");
+                let mut graph = wait_graph(st.arb.states(), &st.mailboxes);
+                graph.push_str(&Self::fault_context(st));
+                if self.report_to_stderr() {
+                    eprintln!("{graph}");
+                }
                 st.aborted = Some(Abort::Deadlock(graph));
                 for cv in &self.wake {
                     cv.notify_all();
@@ -264,18 +428,64 @@ impl NetworkCore {
         assert!(dst < self.cfg.nprocs, "send to nonexistent process {dst}");
         let mut st = self.park(self.state.lock(), src, PState::Parked { key: depart });
         let bytes = payload.len();
-        let datagrams = self.cfg.datagrams_for(bytes);
+        let mut datagrams = self.cfg.datagrams_for(bytes);
         let occupancy = self.cfg.occupancy(bytes);
+        // Fault injection: the reliability layer's retransmissions and
+        // duplicates cost extra wire time and datagrams; drops, delays and
+        // partitions defer the arrival.  All decisions are seeded per link,
+        // so they are a pure function of the link's message count.
+        let (mut extra_delay, mut extra_occupancy, mut want_reorder) = (0.0, 0.0, false);
+        let mut fired: [Option<FaultKind>; 5] = [None; 5];
+        if let Some(f) = st.faults.as_mut() {
+            let inj = f.on_transmit(src, dst, depart, datagrams, occupancy, self.cfg.latency);
+            datagrams += inj.extra_datagrams;
+            extra_delay = inj.extra_delay;
+            extra_occupancy = inj.extra_occupancy;
+            want_reorder = inj.reorder;
+            fired = inj.kinds;
+        }
         let start = if self.cfg.shared_medium {
             let start = depart.max(st.medium_free_at);
-            st.medium_free_at = start + occupancy;
+            st.medium_free_at = start + occupancy + extra_occupancy;
             start
         } else {
             depart
         };
-        let arrival = start + occupancy + self.cfg.latency;
+        let arrival = start + occupancy + self.cfg.latency + extra_delay;
         st.futile_grants = 0;
+        // A reorder slip applies only when the queue tail is from another
+        // source: per-link FIFO (the reliability layer's resequencing
+        // guarantee) is never broken, so the slip is counted here, not in
+        // the draw.
+        let slip = want_reorder && st.mailboxes[dst].back().is_some_and(|m| m.src != src);
+        if slip {
+            if let Some(f) = st.faults.as_mut() {
+                f.stats.reorders += 1;
+            }
+        }
         if let Some(tr) = st.trace.as_mut() {
+            for &kind in fired.iter().flatten() {
+                tr.push(Event {
+                    t_ns: obs::ns(depart),
+                    rank: src as u32,
+                    kind: EventKind::Fault {
+                        kind,
+                        dst: dst as u32,
+                        delay_ns: obs::ns(extra_delay),
+                    },
+                });
+            }
+            if slip {
+                tr.push(Event {
+                    t_ns: obs::ns(depart),
+                    rank: src as u32,
+                    kind: EventKind::Fault {
+                        kind: FaultKind::Reorder,
+                        dst: dst as u32,
+                        delay_ns: 0,
+                    },
+                });
+            }
             tr.push(Event {
                 t_ns: obs::ns(depart),
                 rank: src as u32,
@@ -288,14 +498,20 @@ impl NetworkCore {
                 },
             });
         }
-        st.mailboxes[dst].push_back(Message {
+        let message = Message {
             src,
             dst,
             tag,
             payload,
             arrival,
             datagrams,
-        });
+        };
+        if slip {
+            let tail = st.mailboxes[dst].len() - 1;
+            st.mailboxes[dst].insert(tail, message);
+        } else {
+            st.mailboxes[dst].push_back(message);
+        }
         // A receiver blocked on exactly this kind of message becomes
         // runnable, keyed by the virtual time at which it would consume it.
         if let PState::RecvBlocked {

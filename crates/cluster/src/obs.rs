@@ -155,6 +155,18 @@ pub enum EventKind {
     },
     /// The arbiter granted `rank` the scheduling token at its parked key.
     Grant,
+    /// The fault plan injected a fault into a message leaving `rank` (or,
+    /// for [`FaultKind::Crash`](crate::fault::FaultKind::Crash), killed
+    /// `rank` itself).
+    Fault {
+        /// Which fault kind fired.
+        kind: crate::fault::FaultKind,
+        /// Destination rank of the affected message (the crashed rank
+        /// itself for crashes).
+        dst: u32,
+        /// Total extra arrival delay injected into the message, virtual ns.
+        delay_ns: u64,
+    },
 }
 
 /// One structured trace event, stamped in virtual nanoseconds.

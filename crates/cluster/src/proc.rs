@@ -1,12 +1,13 @@
 //! The per-process handle used by application and runtime-system code.
 
 use crate::config::ClusterConfig;
-use crate::net::{Message, NetworkCore, Tag};
+use crate::fault::CrashPoint;
+use crate::net::{CrashPayload, Message, NetworkCore, Tag};
 use crate::obs::{self, EventSink, NullSink, ObsLevel, ProcObs, Recorder, SpanCat};
 use crate::stats::ProcStats;
 use crate::time::VirtualClock;
 use bytes::Bytes;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::sync::Arc;
 
 /// Handle to one simulated process (workstation).
@@ -24,6 +25,11 @@ pub struct Proc {
     /// every emission site costs one predictable branch.
     sink: Box<dyn EventSink>,
     obs_on: bool,
+    /// Fault-plan crash point for this rank, if any.
+    crash: Option<CrashPoint>,
+    /// Transport interactions entered so far (sends and receives), counted
+    /// for [`CrashPoint::Event`].
+    events: Cell<u64>,
 }
 
 impl Proc {
@@ -41,6 +47,7 @@ impl Proc {
         } else {
             Box::new(NullSink)
         };
+        let crash = core.config().fault.crash_for(id);
         Proc {
             id,
             core,
@@ -48,6 +55,31 @@ impl Proc {
             stats: RefCell::new(stats),
             sink,
             obs_on: level.enabled(),
+            crash,
+            events: Cell::new(0),
+        }
+    }
+
+    /// Fault-plan crash hook, called on entry to every transport interaction
+    /// (send or receive — the points at which a dead process would be
+    /// observable to its peers).  When this rank's crash point has been
+    /// reached, the process is torn down through the network core and its
+    /// thread unwinds with a typed [`CrashPayload`]; it never interacts
+    /// again.  A `None` crash point costs one branch.
+    fn maybe_crash(&self) {
+        let Some(at) = self.crash else { return };
+        self.events.set(self.events.get() + 1);
+        let fired = match at {
+            CrashPoint::Time(t) => self.clock.now() >= t,
+            CrashPoint::Event(n) => self.events.get() >= n,
+        };
+        if fired {
+            let now = self.clock.now();
+            self.core.crash(self.id, now);
+            std::panic::panic_any(CrashPayload {
+                rank: self.id,
+                at: now,
+            });
         }
     }
 
@@ -82,6 +114,7 @@ impl Proc {
     /// The sender is charged the configured per-send CPU overhead; the
     /// message leaves at the sender's current virtual time.
     pub fn send(&self, dst: usize, tag: Tag, payload: Bytes) {
+        self.maybe_crash();
         self.clock.advance(self.core.config().send_overhead);
         self.transmit(dst, tag, payload, self.clock.now());
     }
@@ -95,6 +128,7 @@ impl Proc {
     /// CPU overhead is charged to its clock as "stolen cycles" — the handler
     /// still costs real processor time, whenever it notionally ran.
     pub fn send_at(&self, dst: usize, tag: Tag, payload: Bytes, depart: f64) {
+        self.maybe_crash();
         self.clock.advance(self.core.config().send_overhead);
         self.transmit(dst, tag, payload, depart);
     }
@@ -112,6 +146,7 @@ impl Proc {
     /// and `tag` (any tag if `None`).  The caller's clock is synchronised to
     /// the arrival time of the message and charged the per-receive overhead.
     pub fn recv_match(&self, src: Option<usize>, tag: Option<Tag>) -> Message {
+        self.maybe_crash();
         let m = self.core.recv_match(self.id, src, tag, self.clock.now());
         self.consume(&m);
         m
@@ -137,6 +172,7 @@ impl Proc {
     /// it here would let a process react to a message "before" it arrived.
     /// Does not advance the clock when nothing is available.
     pub fn try_recv(&self, src: Option<usize>, tag: Tag) -> Option<Message> {
+        self.maybe_crash();
         let m = self
             .core
             .try_recv_match(self.id, src, Some(tag), self.clock.now())?;
@@ -152,6 +188,7 @@ impl Proc {
     /// this to serve protocol requests at points where they are not blocked
     /// (the SIGIO delivery of the real system).
     pub fn try_recv_interrupt(&self) -> Option<Message> {
+        self.maybe_crash();
         let m = self
             .core
             .try_recv_match(self.id, None, None, self.clock.now())?;

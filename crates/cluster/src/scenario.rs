@@ -53,6 +53,7 @@
 //! ```
 
 use crate::config::{ClusterConfig, NetModel, NetPreset, Overrides};
+use crate::fault::{Crash, FaultPlan, Partition};
 use std::path::Path;
 
 /// A parsed scenario file.
@@ -62,7 +63,7 @@ use std::path::Path;
 /// ([`preset`](Self::preset), [`workloads`](Self::workloads),
 /// [`systems`](Self::systems)) is carried as opaque strings for the
 /// reproduction harness to resolve.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// Display name of the scenario (defaults to empty).
     pub name: String,
@@ -79,6 +80,12 @@ pub struct Scenario {
     pub systems: Vec<String>,
     /// Field overrides applied on top of [`net`](Self::net).
     pub overrides: Overrides,
+    /// Arbiter tie-break seed (`sched_seed` key); `None`/0 = rank order.
+    pub sched_seed: Option<u64>,
+    /// Cap on seeded tie-break draws (`tie_limit` key); rank order after.
+    pub tie_limit: Option<u64>,
+    /// Fault-injection plan (`[fault]` section); `None` = no faults.
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for Scenario {
@@ -91,6 +98,9 @@ impl Default for Scenario {
             workloads: Vec::new(),
             systems: Vec::new(),
             overrides: Overrides::default(),
+            sched_seed: None,
+            tie_limit: None,
+            fault: None,
         }
     }
 }
@@ -116,6 +126,9 @@ fn err<T>(msg: impl Into<String>) -> Result<T, ScenarioError> {
 enum Value {
     Str(String),
     Num(f64),
+    /// A non-negative integer kept exact: 64-bit seeds do not survive a
+    /// round trip through f64, so the readers preserve bare integers.
+    Int(u64),
     Bool(bool),
     List(Vec<Value>),
 }
@@ -124,7 +137,7 @@ impl Value {
     fn type_name(&self) -> &'static str {
         match self {
             Value::Str(_) => "string",
-            Value::Num(_) => "number",
+            Value::Num(_) | Value::Int(_) => "number",
             Value::Bool(_) => "boolean",
             Value::List(_) => "array",
         }
@@ -143,9 +156,22 @@ impl Value {
     fn as_f64(&self, key: &str) -> Result<f64, ScenarioError> {
         match self {
             Value::Num(n) => Ok(*n),
+            Value::Int(n) => Ok(*n as f64),
             other => err(format!(
                 "'{key}' must be a number, got {}",
                 other.type_name()
+            )),
+        }
+    }
+
+    fn as_u64(&self, key: &str) -> Result<u64, ScenarioError> {
+        match self {
+            Value::Int(n) => Ok(*n),
+            Value::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= u64::MAX as f64 => {
+                Ok(*n as u64)
+            }
+            other => err(format!(
+                "'{key}' must be a non-negative integer, got {other:?}"
             )),
         }
     }
@@ -175,6 +201,17 @@ impl Value {
         } else {
             err(format!("'{key}' must be a positive integer, got {n}"))
         }
+    }
+
+    /// Parse a list of `T: FromStr` strings (partition and crash specs).
+    fn as_spec_list<T: std::str::FromStr<Err = String>>(
+        &self,
+        key: &str,
+    ) -> Result<Vec<T>, ScenarioError> {
+        self.as_string_list(key)?
+            .iter()
+            .map(|s| s.parse().map_err(ScenarioError))
+            .collect()
     }
 
     fn as_bool(&self, key: &str) -> Result<bool, ScenarioError> {
@@ -235,10 +272,14 @@ impl Scenario {
                     return Err(at(format!("malformed section header '{line}'")));
                 };
                 let name = name.trim();
-                if name != "overrides" {
+                if name != "overrides" && name != "fault" {
                     return Err(at(format!(
-                        "unknown section '[{name}]'; only [overrides] exists"
+                        "unknown section '[{name}]'; only [overrides] and [fault] exist"
                     )));
+                }
+                if name == "fault" {
+                    // A bare [fault] header is a valid (empty) plan.
+                    scenario.fault.get_or_insert_with(FaultPlan::default);
                 }
                 section = Some(name.to_string());
                 continue;
@@ -263,14 +304,18 @@ impl Scenario {
         for (key, value) in pairs {
             match value {
                 json::Json::Object(inner) => {
-                    if key != "overrides" {
+                    if key != "overrides" && key != "fault" {
                         return err(format!(
-                            "unknown object-valued key '{key}'; only \"overrides\" nests"
+                            "unknown object-valued key '{key}'; only \"overrides\" and \
+                             \"fault\" nest"
                         ));
+                    }
+                    if key == "fault" {
+                        scenario.fault.get_or_insert_with(FaultPlan::default);
                     }
                     for (k, v) in inner {
                         let v = v.into_value(&k)?;
-                        scenario.set(Some("overrides"), &k, &v)?;
+                        scenario.set(Some(&key), &k, &v)?;
                     }
                 }
                 other => {
@@ -299,10 +344,12 @@ impl Scenario {
                 "preset" => self.preset = Some(value.as_str(key)?.to_string()),
                 "workloads" => self.workloads = value.as_string_list(key)?,
                 "systems" => self.systems = value.as_string_list(key)?,
+                "sched_seed" => self.sched_seed = Some(value.as_u64(key)?),
+                "tie_limit" => self.tie_limit = Some(value.as_u64(key)?),
                 other => {
                     return err(format!(
                         "unknown key '{other}'; known keys: name, net, procs, preset, \
-                         workloads, systems, [overrides]"
+                         workloads, systems, sched_seed, tie_limit, [overrides], [fault]"
                     ))
                 }
             },
@@ -328,6 +375,36 @@ impl Scenario {
                     ))
                 }
             },
+            // Probabilities must be valid; partitions and crashes arrive as
+            // the canonical spec strings their `FromStr` impls validate.
+            Some("fault") => {
+                let plan = self.fault.get_or_insert_with(FaultPlan::default);
+                let as_prob = |v: &Value| -> Result<f64, ScenarioError> {
+                    let p = v.as_nonneg_f64(key)?;
+                    if p <= 1.0 {
+                        Ok(p)
+                    } else {
+                        err(format!("'{key}' is a probability; got {p} > 1"))
+                    }
+                };
+                match key {
+                    "seed" => plan.seed = value.as_u64(key)?,
+                    "drop" => plan.drop = as_prob(value)?,
+                    "duplicate" => plan.duplicate = as_prob(value)?,
+                    "reorder" => plan.reorder = as_prob(value)?,
+                    "delay" => plan.delay = as_prob(value)?,
+                    "delay_factor" => plan.delay_factor = value.as_nonneg_f64(key)?,
+                    "retransmit" => plan.retransmit = value.as_positive_f64(key)?,
+                    "partitions" => plan.partitions = value.as_spec_list::<Partition>(key)?,
+                    "crashes" => plan.crashes = value.as_spec_list::<Crash>(key)?,
+                    other => {
+                        return err(format!(
+                            "unknown fault key '{other}'; known keys: seed, drop, duplicate, \
+                             reorder, delay, delay_factor, retransmit, partitions, crashes"
+                        ))
+                    }
+                }
+            }
             Some(s) => return err(format!("unknown section '{s}'")),
         }
         Ok(())
@@ -342,9 +419,21 @@ impl Scenario {
     }
 
     /// Materialise the cluster configuration, using `default_procs` when the
-    /// file does not pin a processor count.
+    /// file does not pin a processor count.  Carries the fault plan and
+    /// schedule seed onto the config, so a reproducer scenario replays its
+    /// finding exactly.
     pub fn cluster_config(&self, default_procs: usize) -> ClusterConfig {
-        self.net_model().config(self.procs.unwrap_or(default_procs))
+        let mut cfg = self.net_model().config(self.procs.unwrap_or(default_procs));
+        if let Some(seed) = self.sched_seed {
+            cfg.sched_seed = seed;
+        }
+        if let Some(limit) = self.tie_limit {
+            cfg.tie_limit = Some(limit);
+        }
+        if let Some(plan) = &self.fault {
+            cfg.fault = plan.clone();
+        }
+        cfg
     }
 
     /// Serialise canonically as TOML.  Floats print in Rust's
@@ -370,6 +459,12 @@ impl Scenario {
         }
         if !self.systems.is_empty() {
             out.push_str(&format!("systems = {}\n", list(&self.systems)));
+        }
+        if let Some(seed) = self.sched_seed {
+            out.push_str(&format!("sched_seed = {seed}\n"));
+        }
+        if let Some(limit) = self.tie_limit {
+            out.push_str(&format!("tie_limit = {limit}\n"));
         }
         if !self.overrides.is_empty() {
             out.push_str("\n[overrides]\n");
@@ -405,6 +500,54 @@ impl Scenario {
             }
             if let Some(v) = shared_medium {
                 out.push_str(&format!("shared_medium = {v}\n"));
+            }
+        }
+        if let Some(plan) = &self.fault {
+            out.push_str("\n[fault]\n");
+            // Exhaustive destructuring, as for [overrides]: a new fault
+            // field fails to compile here instead of silently vanishing.
+            // Only non-default fields are emitted; the defaults re-apply on
+            // parse, so the round trip is exact.
+            let d = FaultPlan::default();
+            let FaultPlan {
+                seed,
+                drop,
+                duplicate,
+                reorder,
+                delay,
+                delay_factor,
+                retransmit,
+                partitions,
+                crashes,
+            } = plan;
+            if *seed != d.seed {
+                out.push_str(&format!("seed = {seed}\n"));
+            }
+            for (name, v, dv) in [
+                ("drop", drop, d.drop),
+                ("duplicate", duplicate, d.duplicate),
+                ("reorder", reorder, d.reorder),
+                ("delay", delay, d.delay),
+                ("delay_factor", delay_factor, d.delay_factor),
+                ("retransmit", retransmit, d.retransmit),
+            ] {
+                if *v != dv {
+                    out.push_str(&format!("{name} = {v}\n"));
+                }
+            }
+            if !partitions.is_empty() {
+                let specs: Vec<String> = partitions
+                    .iter()
+                    .map(|p| toml_escape(&p.to_string()))
+                    .collect();
+                out.push_str(&format!("partitions = [{}]\n", specs.join(", ")));
+            }
+            if !crashes.is_empty() {
+                let specs: Vec<String> = crashes
+                    .iter()
+                    .map(|c| toml_escape(&c.to_string()))
+                    .collect();
+                out.push_str(&format!("crashes = [{}]\n", specs.join(", ")));
             }
         }
         out
@@ -549,8 +692,12 @@ fn parse_value_at(chars: &[char], pos: &mut usize, rhs: &str) -> Result<Value, S
                 "true" => Ok(Value::Bool(true)),
                 "false" => Ok(Value::Bool(false)),
                 _ => {
-                    // TOML permits underscores in numbers.
+                    // TOML permits underscores in numbers.  Bare integers
+                    // stay exact (u64) — 64-bit seeds don't survive f64.
                     let cleaned: String = word.chars().filter(|&c| c != '_').collect();
+                    if let Ok(n) = cleaned.parse::<u64>() {
+                        return Ok(Value::Int(n));
+                    }
                     match cleaned.parse::<f64>() {
                         Ok(n) if n.is_finite() => Ok(Value::Num(n)),
                         _ => err(format!("cannot parse value '{word}'")),
@@ -571,6 +718,7 @@ mod json {
     pub enum Json {
         Str(String),
         Num(f64),
+        Int(u64),
         Bool(bool),
         Array(Vec<Json>),
         Object(Vec<(String, Json)>),
@@ -583,6 +731,7 @@ mod json {
             match self {
                 Json::Str(s) => Ok(Value::Str(s)),
                 Json::Num(n) => Ok(Value::Num(n)),
+                Json::Int(n) => Ok(Value::Int(n)),
                 Json::Bool(b) => Ok(Value::Bool(b)),
                 Json::Array(items) => Ok(Value::List(
                     items
@@ -613,7 +762,7 @@ mod json {
                 "a scenario must be a JSON object, got {}",
                 match other {
                     Json::Str(_) => "a string",
-                    Json::Num(_) => "a number",
+                    Json::Num(_) | Json::Int(_) => "a number",
                     Json::Bool(_) => "a boolean",
                     Json::Array(_) => "an array",
                     Json::Object(_) => unreachable!(),
@@ -700,6 +849,10 @@ mod json {
                 self.pos += 1;
             }
             let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+            // Bare integers stay exact: 64-bit seeds don't survive f64.
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::Int(n));
+            }
             match text.parse::<f64>() {
                 Ok(n) if n.is_finite() => Ok(Json::Num(n)),
                 _ => err(format!("cannot parse number '{text}'")),
@@ -894,6 +1047,74 @@ mod tests {
         assert!(e.to_string().contains("must be a JSON object"), "{e}");
         let e = Scenario::parse_json("{\"procs\": 4} extra").unwrap_err();
         assert!(e.to_string().contains("trailing content"), "{e}");
+    }
+
+    #[test]
+    fn fault_section_and_seeds_round_trip() {
+        let text = r#"
+            name = "lossy-repro"
+            procs = 4
+            sched_seed = 18446744073709551615   # u64::MAX survives exactly
+            tie_limit = 12
+
+            [fault]
+            seed = 9874321098765432109
+            drop = 0.02
+            delay = 0.01
+            partitions = ["0,1|2,3@0.001..0.004"]
+            crashes = ["2@0.0015", "3#120"]
+        "#;
+        let s = Scenario::parse_toml(text).unwrap();
+        assert_eq!(s.sched_seed, Some(u64::MAX));
+        assert_eq!(s.tie_limit, Some(12));
+        let plan = s.fault.as_ref().unwrap();
+        assert_eq!(plan.seed, 9874321098765432109);
+        assert_eq!(plan.drop, 0.02);
+        assert_eq!(plan.delay, 0.01);
+        assert_eq!(plan.partitions.len(), 1);
+        assert_eq!(plan.crashes.len(), 2);
+        assert_eq!(
+            plan.crash_for(3),
+            Some(crate::fault::CrashPoint::Event(120))
+        );
+        // The plan lands on the cluster config.
+        let cfg = s.cluster_config(8);
+        assert_eq!(cfg.nprocs, 4);
+        assert_eq!(cfg.sched_seed, u64::MAX);
+        assert_eq!(cfg.tie_limit, Some(12));
+        assert_eq!(&cfg.fault, plan);
+        // Canonical serialisation round-trips exactly, twice.
+        let reparsed = Scenario::parse_toml(&s.to_toml()).unwrap();
+        assert_eq!(reparsed, s);
+        assert_eq!(reparsed.to_toml(), s.to_toml());
+        // And through the JSON carrier.
+        let json = Scenario::parse_json(
+            r#"{
+                "sched_seed": 18446744073709551615,
+                "fault": {"seed": 9874321098765432109, "drop": 0.02,
+                          "crashes": ["2@0.0015"]}
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(json.sched_seed, Some(u64::MAX));
+        assert_eq!(json.fault.as_ref().unwrap().seed, 9874321098765432109);
+    }
+
+    #[test]
+    fn bad_fault_values_are_rejected() {
+        let e = Scenario::parse_toml("[fault]\ndrop = 1.5").unwrap_err();
+        assert!(e.to_string().contains("probability"), "{e}");
+        let e = Scenario::parse_toml("[fault]\npartitions = [\"0|@1..2\"]").unwrap_err();
+        assert!(e.to_string().contains("bad partition spec"), "{e}");
+        let e = Scenario::parse_toml("[fault]\ncrashes = [\"nope\"]").unwrap_err();
+        assert!(e.to_string().contains("bad crash spec"), "{e}");
+        let e = Scenario::parse_toml("[fault]\nretransmit = 0.0").unwrap_err();
+        assert!(e.to_string().contains("must be positive"), "{e}");
+        let e = Scenario::parse_toml("[fault]\nwarp = 1").unwrap_err();
+        assert!(e.to_string().contains("unknown fault key"), "{e}");
+        // A bare [fault] header is a valid empty plan.
+        let s = Scenario::parse_toml("[fault]").unwrap();
+        assert!(s.fault.as_ref().unwrap().is_empty());
     }
 
     #[test]

@@ -18,7 +18,13 @@
 //! * **cross-backend agreement** — all backends compute bit-identical
 //!   application answers; only the traffic may differ;
 //! * **single-process silence** — one process never sends a message.
+//!
+//! The visibility programs themselves live in `bench::invariants` (promoted
+//! there so the fuzzing harness can run them under arbitrary fault plans
+//! and schedule seeds); this suite runs them on the clean calibrated
+//! testbed, where anything short of a clean pass is a hard failure.
 
+use bench::invariants::{self, RunVerdict};
 use netws::cluster::{Cluster, ClusterConfig, ClusterReport};
 use netws::treadmarks::{ProtocolKind, Tmk};
 
@@ -88,64 +94,24 @@ fn mixed_expect(n: i64) -> i64 {
 
 #[test]
 fn every_backend_sees_writes_after_release_and_acquire() {
+    // The lock-token program lives in bench::invariants (the fuzzer runs it
+    // under arbitrary fault plans); on the clean testbed it must pass.
+    let cfg = ClusterConfig::calibrated_fddi(4);
     for protocol in ProtocolKind::all() {
-        let n = 4;
-        let rep = run_under(protocol, n, move |tmk| {
-            let slot = tmk.malloc(8);
-            tmk.barrier(0);
-            // A token value travels through the lock: each process in rank
-            // order increments it under the lock, spinning on barriers in
-            // between so the order is deterministic.
-            for round in 0..n {
-                if tmk.id() == round {
-                    tmk.lock_acquire(0);
-                    let v = tmk.read_i64(slot);
-                    assert_eq!(
-                        v, round as i64,
-                        "{protocol}: process {round} missed its predecessor's write"
-                    );
-                    tmk.write_i64(slot, v + 1);
-                    tmk.lock_release(0);
-                }
-                tmk.barrier(1 + round as u32);
-            }
-            tmk.read_i64(slot)
-        });
-        assert!(
-            rep.results.iter().all(|&v| v == n as i64),
-            "{protocol}: {:?}",
-            rep.results
-        );
+        let v = invariants::check_release_acquire(&cfg, protocol);
+        assert_eq!(v, RunVerdict::Pass, "{protocol}: {}", v.summary());
     }
 }
 
 #[test]
 fn every_backend_sees_writes_after_a_barrier() {
+    // The multi-writer page-publication program lives in bench::invariants
+    // (false sharing under a single-writer protocol, multi-writer diffs
+    // under LRC/HLRC); on the clean testbed it must pass.
+    let cfg = ClusterConfig::calibrated_fddi(4);
     for protocol in ProtocolKind::all() {
-        let n = 4;
-        let rep = run_under(protocol, n, move |tmk| {
-            let region = tmk.malloc_aligned(4096, 4096);
-            tmk.barrier(0);
-            // Every process writes its own quarter of one page (false
-            // sharing under a single-writer protocol, multi-writer diffs
-            // under LRC/HLRC).
-            let me = tmk.id();
-            for i in 0..8 {
-                tmk.write_i64(region + me * 1024 + i * 8, (me * 1000 + i) as i64);
-            }
-            tmk.barrier(1);
-            let mut ok = true;
-            for w in 0..n {
-                for i in 0..8 {
-                    ok &= tmk.read_i64(region + w * 1024 + i * 8) == (w * 1000 + i) as i64;
-                }
-            }
-            ok
-        });
-        assert!(
-            rep.results.iter().all(|&ok| ok),
-            "{protocol}: a write published by the barrier was missed"
-        );
+        let v = invariants::check_barrier_visibility(&cfg, protocol);
+        assert_eq!(v, RunVerdict::Pass, "{protocol}: {}", v.summary());
     }
 }
 

@@ -38,6 +38,16 @@
 //! under `crates/core/src/protocol/` — backends live behind the trait, and
 //! nothing outside the protocol layer may reimplement the hook surface.
 //!
+//! **PRNG confinement**: the deterministic generator `SplitMix64` lives in
+//! `crates/cluster/src/fault.rs`, where every stream is split from the
+//! fault plan's root seed so that (scenario, seed) pins every draw.  Any
+//! use of the token outside that file — simulation and host crates alike —
+//! needs a `lint:allow(prng): <reason>` marker, so ad-hoc generators can't
+//! grow randomness outside the seed discipline.  (Unlike `thread_rng`,
+//! `SplitMix64` is deterministic, so justified uses exist — test drivers
+//! feeding pseudo-random transition sequences — and the marker is honoured
+//! even in the simulation crates.)
+//!
 //! A marker must carry a non-empty reason after its colon; a bare
 //! `lint:allow(wall-clock):` is itself a finding.  Doc and line comments
 //! are stripped before token matching, so prose *about* a hazard never
@@ -157,6 +167,18 @@ fn lint_source(rel: &Path, text: &str, findings: &mut Vec<Finding>) {
                         ),
                     ),
                 }
+            }
+            if code.contains("SplitMix64")
+                && rel != Path::new("crates/cluster/src/fault.rs")
+                && !has_marker(&lines, i, "prng")
+            {
+                push(
+                    i,
+                    "`SplitMix64` outside crates/cluster/src/fault.rs needs a \
+                     `lint:allow(prng): <reason>` marker: seeded randomness is confined \
+                     to the fault plan's split streams"
+                        .to_string(),
+                );
             }
             if host && code.contains("_unsync(") && !has_marker(&lines, i, "unsync-read") {
                 push(
@@ -375,6 +397,36 @@ mod tests {
         assert_eq!(f.len(), 1, "{f:?}");
         assert!(f[0].file.ends_with("a.rs"));
         assert!(f[0].msg.contains("unsync-read"));
+    }
+
+    #[test]
+    fn splitmix_outside_the_fault_module_wants_a_prng_marker() {
+        let t = Tree::new("prng");
+        // Home of the generator: exempt.
+        t.write(
+            "crates/cluster/src/fault.rs",
+            "pub struct SplitMix64 { state: u64 }\n",
+        );
+        // Unmarked use elsewhere, even in a sim crate: a finding.
+        t.write(
+            "crates/cluster/src/rogue.rs",
+            "fn f() { let _ = crate::fault::SplitMix64::seeded(1); }\n",
+        );
+        // Marked use with a reason: fine, in sim and host crates alike.
+        t.write(
+            "crates/cluster/src/driver.rs",
+            "// lint:allow(prng): deterministic test transition sequence\n\
+             fn f() { let _ = crate::fault::SplitMix64::seeded(1); }\n",
+        );
+        t.write(
+            "crates/bench/src/mixer.rs",
+            "fn f() { let _ = cluster::SplitMix64::seeded(2); } \
+             // lint:allow(prng): seeded, same-line form\n",
+        );
+        let f = t.lint();
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].file.ends_with("rogue.rs"));
+        assert!(f[0].msg.contains("prng"));
     }
 
     #[test]
