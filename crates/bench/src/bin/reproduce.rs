@@ -13,6 +13,7 @@
 //! cargo run -p bench --release --bin reproduce -- --figure water-288
 //! cargo run -p bench --release --bin reproduce -- --net atm         # 155 Mbit switched ATM
 //! cargo run -p bench --release --bin reproduce -- --procs 16        # past the paper's 8
+//! cargo run -p bench --release --bin reproduce -- --islands 4       # PDES island scheduler
 //! cargo run -p bench --release --bin reproduce -- --scenario examples/scenarios/atm_16procs.toml
 //! cargo run -p bench --release --bin reproduce -- sweep --vary procs      # speedup past 8
 //! cargo run -p bench --release --bin reproduce -- sweep --vary bandwidth  # runtime vs bandwidth
@@ -50,6 +51,14 @@
 //! overrides — from a TOML or JSON file (schema: docs/EXPERIMENTS.md;
 //! commented examples: `examples/scenarios/`).  Explicit CLI flags override
 //! the scenario file.
+//!
+//! `--islands N` (scenario key `islands`) partitions every simulated run's
+//! processes into N scheduler islands — the conservative-PDES execution
+//! strategy of `cluster::sched`.  An execution knob, never a model knob:
+//! output is byte-identical for every width (CI diffs `--json` and
+//! `--trace` across `--islands 1/2/4` with `oracle-checks` on), so it is
+//! not stamped into `--json` records; `--bench-out` stamps the width into
+//! the `timing` section only, and only when it is not 1.
 //!
 //! `sweep --vary {procs,bandwidth,latency}` renders sensitivity figures
 //! instead of the reproduction: speedup versus processor count past the
@@ -107,9 +116,8 @@ use bench::fuzz::{run_fuzz, FuzzSpec};
 use bench::scenario::{workload_by_name, ResolvedScenario};
 use bench::sweep::{Sweep, Vary};
 use bench::{
-    exec, invariants, obs, problem_size, proc_series, render_race_reports, run_matrix_obs,
-    run_matrix_tuned, run_record_json, run_sequential, try_run_parallel_on, Preset, RunKey,
-    RunMatrix, RunTuning,
+    exec, invariants, obs, problem_size, proc_series, render_race_reports, run_matrix_islands,
+    run_record_json, run_sequential, try_run_parallel_on, Preset, RunKey, RunMatrix, RunTuning,
 };
 use cluster::{AnalysisLevel, FaultPlan, NetModel, NetPreset, ObsLevel, Scenario};
 use treadmarks::ProtocolKind;
@@ -262,7 +270,13 @@ fn json_dump(
 /// The engine-throughput report written by `--bench-out`: deterministic
 /// matrix totals first (byte-stable across runs and job counts — CI diffs
 /// them), wall-clock timing of this execution second.
-fn bench_report(matrix: &RunMatrix, tuning: &RunTuning, jobs: usize, wall_seconds: f64) -> String {
+fn bench_report(
+    matrix: &RunMatrix,
+    tuning: &RunTuning,
+    jobs: usize,
+    islands: usize,
+    wall_seconds: f64,
+) -> String {
     let mut events = 0u64; // transport messages processed (sent == consumed)
     let mut virtual_seconds = 0.0f64;
     let mut checksum_xor = 0u64;
@@ -283,11 +297,18 @@ fn bench_report(matrix: &RunMatrix, tuning: &RunTuning, jobs: usize, wall_second
             tuning.fault.hash()
         ));
     }
+    // Like the tuning stamps: the island width is an execution detail, so
+    // it lands in the (per-machine) timing section — and only when not 1 —
+    // keeping the deterministic section identical across widths.
+    let mut timing_fields = String::new();
+    if islands != 1 {
+        timing_fields.push_str(&format!("    \"islands\": {islands},\n"));
+    }
     format!(
         "{{\n  \"preset\": \"{:?}\",\n  \"deterministic\": {{\n{tuning_fields}    \"runs\": {},\n    \
          \"total_messages\": {},\n    \"total_virtual_seconds\": {},\n    \
          \"total_virtual_seconds_bits\": \"{:016x}\",\n    \"checksum_bits_xor\": \"{:016x}\"\n  }},\n  \
-         \"timing\": {{\n    \"jobs\": {},\n    \"wall_seconds\": {:.3},\n    \
+         \"timing\": {{\n{timing_fields}    \"jobs\": {},\n    \"wall_seconds\": {:.3},\n    \
          \"events_per_second\": {:.0},\n    \"virtual_seconds_per_wall_second\": {:.2}\n  }}\n}}\n",
         matrix.preset,
         matrix.len(),
@@ -430,6 +451,7 @@ fn replay_verdicts(
     systems: &[System],
     tuning: &RunTuning,
     jobs: usize,
+    islands: usize,
 ) {
     println!(
         "Crash-plan scenario: verdict replay at {nprocs} processes (net {}, {preset:?} preset)",
@@ -449,6 +471,7 @@ fn replay_verdicts(
             let seq = &seqs.iter().find(|(k, _)| *k == w).unwrap().1;
             move || {
                 let mut cfg = net.config(nprocs);
+                cfg.islands = islands;
                 tuning.apply(&mut cfg);
                 invariants::verdict(try_run_parallel_on(w, sys, &cfg, preset), seq)
             }
@@ -478,7 +501,7 @@ fn main() {
             .position(|a| a == flag)
             .and_then(|i| args.get(i + 1))
     };
-    const VALUE_FLAGS: [&str; 12] = [
+    const VALUE_FLAGS: [&str; 13] = [
         "--protocol",
         "--jobs",
         "--bench-out",
@@ -491,6 +514,7 @@ fn main() {
         "--trace",
         "--seeds",
         "--faults",
+        "--islands",
     ];
     for flag in VALUE_FLAGS {
         if args.last().map(String::as_str) == Some(flag) {
@@ -568,6 +592,13 @@ fn main() {
             .as_ref()
             .map(|s| s.max_procs)
             .unwrap_or(default_procs),
+    };
+    let islands: usize = match flag_value("--islands") {
+        Some(v) => match v.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => fail(format!("--islands requires a positive integer, got '{v}'")),
+        },
+        None => scenario.as_ref().map(|s| s.islands).unwrap_or(1),
     };
     let systems: Vec<System> = match flag_value("--protocol").map(String::as_str) {
         None => scenario
@@ -688,6 +719,7 @@ fn main() {
             plan,
             until_failure: wants("--until-failure"),
             jobs,
+            islands,
         };
         let out = run_fuzz(&spec);
         print!("{}", out.report);
@@ -739,14 +771,23 @@ fn main() {
         let keys = sweep.keys();
         // lint:allow(wall-clock): times this machine's execution for the --bench-out report
         let started = std::time::Instant::now();
-        let matrix = run_matrix_obs(preset, &sweep.workloads, &keys, jobs, obs_level);
+        let matrix = run_matrix_islands(
+            preset,
+            &sweep.workloads,
+            &keys,
+            jobs,
+            obs_level,
+            AnalysisLevel::Off,
+            &RunTuning::default(),
+            islands,
+        );
         let wall_seconds = started.elapsed().as_secs_f64();
         print!("{}", sweep.render(&matrix));
         if want_metrics {
             print!("\n{}", obs::metrics_report(&matrix));
         }
         if let Some(path) = bench_out {
-            let report = bench_report(&matrix, &RunTuning::default(), jobs, wall_seconds);
+            let report = bench_report(&matrix, &RunTuning::default(), jobs, islands, wall_seconds);
             if let Err(err) = std::fs::write(&path, &report) {
                 fail(format!("cannot write {path}: {err}"));
             }
@@ -778,6 +819,7 @@ fn main() {
             &systems,
             &tuning,
             jobs,
+            islands,
         );
         return;
     }
@@ -844,7 +886,7 @@ fn main() {
 
     // lint:allow(wall-clock): times this machine's execution for the --bench-out report
     let started = std::time::Instant::now();
-    let matrix = run_matrix_tuned(
+    let matrix = run_matrix_islands(
         preset,
         &seq_workloads,
         &keys,
@@ -852,6 +894,7 @@ fn main() {
         obs_level,
         analysis_level,
         &tuning,
+        islands,
     );
     let wall_seconds = started.elapsed().as_secs_f64();
 
@@ -895,7 +938,7 @@ fn main() {
     }
 
     if let Some(path) = bench_out {
-        let report = bench_report(&matrix, &tuning, jobs, wall_seconds);
+        let report = bench_report(&matrix, &tuning, jobs, islands, wall_seconds);
         if let Err(err) = std::fs::write(&path, &report) {
             fail(format!("cannot write {path}: {err}"));
         }

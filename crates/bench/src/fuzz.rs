@@ -50,6 +50,10 @@ pub struct FuzzSpec {
     /// Worker threads for the per-seed fan (the report is identical for
     /// every value).
     pub jobs: usize,
+    /// Scheduler island width of every run (the report is identical for
+    /// every value: faults draw from per-link PRNG streams, so island order
+    /// never leaks into draws).
+    pub islands: usize,
 }
 
 /// One invariant failure the fuzzer found, shrunk and ready to replay.
@@ -121,6 +125,7 @@ fn preset_name(p: Preset) -> &'static str {
 fn point_config(spec: &FuzzSpec, tuning: &RunTuning) -> ClusterConfig {
     let mut cfg = spec.net.config(spec.nprocs);
     cfg.analysis = AnalysisLevel::Race;
+    cfg.islands = spec.islands;
     tuning.apply(&mut cfg);
     cfg
 }
@@ -150,6 +155,9 @@ fn reproducer(spec: &FuzzSpec, w: Workload, systems: &[System], tuning: &RunTuni
         overrides: spec.net.overrides,
         sched_seed: (tuning.sched_seed != 0).then_some(tuning.sched_seed),
         tie_limit: tuning.tie_limit,
+        // The island width is not part of a finding's identity (every width
+        // reproduces it bit for bit), so reproducers never carry it.
+        islands: None,
         fault: (!tuning.fault.is_empty() || tuning.fault.seed != 0).then(|| tuning.fault.clone()),
     }
     .to_toml()
@@ -350,6 +358,7 @@ mod tests {
             plan,
             until_failure: false,
             jobs: 2,
+            islands: 1,
         }
     }
 

@@ -396,6 +396,27 @@ pub fn run_matrix_tuned(
     analysis: AnalysisLevel,
     tuning: &RunTuning,
 ) -> RunMatrix {
+    run_matrix_islands(preset, seq_workloads, keys, jobs, obs, analysis, tuning, 1)
+}
+
+/// [`run_matrix_tuned`] with a scheduler island width applied to every
+/// parallel run.  Like the observability, analysis and tuning knobs the
+/// width reaches the simulations through the configuration
+/// ([`ClusterConfig::islands`]) and is *not* part of the [`RunKey`]: every
+/// width produces bit-identical runs (asserted against the flat reference
+/// arbiter under `oracle-checks`), so matrices computed at different widths
+/// render byte-identically.
+#[allow(clippy::too_many_arguments)]
+pub fn run_matrix_islands(
+    preset: Preset,
+    seq_workloads: &[Workload],
+    keys: &[RunKey],
+    jobs: usize,
+    obs: ObsLevel,
+    analysis: AnalysisLevel,
+    tuning: &RunTuning,
+    islands: usize,
+) -> RunMatrix {
     let mut seq_keys: Vec<Workload> = Vec::new();
     for &w in seq_workloads {
         if !seq_keys.contains(&w) {
@@ -432,6 +453,7 @@ pub fn run_matrix_tuned(
                     let mut cfg = key.config();
                     cfg.obs = obs;
                     cfg.analysis = analysis;
+                    cfg.islands = islands;
                     tuning.apply(&mut cfg);
                     Done::Run(
                         key,
@@ -801,6 +823,52 @@ mod tests {
                 run_record_json(key, b),
                 "{key:?}: JSON record differs"
             );
+        }
+    }
+
+    /// The tentpole guarantee of the island scheduler, at matrix level: a
+    /// matrix computed at any island width renders byte-identically to the
+    /// width-1 (flat-arbiter) matrix — every virtual time, checksum,
+    /// counter and JSON record.
+    #[test]
+    fn island_widths_render_byte_identical_matrices() {
+        let workloads = [Workload::Ep, Workload::SorZero, Workload::Tsp];
+        let keys: Vec<RunKey> = workloads
+            .iter()
+            .flat_map(|&w| {
+                System::all()
+                    .into_iter()
+                    .map(move |sys| RunKey::fddi(w, sys, 4))
+            })
+            .collect();
+        let matrix_at = |islands: usize| {
+            run_matrix_islands(
+                Preset::Tiny,
+                &workloads,
+                &keys,
+                2,
+                ObsLevel::Off,
+                AnalysisLevel::Off,
+                &RunTuning::default(),
+                islands,
+            )
+        };
+        let flat = matrix_at(1);
+        for islands in [2usize, 4] {
+            let wide = matrix_at(islands);
+            for key in &keys {
+                let (a, b) = (flat.run(key), wide.run(key));
+                assert_eq!(
+                    format!("{a:?}"),
+                    format!("{b:?}"),
+                    "{key:?} differs between islands=1 and islands={islands}"
+                );
+                assert_eq!(
+                    run_record_json(key, a),
+                    run_record_json(key, b),
+                    "{key:?}: JSON record differs at islands={islands}"
+                );
+            }
         }
     }
 

@@ -34,6 +34,9 @@ pub struct ResolvedScenario {
     /// to every run the scenario drives — this is how a fuzz reproducer
     /// replays its finding.
     pub tuning: RunTuning,
+    /// Scheduler island count (`islands` key, default 1).  An execution
+    /// strategy, not part of the run identity: every width is bit-identical.
+    pub islands: usize,
 }
 
 /// Look a workload up by its harness name (`EP`, `SOR-Zero`, ...),
@@ -120,6 +123,7 @@ impl ResolvedScenario {
                 tie_limit: s.tie_limit,
                 fault: s.fault.clone().unwrap_or_default(),
             },
+            islands: s.islands.unwrap_or(1),
         })
     }
 }
@@ -138,6 +142,7 @@ mod tests {
         assert_eq!(r.workloads, Workload::all().to_vec());
         assert_eq!(r.systems, System::all().to_vec());
         assert!(r.tuning.is_default());
+        assert_eq!(r.islands, 1);
     }
 
     #[test]
@@ -146,9 +151,18 @@ mod tests {
             Scenario::parse_toml("sched_seed = 7\ntie_limit = 3\n[fault]\ndrop = 0.01").unwrap();
         let r = ResolvedScenario::resolve(&s, Preset::Tiny, 8).unwrap();
         assert_eq!(r.tuning.sched_seed, 7);
+        assert_eq!(r.islands, 1);
         assert_eq!(r.tuning.tie_limit, Some(3));
         assert_eq!(r.tuning.fault.drop, 0.01);
         assert!(!r.tuning.is_default());
+    }
+
+    #[test]
+    fn the_islands_key_resolves_onto_the_scenario() {
+        let s = Scenario::parse_toml("islands = 4").unwrap();
+        let r = ResolvedScenario::resolve(&s, Preset::Tiny, 8).unwrap();
+        assert_eq!(r.islands, 4);
+        assert!(r.tuning.is_default());
     }
 
     #[test]

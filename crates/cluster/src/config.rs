@@ -100,6 +100,15 @@ pub struct ClusterConfig {
     /// prefix a finding needs.
     #[serde(default)]
     pub tie_limit: Option<u64>,
+    /// Number of scheduler islands the conservative PDES scheduler
+    /// partitions the processes into (contiguous rank blocks, each with its
+    /// own event heap; see `cluster::sched::IslandSched`).  An execution
+    /// strategy, **not** part of the cost model: every width produces
+    /// bit-identical output, asserted against the flat reference arbiter
+    /// under the `oracle-checks` feature.  `0` is normalised to `1`; widths
+    /// above `nprocs` clamp to `nprocs`.
+    #[serde(default)]
+    pub islands: usize,
 }
 
 impl ClusterConfig {
@@ -121,6 +130,7 @@ impl ClusterConfig {
             fault: FaultPlan::default(),
             sched_seed: 0,
             tie_limit: None,
+            islands: 1,
         }
     }
 
@@ -146,6 +156,7 @@ impl ClusterConfig {
             fault: FaultPlan::default(),
             sched_seed: 0,
             tie_limit: None,
+            islands: 1,
         }
     }
 
@@ -172,6 +183,7 @@ impl ClusterConfig {
             fault: FaultPlan::default(),
             sched_seed: 0,
             tie_limit: None,
+            islands: 1,
         }
     }
 
@@ -192,6 +204,7 @@ impl ClusterConfig {
             fault: FaultPlan::default(),
             sched_seed: 0,
             tie_limit: None,
+            islands: 1,
         }
     }
 

@@ -19,7 +19,7 @@
 use crate::config::ClusterConfig;
 use crate::fault::{FaultKind, FaultState, FaultStats};
 use crate::obs::{self, Event, EventKind, ObsLevel};
-use crate::sched::{wait_graph, Arbiter, Decision, PState};
+use crate::sched::{wait_graph, Decision, IslandSched, PState};
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::collections::VecDeque;
@@ -163,8 +163,9 @@ struct SimState {
     /// Per-process incoming-message queues.
     mailboxes: Vec<VecDeque<Message>>,
     /// Scheduler state of every process, with the minimum-key parked
-    /// process maintained incrementally (no per-interaction O(n) scan).
-    arb: Arbiter,
+    /// process maintained incrementally per island (no per-interaction O(n)
+    /// scan); see [`IslandSched`].
+    arb: IslandSched,
     /// Virtual time until which the shared medium is busy (FDDI ring model).
     medium_free_at: f64,
     /// Consecutive grants since the last message transmission or
@@ -202,7 +203,7 @@ impl NetworkCore {
         let n = cfg.nprocs;
         let tracing = cfg.obs == ObsLevel::Trace;
         let faults = FaultState::new(&cfg.fault, n);
-        let arb = Arbiter::with_seed(n, cfg.sched_seed, cfg.tie_limit);
+        let arb = IslandSched::new(n, cfg.islands, cfg.sched_seed, cfg.tie_limit, cfg.latency);
         NetworkCore {
             cfg,
             state: Mutex::new(SimState {

@@ -84,6 +84,10 @@ pub struct Scenario {
     pub sched_seed: Option<u64>,
     /// Cap on seeded tie-break draws (`tie_limit` key); rank order after.
     pub tie_limit: Option<u64>,
+    /// Scheduler island count (`islands` key); `None` leaves the caller's
+    /// default (one island) in force.  An execution strategy, not a cost
+    /// model knob: every width produces bit-identical output.
+    pub islands: Option<usize>,
     /// Fault-injection plan (`[fault]` section); `None` = no faults.
     pub fault: Option<FaultPlan>,
 }
@@ -100,6 +104,7 @@ impl Default for Scenario {
             overrides: Overrides::default(),
             sched_seed: None,
             tie_limit: None,
+            islands: None,
             fault: None,
         }
     }
@@ -346,10 +351,12 @@ impl Scenario {
                 "systems" => self.systems = value.as_string_list(key)?,
                 "sched_seed" => self.sched_seed = Some(value.as_u64(key)?),
                 "tie_limit" => self.tie_limit = Some(value.as_u64(key)?),
+                "islands" => self.islands = Some(value.as_usize(key)?),
                 other => {
                     return err(format!(
                         "unknown key '{other}'; known keys: name, net, procs, preset, \
-                         workloads, systems, sched_seed, tie_limit, [overrides], [fault]"
+                         workloads, systems, sched_seed, tie_limit, islands, \
+                         [overrides], [fault]"
                     ))
                 }
             },
@@ -430,6 +437,9 @@ impl Scenario {
         if let Some(limit) = self.tie_limit {
             cfg.tie_limit = Some(limit);
         }
+        if let Some(islands) = self.islands {
+            cfg.islands = islands;
+        }
         if let Some(plan) = &self.fault {
             cfg.fault = plan.clone();
         }
@@ -465,6 +475,9 @@ impl Scenario {
         }
         if let Some(limit) = self.tie_limit {
             out.push_str(&format!("tie_limit = {limit}\n"));
+        }
+        if let Some(islands) = self.islands {
+            out.push_str(&format!("islands = {islands}\n"));
         }
         if !self.overrides.is_empty() {
             out.push_str("\n[overrides]\n");
@@ -1056,6 +1069,7 @@ mod tests {
             procs = 4
             sched_seed = 18446744073709551615   # u64::MAX survives exactly
             tie_limit = 12
+            islands = 4
 
             [fault]
             seed = 9874321098765432109
@@ -1067,6 +1081,7 @@ mod tests {
         let s = Scenario::parse_toml(text).unwrap();
         assert_eq!(s.sched_seed, Some(u64::MAX));
         assert_eq!(s.tie_limit, Some(12));
+        assert_eq!(s.islands, Some(4));
         let plan = s.fault.as_ref().unwrap();
         assert_eq!(plan.seed, 9874321098765432109);
         assert_eq!(plan.drop, 0.02);
@@ -1082,6 +1097,7 @@ mod tests {
         assert_eq!(cfg.nprocs, 4);
         assert_eq!(cfg.sched_seed, u64::MAX);
         assert_eq!(cfg.tie_limit, Some(12));
+        assert_eq!(cfg.islands, 4);
         assert_eq!(&cfg.fault, plan);
         // Canonical serialisation round-trips exactly, twice.
         let reparsed = Scenario::parse_toml(&s.to_toml()).unwrap();

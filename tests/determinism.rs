@@ -161,6 +161,35 @@ fn parallel_executor_matches_serial_bit_for_bit() {
     }
 }
 
+/// The conservative PDES island scheduler cannot change results: every
+/// workload in the battery, under every system (all DSM protocol backends
+/// and PVM), produces a bit-identical run — every virtual time and counter,
+/// on every process — at `islands` widths 1, 2 and 4.  Width 1 is the flat
+/// arbiter, so this pins the island refactor to the pre-island engine.
+#[test]
+fn island_scheduling_is_bit_identical_at_every_width() {
+    use bench::{run_parallel_on, Preset};
+    let workloads = [Workload::Ep, Workload::SorZero, Workload::Tsp];
+    for w in workloads {
+        for sys in System::all() {
+            let at_width = |islands: usize| {
+                let mut cfg = ClusterConfig::calibrated_fddi(4);
+                cfg.islands = islands;
+                run_parallel_on(w, sys, &cfg, Preset::Tiny)
+            };
+            let flat = at_width(1);
+            for islands in [2usize, 4] {
+                let wide = at_width(islands);
+                let ctx = format!(
+                    "{} under {sys} at 4 processes (islands 1 vs {islands})",
+                    w.name()
+                );
+                assert_runs_identical(&flat, &wide, &ctx);
+            }
+        }
+    }
+}
+
 /// The raw transport is deterministic even under deliberate contention:
 /// many processes hammer one receiver through the shared medium, with
 /// interrupt-style service mixed in, and the full `ClusterReport` matches
