@@ -16,7 +16,8 @@
 
 use apps::runner::System;
 use apps::Workload;
-use bench::{exec, run_matrix, run_parallel, Preset, RunKey};
+use bench::{exec, run_matrix, run_parallel, run_parallel_on, Preset, RunKey};
+use cluster::ClusterConfig;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Instant;
 use treadmarks::ProtocolKind;
@@ -59,6 +60,97 @@ fn engine_throughput(c: &mut Criterion) {
     }
 }
 
+/// The threaded windowed engine at increasing widths over one run: the
+/// `(islands, island_threads)` knobs are execution-only (bit-identical
+/// output, asserted by the determinism suite), so any spread between these
+/// rows is pure engine throughput.
+fn threaded_windows(c: &mut Criterion) {
+    let (w, sys, n) = (Workload::Water288, System::TreadMarks(ProtocolKind::Lrc), 8);
+    for (islands, threads) in [(1usize, 1usize), (4, 1), (4, 4)] {
+        let run_once = || {
+            let mut cfg = ClusterConfig::calibrated_fddi(n);
+            cfg.islands = islands;
+            cfg.island_threads = threads;
+            run_parallel_on(w, sys, &cfg, Preset::Tiny)
+        };
+        let label = format!(
+            "engine/windowed/{}/{sys}/{n}p/islands{islands}_threads{threads}",
+            w.name()
+        );
+        // lint:allow(wall-clock): benchmark measures this machine's throughput
+        let started = Instant::now();
+        let iters = 5;
+        let mut events = 0u64;
+        for _ in 0..iters {
+            events += transport_messages(&run_once());
+        }
+        let wall = started.elapsed().as_secs_f64();
+        println!("{label}: {:.0} events/sec", events as f64 / wall);
+        c.bench_function(&label, |b| b.iter(run_once));
+    }
+}
+
+/// The allocation pass head-to-head, on the diff store's churn pattern
+/// (batch insert, ordered range scan, GC-retain): a plain `BTreeMap` of
+/// owned records — the pre-PR-10 layout, every insert and every GC'd
+/// removal a tree-node allocation carrying the whole record — against the
+/// slab-indexed layout the engine now uses (4-byte handles in the ordered
+/// index, records in a recycling slab).
+fn slab_vs_btreemap(c: &mut Criterion) {
+    use std::collections::BTreeMap;
+    use treadmarks::heap::Slab;
+    // Shaped like a stored diff: a key the index orders on plus a payload
+    // heavy enough that node churn is what the benchmark measures.
+    type Key = (u64, usize, u32);
+    #[derive(Clone)]
+    struct Rec {
+        payload: [u64; 8],
+    }
+    let n = 4096usize;
+    let key_of = |i: usize| -> Key { (i as u64 % 64, i % 8, i as u32) };
+    c.bench_function("alloc/diff_store/btreemap_records", |b| {
+        b.iter(|| {
+            let mut map: BTreeMap<Key, Rec> = BTreeMap::new();
+            for i in 0..n {
+                map.insert(key_of(i), Rec {
+                    payload: [i as u64; 8],
+                });
+            }
+            let scanned: u64 = map
+                .range((0u64, 0usize, 0u32)..(32u64, 0usize, 0u32))
+                .map(|(_, r)| r.payload[0])
+                .sum();
+            map.retain(|&(page, _, _), _| page >= 32);
+            (scanned, map.len())
+        })
+    });
+    c.bench_function("alloc/diff_store/slab_indexed", |b| {
+        b.iter(|| {
+            let mut slab: Slab<Rec> = Slab::default();
+            let mut index: BTreeMap<Key, u32> = BTreeMap::new();
+            for i in 0..n {
+                let handle = slab.insert(Rec {
+                    payload: [i as u64; 8],
+                });
+                index.insert(key_of(i), handle);
+            }
+            let scanned: u64 = index
+                .range((0u64, 0usize, 0u32)..(32u64, 0usize, 0u32))
+                .map(|(_, &h)| slab.get(h).payload[0])
+                .sum();
+            index.retain(|&(page, _, _), &mut handle| {
+                if page >= 32 {
+                    true
+                } else {
+                    slab.remove(handle);
+                    false
+                }
+            });
+            (scanned, index.len())
+        })
+    });
+}
+
 fn executor_fanout(c: &mut Criterion) {
     let keys: Vec<RunKey> = Workload::all()
         .into_iter()
@@ -95,5 +187,11 @@ fn executor_fanout(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, engine_throughput, executor_fanout);
+criterion_group!(
+    benches,
+    engine_throughput,
+    threaded_windows,
+    slab_vs_btreemap,
+    executor_fanout
+);
 criterion_main!(benches);

@@ -14,9 +14,11 @@
 //! cargo run -p bench --release --bin reproduce -- --net atm         # 155 Mbit switched ATM
 //! cargo run -p bench --release --bin reproduce -- --procs 16        # past the paper's 8
 //! cargo run -p bench --release --bin reproduce -- --islands 4       # PDES island scheduler
+//! cargo run -p bench --release --bin reproduce -- --islands 4 --island-threads 4  # threaded windows
 //! cargo run -p bench --release --bin reproduce -- --scenario examples/scenarios/atm_16procs.toml
 //! cargo run -p bench --release --bin reproduce -- sweep --vary procs      # speedup past 8
 //! cargo run -p bench --release --bin reproduce -- sweep --vary bandwidth  # runtime vs bandwidth
+//! cargo run -p bench --release --bin reproduce -- sweep --vary islands    # execution invariance
 //! cargo run -p bench --release --bin reproduce -- fuzz --seeds 25         # schedule exploration
 //! cargo run -p bench --release --bin reproduce -- fuzz --seeds 25 --faults lossy
 //! cargo run -p bench --release --bin reproduce -- fuzz --until-failure --faults FILE
@@ -60,10 +62,24 @@
 //! not stamped into `--json` records; `--bench-out` stamps the width into
 //! the `timing` section only, and only when it is not 1.
 //!
-//! `sweep --vary {procs,bandwidth,latency}` renders sensitivity figures
-//! instead of the reproduction: speedup versus processor count past the
-//! paper's 8, or runtime versus a ×0.25…×4 scaling of one interconnect
-//! field, per workload × system (see `bench::sweep`).
+//! `--island-threads N` (scenario key `island_threads`) additionally runs
+//! the islands of each simulation on N worker threads inside every horizon
+//! window — cross-island sends stage into per-(source, destination)
+//! buffers merged in fixed island order at the window barrier, so no
+//! thread interleaving ever reaches a simulated byte.  Like `--islands` it
+//! is an execution knob: bit-identical output at every thread count (CI
+//! diffs `--json` and `--trace` across `--island-threads 1/2/4` with
+//! `oracle-checks` replaying every threaded run against the serial
+//! engine), excluded from `--json` records, stamped into the `--bench-out`
+//! `timing` section only when not 1.
+//!
+//! `sweep --vary {procs,bandwidth,latency,islands}` renders sensitivity
+//! figures instead of the reproduction: speedup versus processor count
+//! past the paper's 8, or runtime versus a ×0.25…×4 scaling of one
+//! interconnect field, per workload × system (see `bench::sweep`).
+//! `--vary islands` is the execution-invariance figure: the same matrix is
+//! computed at island widths 1/2/4, asserted bit-identical, and rendered
+//! as one (identical) row per width.
 //!
 //! `fuzz --seeds N` (docs/FUZZING.md) fans the selected workload × system
 //! points across N fuzz seeds: seed 0 is the pristine schedule, seed `s`
@@ -275,6 +291,7 @@ fn bench_report(
     tuning: &RunTuning,
     jobs: usize,
     islands: usize,
+    island_threads: usize,
     wall_seconds: f64,
 ) -> String {
     let mut events = 0u64; // transport messages processed (sent == consumed)
@@ -297,12 +314,16 @@ fn bench_report(
             tuning.fault.hash()
         ));
     }
-    // Like the tuning stamps: the island width is an execution detail, so
-    // it lands in the (per-machine) timing section — and only when not 1 —
-    // keeping the deterministic section identical across widths.
+    // Like the tuning stamps: the island width and its thread count are
+    // execution details, so they land in the (per-machine) timing section —
+    // and only when not 1 — keeping the deterministic section identical
+    // across every (islands, island_threads) combination.
     let mut timing_fields = String::new();
     if islands != 1 {
         timing_fields.push_str(&format!("    \"islands\": {islands},\n"));
+    }
+    if island_threads != 1 {
+        timing_fields.push_str(&format!("    \"island_threads\": {island_threads},\n"));
     }
     format!(
         "{{\n  \"preset\": \"{:?}\",\n  \"deterministic\": {{\n{tuning_fields}    \"runs\": {},\n    \
@@ -330,7 +351,7 @@ fn list_catalogue(json: bool) {
     let protocols: Vec<ProtocolKind> = ProtocolKind::all().to_vec();
     let systems: Vec<System> = System::all().to_vec();
     let presets = ["tiny", "scaled", "paper"];
-    let axes = ["procs", "bandwidth", "latency"];
+    let axes = ["procs", "bandwidth", "latency", "islands"];
     if json {
         println!("{{");
         let protos: Vec<String> = protocols
@@ -381,6 +402,10 @@ fn list_catalogue(json: bool) {
         };
         println!("  \"presets\": [{}],", quoted(&presets));
         println!("  \"sweep_axes\": [{}],", quoted(&axes));
+        println!(
+            "  \"execution_knobs\": [{}],",
+            quoted(&["jobs", "islands", "island_threads"])
+        );
         let kinds: Vec<String> = FaultPlan::kinds()
             .iter()
             .map(|(name, desc)| {
@@ -425,6 +450,10 @@ fn list_catalogue(json: bool) {
     }
     println!("\nProblem-size presets: {}", presets.join(", "));
     println!("Sweep axes (sweep --vary AXIS): {}", axes.join(", "));
+    println!(
+        "Execution knobs (byte-identical output at every value): \
+         --jobs N, --islands N, --island-threads N"
+    );
     println!("\nFault kinds (scenario [fault] section; fuzz --faults {{lossy,partitioned,FILE}}):");
     for (name, desc) in FaultPlan::kinds() {
         println!("  {name:<12} {desc}");
@@ -452,6 +481,7 @@ fn replay_verdicts(
     tuning: &RunTuning,
     jobs: usize,
     islands: usize,
+    island_threads: usize,
 ) {
     println!(
         "Crash-plan scenario: verdict replay at {nprocs} processes (net {}, {preset:?} preset)",
@@ -472,6 +502,7 @@ fn replay_verdicts(
             move || {
                 let mut cfg = net.config(nprocs);
                 cfg.islands = islands;
+                cfg.island_threads = island_threads;
                 tuning.apply(&mut cfg);
                 invariants::verdict(try_run_parallel_on(w, sys, &cfg, preset), seq)
             }
@@ -501,7 +532,7 @@ fn main() {
             .position(|a| a == flag)
             .and_then(|i| args.get(i + 1))
     };
-    const VALUE_FLAGS: [&str; 13] = [
+    const VALUE_FLAGS: [&str; 14] = [
         "--protocol",
         "--jobs",
         "--bench-out",
@@ -515,6 +546,7 @@ fn main() {
         "--seeds",
         "--faults",
         "--islands",
+        "--island-threads",
     ];
     for flag in VALUE_FLAGS {
         if args.last().map(String::as_str) == Some(flag) {
@@ -599,6 +631,15 @@ fn main() {
             _ => fail(format!("--islands requires a positive integer, got '{v}'")),
         },
         None => scenario.as_ref().map(|s| s.islands).unwrap_or(1),
+    };
+    let island_threads: usize = match flag_value("--island-threads") {
+        Some(v) => match v.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => fail(format!(
+                "--island-threads requires a positive integer, got '{v}'"
+            )),
+        },
+        None => scenario.as_ref().map(|s| s.island_threads).unwrap_or(1),
     };
     let systems: Vec<System> = match flag_value("--protocol").map(String::as_str) {
         None => scenario
@@ -720,6 +761,7 @@ fn main() {
             until_failure: wants("--until-failure"),
             jobs,
             islands,
+            island_threads,
         };
         let out = run_fuzz(&spec);
         print!("{}", out.report);
@@ -771,23 +813,58 @@ fn main() {
         let keys = sweep.keys();
         // lint:allow(wall-clock): times this machine's execution for the --bench-out report
         let started = std::time::Instant::now();
-        let matrix = run_matrix_islands(
-            preset,
-            &sweep.workloads,
-            &keys,
-            jobs,
-            obs_level,
-            AnalysisLevel::Off,
-            &RunTuning::default(),
-            islands,
-        );
+        let sweep_matrix_at = |islands: usize| {
+            run_matrix_islands(
+                preset,
+                &sweep.workloads,
+                &keys,
+                jobs,
+                obs_level,
+                AnalysisLevel::Off,
+                &RunTuning::default(),
+                islands,
+                island_threads,
+            )
+        };
+        let matrix = if vary == Vary::Islands {
+            if wants("--islands") {
+                fail(
+                    "--islands does not compose with `sweep --vary islands`; \
+                     the sweep runs every island width itself",
+                );
+            }
+            // The execution-invariance figure: compute the matrix once per
+            // width, assert bit-identity, render from the width-1 matrix.
+            let reference = sweep_matrix_at(bench::sweep::ISLAND_WIDTHS[0]);
+            for &width in &bench::sweep::ISLAND_WIDTHS[1..] {
+                let other = sweep_matrix_at(width);
+                for key in &keys {
+                    assert!(
+                        format!("{:?}", reference.run(key)) == format!("{:?}", other.run(key)),
+                        "execution-invariance violation: {key:?} differs between \
+                         islands={} and islands={width}",
+                        bench::sweep::ISLAND_WIDTHS[0],
+                    );
+                }
+            }
+            reference
+        } else {
+            sweep_matrix_at(islands)
+        };
         let wall_seconds = started.elapsed().as_secs_f64();
         print!("{}", sweep.render(&matrix));
         if want_metrics {
             print!("\n{}", obs::metrics_report(&matrix));
         }
         if let Some(path) = bench_out {
-            let report = bench_report(&matrix, &RunTuning::default(), jobs, islands, wall_seconds);
+            let report = bench_report(
+                &matrix,
+                &RunTuning::default(),
+                jobs,
+                islands,
+                island_threads,
+                wall_seconds,
+            );
             if let Err(err) = std::fs::write(&path, &report) {
                 fail(format!("cannot write {path}: {err}"));
             }
@@ -820,6 +897,7 @@ fn main() {
             &tuning,
             jobs,
             islands,
+            island_threads,
         );
         return;
     }
@@ -895,6 +973,7 @@ fn main() {
         analysis_level,
         &tuning,
         islands,
+        island_threads,
     );
     let wall_seconds = started.elapsed().as_secs_f64();
 
@@ -938,7 +1017,7 @@ fn main() {
     }
 
     if let Some(path) = bench_out {
-        let report = bench_report(&matrix, &tuning, jobs, islands, wall_seconds);
+        let report = bench_report(&matrix, &tuning, jobs, islands, island_threads, wall_seconds);
         if let Err(err) = std::fs::write(&path, &report) {
             fail(format!("cannot write {path}: {err}"));
         }

@@ -37,6 +37,10 @@ pub struct ResolvedScenario {
     /// Scheduler island count (`islands` key, default 1).  An execution
     /// strategy, not part of the run identity: every width is bit-identical.
     pub islands: usize,
+    /// Island worker threads inside each horizon window (`island_threads`
+    /// key, default 1).  Like `islands`: execution strategy, bit-identical
+    /// at every thread count.
+    pub island_threads: usize,
 }
 
 /// Look a workload up by its harness name (`EP`, `SOR-Zero`, ...),
@@ -124,6 +128,7 @@ impl ResolvedScenario {
                 fault: s.fault.clone().unwrap_or_default(),
             },
             islands: s.islands.unwrap_or(1),
+            island_threads: s.island_threads.unwrap_or(1),
         })
     }
 }
@@ -143,6 +148,7 @@ mod tests {
         assert_eq!(r.systems, System::all().to_vec());
         assert!(r.tuning.is_default());
         assert_eq!(r.islands, 1);
+        assert_eq!(r.island_threads, 1);
     }
 
     #[test]
@@ -159,9 +165,10 @@ mod tests {
 
     #[test]
     fn the_islands_key_resolves_onto_the_scenario() {
-        let s = Scenario::parse_toml("islands = 4").unwrap();
+        let s = Scenario::parse_toml("islands = 4\nisland_threads = 2").unwrap();
         let r = ResolvedScenario::resolve(&s, Preset::Tiny, 8).unwrap();
         assert_eq!(r.islands, 4);
+        assert_eq!(r.island_threads, 2);
         assert!(r.tuning.is_default());
     }
 

@@ -109,6 +109,17 @@ pub struct ClusterConfig {
     /// above `nprocs` clamp to `nprocs`.
     #[serde(default)]
     pub islands: usize,
+    /// Number of OS threads allowed to advance ranks concurrently inside a
+    /// horizon window (see `cluster::window`).  Like
+    /// [`islands`](Self::islands) this is an execution strategy, **not**
+    /// part of the cost model: every width produces bit-identical output,
+    /// asserted against the serial reference executor under the
+    /// `oracle-checks` feature.  `0` and `1` both select the serial engine;
+    /// values `>= 2` enable the windowed engine when the configuration is
+    /// eligible (no seeded tie-breaking, no reordering/crash faults, no
+    /// run-time analysis).
+    #[serde(default)]
+    pub island_threads: usize,
 }
 
 impl ClusterConfig {
@@ -131,6 +142,7 @@ impl ClusterConfig {
             sched_seed: 0,
             tie_limit: None,
             islands: 1,
+            island_threads: 1,
         }
     }
 
@@ -157,6 +169,7 @@ impl ClusterConfig {
             sched_seed: 0,
             tie_limit: None,
             islands: 1,
+            island_threads: 1,
         }
     }
 
@@ -184,6 +197,7 @@ impl ClusterConfig {
             sched_seed: 0,
             tie_limit: None,
             islands: 1,
+            island_threads: 1,
         }
     }
 
@@ -205,6 +219,7 @@ impl ClusterConfig {
             sched_seed: 0,
             tie_limit: None,
             islands: 1,
+            island_threads: 1,
         }
     }
 

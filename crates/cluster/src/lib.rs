@@ -59,6 +59,7 @@ pub mod scenario;
 pub(crate) mod sched;
 pub mod stats;
 pub mod time;
+pub(crate) mod window;
 
 pub use analysis::AnalysisLevel;
 pub use config::{ClusterConfig, NetModel, NetPreset, Overrides};
@@ -154,6 +155,9 @@ impl Cluster {
         let core = Arc::new(net::NetworkCore::new(cfg.clone()));
         let f = &f;
         let results: Result<Vec<(R, ProcStats, Option<obs::ProcObs>)>, RunFailure> =
+            // lint:allow(threads): the cluster's own per-process OS threads —
+            // the arbiter (and, threaded, the window coordinator) serialises
+            // every simulated interaction they perform.
             std::thread::scope(|s| {
                 let mut handles = Vec::with_capacity(cfg.nprocs);
                 for id in 0..cfg.nprocs {

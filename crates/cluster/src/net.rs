@@ -126,9 +126,10 @@ impl std::fmt::Display for RunFailure {
     }
 }
 
-/// Why the simulation was torn down early.
+/// Why the simulation was torn down early.  Shared with the windowed
+/// engine (`crate::window`), which raises the identical payloads.
 #[derive(Debug, Clone)]
-enum Abort {
+pub(crate) enum Abort {
     /// A process thread panicked; peers must fail fast instead of waiting
     /// for messages the dead process will never send.
     Panic(usize),
@@ -152,9 +153,19 @@ enum Abort {
 /// (Unit tests use a small limit so the detector's regression test is
 /// instant.)
 #[cfg(not(test))]
-const LIVELOCK_GRANT_LIMIT: u64 = 10_000_000;
+pub(crate) const LIVELOCK_GRANT_LIMIT: u64 = 10_000_000;
 #[cfg(test)]
-const LIVELOCK_GRANT_LIMIT: u64 = 100_000;
+pub(crate) const LIVELOCK_GRANT_LIMIT: u64 = 100_000;
+
+/// Unwind the calling process thread with the typed payload matching the
+/// abort cause.  Shared by both engines.
+pub(crate) fn panic_aborted(abort: &Abort) -> ! {
+    match abort {
+        Abort::Panic(who) => std::panic::panic_any(PeerAbort(*who)),
+        Abort::Deadlock(graph) => std::panic::panic_any(DeadlockAbort(graph.clone())),
+        Abort::Livelock(graph) => std::panic::panic_any(LivelockAbort(graph.clone())),
+    }
+}
 
 /// Everything the simulation shares between process threads, guarded by a
 /// single lock: exactly one process interacts with it at a time anyway (the
@@ -187,12 +198,21 @@ struct SimState {
 }
 
 /// The shared state of the simulated network.
+///
+/// Facade over two engines: the serial reference engine (this module — one
+/// lock, one grant at a time) and the threaded windowed engine
+/// (`crate::window`), selected at construction when the configuration is
+/// [eligible](crate::window::eligible) and `cfg.island_threads >= 2`.  Both
+/// produce bit-identical output; the serial engine remains the semantics of
+/// record and the `oracle-checks` reference executor.
 pub struct NetworkCore {
     cfg: ClusterConfig,
     state: Mutex<SimState>,
     /// One wake-up channel per process; a process sleeps on its own condvar
     /// while parked or blocked and is woken when granted (or on abort).
     wake: Vec<Condvar>,
+    /// The threaded engine, when eligible; every primitive delegates to it.
+    windowed: Option<crate::window::WindowedCore>,
 }
 
 impl NetworkCore {
@@ -204,7 +224,10 @@ impl NetworkCore {
         let tracing = cfg.obs == ObsLevel::Trace;
         let faults = FaultState::new(&cfg.fault, n);
         let arb = IslandSched::new(n, cfg.islands, cfg.sched_seed, cfg.tie_limit, cfg.latency);
+        let windowed =
+            crate::window::eligible(&cfg).then(|| crate::window::WindowedCore::new(cfg.clone()));
         NetworkCore {
+            windowed,
             cfg,
             state: Mutex::new(SimState {
                 mailboxes: (0..n).map(|_| VecDeque::new()).collect(),
@@ -228,6 +251,9 @@ impl NetworkCore {
     /// Mark the cluster as aborted because process `who` panicked, and wake
     /// every parked or blocked process so it can fail fast.
     pub fn abort(&self, who: usize) {
+        if let Some(w) = &self.windowed {
+            return w.abort(who);
+        }
         let mut st = self.state.lock();
         if st.aborted.is_none() {
             st.aborted = Some(Abort::Panic(who));
@@ -241,6 +267,9 @@ impl NetworkCore {
     /// Mark process `id` as finished and hand the token to the next
     /// runnable process.  Called when the process closure returns.
     pub fn finish(&self, id: usize) {
+        if let Some(w) = &self.windowed {
+            return w.finish(id);
+        }
         let mut st = self.state.lock();
         st.arb.set(id, PState::Finished);
         if st.aborted.is_none() {
@@ -255,6 +284,9 @@ impl NetworkCore {
     /// one process; peers run on (and may then deadlock, which the detector
     /// reports naming this crash as context).
     pub(crate) fn crash(&self, id: usize, at: f64) {
+        if let Some(w) = &self.windowed {
+            return w.crash(id, at);
+        }
         let mut st = self.state.lock();
         st.crashed.push((id, at));
         if let Some(f) = st.faults.as_mut() {
@@ -279,24 +311,22 @@ impl NetworkCore {
 
     /// `(rank, virtual_time)` of every fault-plan crash that has fired.
     pub(crate) fn crashed(&self) -> Vec<(usize, f64)> {
+        if let Some(w) = &self.windowed {
+            return w.crashed();
+        }
         self.state.lock().crashed.clone()
     }
 
     /// Counters of the faults injected so far, with the arbiter's seeded
     /// tie-break draws folded in.  All zero for an empty plan under seed 0.
     pub fn fault_stats(&self) -> FaultStats {
+        if let Some(w) = &self.windowed {
+            return w.fault_stats();
+        }
         let st = self.state.lock();
         let mut stats = st.faults.as_ref().map(|f| f.stats).unwrap_or_default();
         stats.tie_breaks = st.arb.tie_draws();
         stats
-    }
-
-    fn panic_aborted(abort: &Abort) -> ! {
-        match abort {
-            Abort::Panic(who) => std::panic::panic_any(PeerAbort(*who)),
-            Abort::Deadlock(graph) => std::panic::panic_any(DeadlockAbort(graph.clone())),
-            Abort::Livelock(graph) => std::panic::panic_any(LivelockAbort(graph.clone())),
-        }
     }
 
     /// Lines appended to a deadlock/livelock report naming the fault context:
@@ -394,13 +424,13 @@ impl NetworkCore {
         state: PState,
     ) -> MutexGuard<'a, SimState> {
         if let Some(abort) = &st.aborted {
-            Self::panic_aborted(abort);
+            panic_aborted(abort);
         }
         st.arb.set(me, state);
         self.dispatch(&mut st);
         loop {
             if let Some(abort) = &st.aborted {
-                Self::panic_aborted(abort);
+                panic_aborted(abort);
             }
             if matches!(st.arb.state(me), PState::Running) {
                 return st;
@@ -410,7 +440,9 @@ impl NetworkCore {
     }
 
     /// Put a message on the wire at virtual time `depart` from `src` to
-    /// `dst`.  Returns `(arrival_time, datagrams)`.
+    /// `dst`.  `clock` is the sender's current virtual time (`<= depart`
+    /// for scheduled sends); the windowed engine folds it into the horizon
+    /// floor.  Returns the number of wire datagrams charged.
     ///
     /// When the shared-medium model is enabled, transmission is serialised:
     /// the message cannot start transmitting before the medium is free, which
@@ -425,7 +457,11 @@ impl NetworkCore {
         tag: Tag,
         payload: Bytes,
         depart: f64,
-    ) -> (f64, u64) {
+        clock: f64,
+    ) -> u64 {
+        if let Some(w) = &self.windowed {
+            return w.transmit(src, dst, tag, payload, depart, clock);
+        }
         assert!(dst < self.cfg.nprocs, "send to nonexistent process {dst}");
         let mut st = self.park(self.state.lock(), src, PState::Parked { key: depart });
         let bytes = payload.len();
@@ -530,7 +566,7 @@ impl NetworkCore {
                 );
             }
         }
-        (arrival, datagrams)
+        datagrams
     }
 
     /// Blocking receive of the first queued message for `dst` that matches
@@ -550,6 +586,9 @@ impl NetworkCore {
         tag: Option<Tag>,
         clock: f64,
     ) -> Message {
+        if let Some(w) = &self.windowed {
+            return w.recv_match(dst, src, tag, clock);
+        }
         let st = self.state.lock();
         let state = match Self::find(&st.mailboxes[dst], src, tag) {
             Some(pos) => PState::Parked {
@@ -592,6 +631,9 @@ impl NetworkCore {
         tag: Option<Tag>,
         now: f64,
     ) -> Option<Message> {
+        if let Some(w) = &self.windowed {
+            return w.try_recv_match(dst, src, tag, now);
+        }
         let mut st = self.park(self.state.lock(), dst, PState::Parked { key: now });
         let pos = st.mailboxes[dst].iter().position(|m| {
             m.arrival <= now && src.is_none_or(|s| m.src == s) && tag.is_none_or(|t| m.tag == t)
@@ -615,6 +657,9 @@ impl NetworkCore {
     /// Number of messages queued for `dst` that have arrived by virtual
     /// time `now`.  Like every observation, clock-gated and arbitrated.
     pub fn pending(&self, dst: usize, now: f64) -> usize {
+        if let Some(w) = &self.windowed {
+            return w.pending(dst, now);
+        }
         let st = self.park(self.state.lock(), dst, PState::Parked { key: now });
         st.mailboxes[dst]
             .iter()
@@ -631,6 +676,9 @@ impl NetworkCore {
     /// grants).  Empty below [`ObsLevel::Trace`].  Called once by the
     /// cluster front end after every process has finished.
     pub fn take_central(&self) -> Vec<Event> {
+        if let Some(w) = &self.windowed {
+            return w.take_central();
+        }
         self.state.lock().trace.take().unwrap_or_default()
     }
 }

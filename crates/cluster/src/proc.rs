@@ -135,7 +135,9 @@ impl Proc {
 
     fn transmit(&self, dst: usize, tag: Tag, payload: Bytes, depart: f64) {
         let bytes = payload.len() as u64;
-        let (_, datagrams) = self.core.transmit(self.id, dst, tag, payload, depart);
+        let datagrams = self
+            .core
+            .transmit(self.id, dst, tag, payload, depart, self.clock.now());
         let mut st = self.stats.borrow_mut();
         st.messages_sent += 1;
         st.datagrams_sent += datagrams;

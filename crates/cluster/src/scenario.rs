@@ -88,6 +88,11 @@ pub struct Scenario {
     /// default (one island) in force.  An execution strategy, not a cost
     /// model knob: every width produces bit-identical output.
     pub islands: Option<usize>,
+    /// Worker threads driving the islands inside each horizon window
+    /// (`island_threads` key); `None` leaves the caller's default (serial)
+    /// in force.  Like `islands`, an execution strategy: every thread
+    /// count produces bit-identical output.
+    pub island_threads: Option<usize>,
     /// Fault-injection plan (`[fault]` section); `None` = no faults.
     pub fault: Option<FaultPlan>,
 }
@@ -105,6 +110,7 @@ impl Default for Scenario {
             sched_seed: None,
             tie_limit: None,
             islands: None,
+            island_threads: None,
             fault: None,
         }
     }
@@ -352,11 +358,12 @@ impl Scenario {
                 "sched_seed" => self.sched_seed = Some(value.as_u64(key)?),
                 "tie_limit" => self.tie_limit = Some(value.as_u64(key)?),
                 "islands" => self.islands = Some(value.as_usize(key)?),
+                "island_threads" => self.island_threads = Some(value.as_usize(key)?),
                 other => {
                     return err(format!(
                         "unknown key '{other}'; known keys: name, net, procs, preset, \
                          workloads, systems, sched_seed, tie_limit, islands, \
-                         [overrides], [fault]"
+                         island_threads, [overrides], [fault]"
                     ))
                 }
             },
@@ -440,6 +447,9 @@ impl Scenario {
         if let Some(islands) = self.islands {
             cfg.islands = islands;
         }
+        if let Some(threads) = self.island_threads {
+            cfg.island_threads = threads;
+        }
         if let Some(plan) = &self.fault {
             cfg.fault = plan.clone();
         }
@@ -478,6 +488,9 @@ impl Scenario {
         }
         if let Some(islands) = self.islands {
             out.push_str(&format!("islands = {islands}\n"));
+        }
+        if let Some(threads) = self.island_threads {
+            out.push_str(&format!("island_threads = {threads}\n"));
         }
         if !self.overrides.is_empty() {
             out.push_str("\n[overrides]\n");
@@ -1070,6 +1083,7 @@ mod tests {
             sched_seed = 18446744073709551615   # u64::MAX survives exactly
             tie_limit = 12
             islands = 4
+            island_threads = 4
 
             [fault]
             seed = 9874321098765432109
@@ -1082,6 +1096,7 @@ mod tests {
         assert_eq!(s.sched_seed, Some(u64::MAX));
         assert_eq!(s.tie_limit, Some(12));
         assert_eq!(s.islands, Some(4));
+        assert_eq!(s.island_threads, Some(4));
         let plan = s.fault.as_ref().unwrap();
         assert_eq!(plan.seed, 9874321098765432109);
         assert_eq!(plan.drop, 0.02);
@@ -1098,6 +1113,7 @@ mod tests {
         assert_eq!(cfg.sched_seed, u64::MAX);
         assert_eq!(cfg.tie_limit, Some(12));
         assert_eq!(cfg.islands, 4);
+        assert_eq!(cfg.island_threads, 4);
         assert_eq!(&cfg.fault, plan);
         // Canonical serialisation round-trips exactly, twice.
         let reparsed = Scenario::parse_toml(&s.to_toml()).unwrap();

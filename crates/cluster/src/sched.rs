@@ -405,6 +405,17 @@ pub(crate) struct IslandSched {
     /// Key of the most recent grant (`None` until the startup prologue ends
     /// with the first grant).
     last_grant: Option<f64>,
+    /// Batched-arbitration cache from the last full cross-island scan:
+    /// `(favoured_island, runner_up)`, where `runner_up` is the smallest
+    /// `(key, rank)` parked outside the favoured island (`None` when no
+    /// other island had a parked member).  Valid only while every `set`
+    /// since the scan touched the favoured island alone; while the favoured
+    /// island's minimum stays strictly below the runner-up, a whole run of
+    /// same-island minimum-key grants is issued without re-scanning the
+    /// other islands.  Ranks are globally unique and islands are ascending
+    /// rank blocks, so the `(key, rank)` tuple order *is* the flat arbiter's
+    /// tie-break order and the strict comparison is exact.
+    run_cache: Option<(usize, Option<(Key, usize)>)>,
     #[cfg(feature = "oracle-checks")]
     shadow: Arbiter,
 }
@@ -442,6 +453,7 @@ impl IslandSched {
             tie: TieBreak::new(seed, limit),
             lookahead,
             last_grant: None,
+            run_cache: None,
             #[cfg(feature = "oracle-checks")]
             shadow: Arbiter::with_seed(n, seed, limit),
         }
@@ -478,6 +490,13 @@ impl IslandSched {
             }
         }
         let island = rank / self.block;
+        // A transition outside the favoured island (a cross-island promotion
+        // or park) can lower another island's minimum: the cached runner-up
+        // bound no longer certifies the favoured island owns the global
+        // minimum.
+        if self.run_cache.is_some_and(|(fav, _)| fav != island) {
+            self.run_cache = None;
+        }
         match self.procs[rank] {
             PState::Running => self.running -= 1,
             PState::Parked { .. } => {
@@ -554,17 +573,45 @@ impl IslandSched {
                 Decision::AllDone
             };
         }
-        let mut best: Option<(Key, usize)> = None;
+        // Batched arbitration: while the favoured island's minimum stays
+        // strictly below every other island's (certified by the cached
+        // runner-up bound), grant it directly — a run of same-island
+        // minimum-key grants costs one cross-island scan total.  Seeded
+        // ties must see the full cross-island candidate list, so they
+        // always take the scan.
+        if !self.tie.seeded() {
+            if let Some((fav, bound)) = self.run_cache {
+                if self.island_parked[fav] > 0 {
+                    let min = self.island_min(fav);
+                    if bound.is_none_or(|b| min < b) {
+                        self.last_grant = Some(min.0 .0);
+                        return Decision::Grant(min.1);
+                    }
+                }
+            }
+        }
+        let mut best: Option<(usize, (Key, usize))> = None;
+        let mut runner_up: Option<(Key, usize)> = None;
         for island in 0..self.heaps.len() {
             if self.island_parked[island] == 0 {
                 continue;
             }
             let min = self.island_min(island);
-            if best.is_none_or(|b| min < b) {
-                best = Some(min);
+            match best {
+                Some((_, bmin)) if min >= bmin => {
+                    if runner_up.is_none_or(|r| min < r) {
+                        runner_up = Some(min);
+                    }
+                }
+                _ => {
+                    runner_up = best.map(|(_, bmin)| bmin);
+                    best = Some((island, min));
+                }
             }
         }
-        let (key, rank) = best.expect("an island with parked processes owns the minimum");
+        let (fav, (key, rank)) =
+            best.expect("an island with parked processes owns the minimum");
+        self.run_cache = Some((fav, runner_up));
         let granted = if self.tie.seeded() {
             self.tie_grant(key)
         } else {
@@ -1031,6 +1078,33 @@ mod tests {
             }
             assert_eq!(isle.decide(), flat.decide(), "seed {seed}");
         }
+    }
+
+    #[test]
+    fn same_island_runs_use_and_invalidate_the_batch_cache() {
+        // Island 0 (ranks 0..3) owns a run of ascending keys strictly below
+        // island 1's minimum: after one full scan, every grant in the run
+        // must come from the batch cache and still match the reference scan.
+        let mut isle = IslandSched::new(6, 2, 0, None, NO_HORIZON);
+        for r in 0..3 {
+            isle.set(r, PState::Parked { key: r as f64 });
+        }
+        for r in 3..6 {
+            isle.set(r, PState::Parked { key: 100.0 });
+        }
+        for expect in 0..3 {
+            assert_eq!(isle.decide(), Decision::Grant(expect));
+            assert_eq!(choose(isle.states()), Decision::Grant(expect));
+            isle.set(expect, PState::Running);
+            isle.set(expect, PState::Finished);
+        }
+        // Cross-island park below the cached runner-up: the cache must be
+        // invalidated, not trusted.
+        isle.set(0, PState::Parked { key: 50.0 });
+        isle.set(4, PState::Parked { key: 10.0 });
+        assert_eq!(isle.decide(), Decision::Grant(4));
+        isle.set(4, PState::Finished);
+        assert_eq!(isle.decide(), Decision::Grant(0));
     }
 
     #[test]

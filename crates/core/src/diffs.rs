@@ -15,7 +15,6 @@ use crate::proto::{vc_wire, DiffResponsePart, WireDiff};
 use crate::state::{DsmState, Notice};
 use crate::vc::VectorClock;
 use bytes::Bytes;
-use std::collections::BTreeMap;
 
 /// A diff held locally, with the bookkeeping needed to charge its creation
 /// cost lazily: real TreadMarks creates diffs only when they are first
@@ -46,15 +45,13 @@ impl DsmState {
         vc_wire: &Bytes,
         diff: Diff,
     ) {
-        self.diffs.insert(
-            (page, self.me, seq),
-            StoredDiff {
-                vc: vc.clone(),
-                vc_wire: vc_wire.clone(),
-                diff,
-                scan_charged: false,
-            },
-        );
+        let handle = self.diff_slab.insert(StoredDiff {
+            vc: vc.clone(),
+            vc_wire: vc_wire.clone(),
+            diff,
+            scan_charged: false,
+        });
+        self.diffs.insert((page, self.me, seq), handle);
     }
 
     /// The set of processes to send diff requests to for `page`: the writers
@@ -65,17 +62,16 @@ impl DsmState {
     /// sufficient — this is the optimisation described in Section 2.2.2.
     pub fn diff_request_targets(&self, page: PageId) -> Vec<usize> {
         let notices = self.notices_of(page);
-        // Latest pending interval per writer.
-        let mut latest: BTreeMap<usize, &Notice> = BTreeMap::new();
+        // Latest pending interval per writer.  A linear scan over a small
+        // vector (there are at most `nprocs` writers), not a per-fault map.
+        let mut writers: Vec<&Notice> = Vec::new();
         for n in notices {
-            match latest.get(&n.creator) {
+            match writers.iter_mut().find(|w| w.creator == n.creator) {
                 Some(cur) if cur.seq >= n.seq => {}
-                _ => {
-                    latest.insert(n.creator, n);
-                }
+                Some(cur) => *cur = n,
+                None => writers.push(n),
             }
         }
-        let writers: Vec<&Notice> = latest.values().copied().collect();
         let mut targets = Vec::new();
         for w in &writers {
             let dominated = writers.iter().any(|o| {
@@ -112,8 +108,8 @@ impl DsmState {
         let (keys, first_serves) = self.served_diff_keys(page, requester, applied_vc, global_vc);
         let out = keys
             .into_iter()
-            .map(|(_, creator, seq)| {
-                let stored = &self.diffs[&(page, creator, seq)];
+            .map(|(_, creator, seq, handle)| {
+                let stored = self.diff_slab.get(handle);
                 WireDiff {
                     creator,
                     seq,
@@ -128,7 +124,8 @@ impl DsmState {
     /// Serve a diff request straight into its wire encoding: the same
     /// selection as [`diffs_for_request`](Self::diffs_for_request), but the
     /// response payload is built from the stored diffs and their pre-encoded
-    /// clocks by reference — no `Diff` or `VectorClock` clones.  Returns the
+    /// clocks by reference — no `Diff` or `VectorClock` clones — into the
+    /// state's reusable, exactly pre-sized wire buffer.  Returns the
     /// payload, the summed encoded size of the served diffs (the responder's
     /// copy cost), and the number of first-time serves (whose creation scan
     /// the caller charges — lazy diff creation).
@@ -140,35 +137,40 @@ impl DsmState {
         global_vc: &VectorClock,
     ) -> (Bytes, usize, usize) {
         let (keys, first_serves) = self.served_diff_keys(page, requester, applied_vc, global_vc);
+        let DsmState {
+            diff_slab, wire, ..
+        } = self;
         let mut diff_bytes = 0usize;
         let parts: Vec<DiffResponsePart<'_>> = keys
             .iter()
-            .map(|&(_, creator, seq)| {
-                let stored = &self.diffs[&(page, creator, seq)];
+            .map(|&(_, creator, seq, handle)| {
+                let stored = diff_slab.get(handle);
                 diff_bytes += stored.diff.encoded_len();
                 (creator, seq, &stored.vc_wire, &stored.diff)
             })
             .collect();
-        let payload = crate::proto::encode_diff_response_preencoded(page, &parts);
+        let payload = crate::proto::encode_diff_response_into(wire, page, &parts);
         (payload, diff_bytes, first_serves)
     }
 
     /// The diffs this process would serve for `page`, as `(hb1 sort key,
-    /// creator, seq)` in response order, marking first-time serves as
-    /// scan-charged.  A range scan over the page's keys in the ordered diff
-    /// store — not a sweep over every diff held.
+    /// creator, seq, slab handle)` in response order, marking first-time
+    /// serves as scan-charged.  A range scan over the page's keys in the
+    /// ordered diff index — not a sweep over every diff held.
     fn served_diff_keys(
         &mut self,
         page: PageId,
         requester: usize,
         applied_vc: &VectorClock,
         global_vc: &VectorClock,
-    ) -> (Vec<(u64, usize, u32)>, usize) {
+    ) -> (Vec<(u64, usize, u32, u32)>, usize) {
+        let DsmState {
+            diffs, diff_slab, ..
+        } = self;
         let mut first_serves = 0usize;
-        let mut keys: Vec<(u64, usize, u32)> = Vec::new();
-        for (&(_, creator, seq), stored) in self
-            .diffs
-            .range_mut((page, 0, 0)..=(page, usize::MAX, u32::MAX))
+        let mut keys: Vec<(u64, usize, u32, u32)> = Vec::new();
+        for (&(_, creator, seq), &handle) in
+            diffs.range((page, 0, 0)..=(page, usize::MAX, u32::MAX))
         {
             if creator == requester
                 || seq <= applied_vc.get(creator)
@@ -176,11 +178,12 @@ impl DsmState {
             {
                 continue;
             }
+            let stored = diff_slab.get_mut(handle);
             if !stored.scan_charged {
                 stored.scan_charged = true;
                 first_serves += 1;
             }
-            keys.push((stored.vc.sum(), creator, seq));
+            keys.push((stored.vc.sum(), creator, seq, handle));
         }
         keys.sort_unstable();
         (keys, first_serves)
@@ -219,17 +222,25 @@ impl DsmState {
                 }
             }
         }
-        for wd in diffs {
-            self.stats.diffs_applied += 1;
-            self.stats.diff_bytes_received += wd.diff.encoded_len() as u64;
-            self.diffs
-                .entry((page, wd.creator, wd.seq))
-                .or_insert_with(|| StoredDiff {
-                    vc_wire: vc_wire(&wd.vc),
-                    vc: wd.vc,
-                    diff: wd.diff,
-                    scan_charged: true,
+        {
+            let DsmState {
+                diffs: index,
+                diff_slab,
+                stats,
+                ..
+            } = &mut *self;
+            for wd in diffs {
+                stats.diffs_applied += 1;
+                stats.diff_bytes_received += wd.diff.encoded_len() as u64;
+                index.entry((page, wd.creator, wd.seq)).or_insert_with(|| {
+                    diff_slab.insert(StoredDiff {
+                        vc_wire: vc_wire(&wd.vc),
+                        vc: wd.vc,
+                        diff: wd.diff,
+                        scan_charged: true,
+                    })
                 });
+            }
         }
         self.revalidate_page(page);
     }
@@ -247,12 +258,23 @@ impl DsmState {
     }
 
     /// Drop every stored diff covered by `up_to` (the GC's diff half; see
-    /// [`DsmState::gc`]).  Returns how many were collected.
+    /// [`DsmState::gc`]), recycling their slab slots.  Returns how many
+    /// were collected.
     pub(crate) fn gc_diffs(&mut self, up_to: &VectorClock) -> usize {
-        let before = self.diffs.len();
-        self.diffs
-            .retain(|&(_, creator, seq), _| seq > up_to.get(creator));
-        before - self.diffs.len()
+        let DsmState {
+            diffs, diff_slab, ..
+        } = self;
+        let before = diffs.len();
+        diffs.retain(|&(_, creator, seq), &mut handle| {
+            if seq > up_to.get(creator) {
+                true
+            } else {
+                diff_slab.remove(handle);
+                false
+            }
+        });
+        debug_assert_eq!(diff_slab.len(), diffs.len());
+        before - diffs.len()
     }
 }
 

@@ -38,6 +38,91 @@ pub struct PagePool {
 /// high-water mark of a burst forever.
 const POOL_CAP: usize = 64;
 
+/// A typed slab: stable `u32` handles into a free-list-recycled arena.
+///
+/// The diff store keys its ordered index (a `BTreeMap`, kept because serving
+/// a request is a range scan over one page's keys) by slab handle instead of
+/// holding each value inline: map nodes stay small — splits and rebalances
+/// move a few `u32`s, not whole diffs — and the insert/GC churn of a long
+/// run recycles slots instead of going back to the allocator for every
+/// retained diff.
+#[derive(Debug)]
+pub struct Slab<T> {
+    entries: Vec<Option<T>>,
+    free: Vec<u32>,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab {
+            entries: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+}
+
+impl<T> Slab<T> {
+    /// Store `value` and return its handle (a recycled slot if one is free).
+    pub fn insert(&mut self, value: T) -> u32 {
+        match self.free.pop() {
+            Some(i) => {
+                debug_assert!(self.entries[i as usize].is_none());
+                self.entries[i as usize] = Some(value);
+                i
+            }
+            None => {
+                self.entries.push(Some(value));
+                (self.entries.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Remove and return the value behind `handle`, recycling its slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is vacant (double free).
+    pub fn remove(&mut self, handle: u32) -> T {
+        let v = self.entries[handle as usize]
+            .take()
+            .expect("slab handle removed twice");
+        self.free.push(handle);
+        v
+    }
+
+    /// The value behind `handle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is vacant.
+    pub fn get(&self, handle: u32) -> &T {
+        self.entries[handle as usize]
+            .as_ref()
+            .expect("vacant slab handle")
+    }
+
+    /// The value behind `handle`, mutably.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is vacant.
+    pub fn get_mut(&mut self, handle: u32) -> &mut T {
+        self.entries[handle as usize]
+            .as_mut()
+            .expect("vacant slab handle")
+    }
+
+    /// Number of live values.
+    pub fn len(&self) -> usize {
+        self.entries.len() - self.free.len()
+    }
+
+    /// True if no values are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 impl PagePool {
     /// A zero-filled page (recycled if one is available).
     pub fn take_zeroed(&mut self) -> Box<[u8]> {
@@ -208,16 +293,35 @@ impl<'a> Tmk<'a> {
         self.write_bytes(addr, &v.to_le_bytes());
     }
 
+    /// Run `f` over this endpoint's reusable raw-byte scratch buffer, sized
+    /// and zeroed to `len` bytes.
+    ///
+    /// The typed slice accessors convert through a byte staging buffer;
+    /// allocating it per call made every `read_f64_slice` of a hot loop an
+    /// allocator round trip.  The buffer is *taken* out of its cell for the
+    /// duration of `f`, so a re-entrant access (a fault serviced mid-read
+    /// ending in another typed access) falls back to a fresh allocation
+    /// instead of aliasing the outer call's bytes.
+    fn with_scratch<R>(&self, len: usize, f: impl FnOnce(&Self, &mut Vec<u8>) -> R) -> R {
+        let mut raw = std::mem::take(&mut *self.scratch.borrow_mut());
+        raw.clear();
+        raw.resize(len, 0);
+        let out = f(self, &mut raw);
+        *self.scratch.borrow_mut() = raw;
+        out
+    }
+
     /// Read a contiguous run of `out.len()` `f64` values starting at `addr`.
     pub fn read_f64_slice(&self, addr: SharedAddr, out: &mut [f64]) {
         if out.is_empty() {
             return;
         }
-        let mut raw = vec![0u8; out.len() * 8];
-        self.read_bytes(addr, &mut raw);
-        for (i, chunk) in raw.chunks_exact(8).enumerate() {
-            out[i] = f64::from_le_bytes(chunk.try_into().unwrap());
-        }
+        self.with_scratch(out.len() * 8, |tmk, raw| {
+            tmk.read_bytes(addr, raw);
+            for (i, chunk) in raw.chunks_exact(8).enumerate() {
+                out[i] = f64::from_le_bytes(chunk.try_into().unwrap());
+            }
+        });
     }
 
     /// Write a contiguous run of `f64` values starting at `addr`.
@@ -225,11 +329,12 @@ impl<'a> Tmk<'a> {
         if src.is_empty() {
             return;
         }
-        let mut raw = Vec::with_capacity(src.len() * 8);
-        for v in src {
-            raw.extend_from_slice(&v.to_le_bytes());
-        }
-        self.write_bytes(addr, &raw);
+        self.with_scratch(0, |tmk, raw| {
+            for v in src {
+                raw.extend_from_slice(&v.to_le_bytes());
+            }
+            tmk.write_bytes(addr, raw);
+        });
     }
 
     /// Read a contiguous run of `f32` values starting at `addr`.
@@ -237,11 +342,12 @@ impl<'a> Tmk<'a> {
         if out.is_empty() {
             return;
         }
-        let mut raw = vec![0u8; out.len() * 4];
-        self.read_bytes(addr, &mut raw);
-        for (i, chunk) in raw.chunks_exact(4).enumerate() {
-            out[i] = f32::from_le_bytes(chunk.try_into().unwrap());
-        }
+        self.with_scratch(out.len() * 4, |tmk, raw| {
+            tmk.read_bytes(addr, raw);
+            for (i, chunk) in raw.chunks_exact(4).enumerate() {
+                out[i] = f32::from_le_bytes(chunk.try_into().unwrap());
+            }
+        });
     }
 
     /// Write a contiguous run of `f32` values starting at `addr`.
@@ -249,11 +355,12 @@ impl<'a> Tmk<'a> {
         if src.is_empty() {
             return;
         }
-        let mut raw = Vec::with_capacity(src.len() * 4);
-        for v in src {
-            raw.extend_from_slice(&v.to_le_bytes());
-        }
-        self.write_bytes(addr, &raw);
+        self.with_scratch(0, |tmk, raw| {
+            for v in src {
+                raw.extend_from_slice(&v.to_le_bytes());
+            }
+            tmk.write_bytes(addr, raw);
+        });
     }
 
     /// Read a contiguous run of `i32` values starting at `addr`.
@@ -261,11 +368,12 @@ impl<'a> Tmk<'a> {
         if out.is_empty() {
             return;
         }
-        let mut raw = vec![0u8; out.len() * 4];
-        self.read_bytes(addr, &mut raw);
-        for (i, chunk) in raw.chunks_exact(4).enumerate() {
-            out[i] = i32::from_le_bytes(chunk.try_into().unwrap());
-        }
+        self.with_scratch(out.len() * 4, |tmk, raw| {
+            tmk.read_bytes(addr, raw);
+            for (i, chunk) in raw.chunks_exact(4).enumerate() {
+                out[i] = i32::from_le_bytes(chunk.try_into().unwrap());
+            }
+        });
     }
 
     /// Write a contiguous run of `i32` values starting at `addr`.
@@ -273,11 +381,12 @@ impl<'a> Tmk<'a> {
         if src.is_empty() {
             return;
         }
-        let mut raw = Vec::with_capacity(src.len() * 4);
-        for v in src {
-            raw.extend_from_slice(&v.to_le_bytes());
-        }
-        self.write_bytes(addr, &raw);
+        self.with_scratch(0, |tmk, raw| {
+            for v in src {
+                raw.extend_from_slice(&v.to_le_bytes());
+            }
+            tmk.write_bytes(addr, raw);
+        });
     }
 
     // --------------------------------------------------------------- faults

@@ -12,10 +12,10 @@
 //! [`ConsistencyProtocol`](crate::protocol::ConsistencyProtocol) policy hooks.
 
 use crate::page::Diff;
-use crate::proto::{record_wire, vc_wire, IntervalRecord};
+use crate::proto::{encode_sync_spliced, record_wire, vc_wire, IntervalRecord};
 use crate::state::{ClosedInterval, DsmState, Notice};
 use crate::vc::VectorClock;
-use bytes::Bytes;
+use bytes::{BufMut, Bytes, BytesMut};
 
 /// One entry of a process's interval log: the record plus its wire encoding,
 /// computed once when the record enters the log (created locally or received
@@ -184,8 +184,9 @@ impl DsmState {
 
     /// The pre-encoded wire buffers of
     /// [`records_not_covered_by`](Self::records_not_covered_by), in the same
-    /// order: what the hot send paths splice into grants and barrier
-    /// messages instead of cloning and re-serialising each record.
+    /// order (kept as the reference the spliced encoding below is tested
+    /// byte-identical against).
+    #[cfg(test)]
     pub(crate) fn record_wires_not_covered_by(&self, other: &VectorClock) -> Vec<&Bytes> {
         let mut out = Vec::new();
         for creator in 0..self.nprocs {
@@ -201,6 +202,49 @@ impl DsmState {
             }
         }
         out
+    }
+
+    /// Encode a lock grant or barrier message `(head, this clock, records
+    /// not covered by other)` into the state's reusable wire buffer: the
+    /// hot send path of every grant and barrier message.  The record wires
+    /// are spliced straight from the interval log — no per-send vector of
+    /// references — and the message size is computed exactly up front, so
+    /// the encoding neither allocates (in steady state) nor grows.
+    /// Byte-identical to
+    /// [`encode_barrier`](crate::proto::encode_barrier) /
+    /// [`encode_lock_grant`](crate::proto::encode_lock_grant) over
+    /// [`records_not_covered_by`](Self::records_not_covered_by).
+    pub(crate) fn encode_sync_not_covered_by(&mut self, head: u32, other: &VectorClock) -> Bytes {
+        let DsmState {
+            intervals,
+            interval_base,
+            vc,
+            wire,
+            ..
+        } = self;
+        let (nrecords, records_len) = splice_size(intervals, interval_base, vc, other);
+        encode_sync_spliced(wire, head, vc, nrecords, records_len, |b| {
+            splice_records(intervals, interval_base, vc, other, b)
+        })
+    }
+
+    /// [`encode_sync_not_covered_by`](Self::encode_sync_not_covered_by)
+    /// against this process's own last barrier clock — the worker's barrier
+    /// arrival message (a separate entry point because the covering clock
+    /// is a field of the same state the encoder borrows).
+    pub(crate) fn encode_barrier_arrival(&mut self, epoch: u32) -> Bytes {
+        let DsmState {
+            intervals,
+            interval_base,
+            vc,
+            last_barrier_vc,
+            wire,
+            ..
+        } = self;
+        let (nrecords, records_len) = splice_size(intervals, interval_base, vc, last_barrier_vc);
+        encode_sync_spliced(wire, epoch, vc, nrecords, records_len, |b| {
+            splice_records(intervals, interval_base, vc, last_barrier_vc, b)
+        })
     }
 
     /// Total number of interval records currently retained (for tests).
@@ -228,6 +272,50 @@ impl DsmState {
         }
         self.stats.diffs_collected += self.gc_diffs(up_to) as u64;
         self.stats.gc_collections += 1;
+    }
+}
+
+/// Count and summed wire length of the retained records not covered by
+/// `other` — the exact size pre-pass of the spliced sync encoding.
+fn splice_size(
+    intervals: &[Vec<LoggedInterval>],
+    interval_base: &[u32],
+    vc: &VectorClock,
+    other: &VectorClock,
+) -> (usize, usize) {
+    let mut count = 0usize;
+    let mut len = 0usize;
+    for (creator, log) in intervals.iter().enumerate() {
+        let known = vc.get(creator);
+        let have = other.get(creator);
+        let base = interval_base[creator];
+        assert!(
+            have >= base,
+            "peer clock ({creator}:{have}) predates the GC horizon {base}"
+        );
+        for seq in (have + 1)..=known {
+            count += 1;
+            len += log[(seq - 1 - base) as usize].wire.len();
+        }
+    }
+    (count, len)
+}
+
+/// Splice the same records, in the same order, into `buf`.
+fn splice_records(
+    intervals: &[Vec<LoggedInterval>],
+    interval_base: &[u32],
+    vc: &VectorClock,
+    other: &VectorClock,
+    buf: &mut BytesMut,
+) {
+    for (creator, log) in intervals.iter().enumerate() {
+        let known = vc.get(creator);
+        let have = other.get(creator);
+        let base = interval_base[creator];
+        for seq in (have + 1)..=known {
+            buf.put_slice(&log[(seq - 1 - base) as usize].wire);
+        }
     }
 }
 
@@ -295,5 +383,36 @@ mod tests {
         assert_eq!(recs.len(), 2);
         assert_eq!(recs[0].seq, 2);
         assert_eq!(recs[1].seq, 3);
+    }
+
+    #[test]
+    fn spliced_sync_encoding_matches_the_reference_encoders() {
+        let mut s = state(0, 2);
+        let addr = s.malloc(8, 8);
+        for _ in 0..3 {
+            s.mark_dirty(s.page_of(addr));
+            s.write_bytes(addr, &[9; 8]);
+            s.close_interval();
+        }
+        let mut other = VectorClock::new(2);
+        other.set(0, 1);
+        let reference =
+            crate::proto::encode_lock_grant(7, &s.vc, &s.records_not_covered_by(&other));
+        assert_eq!(
+            crate::proto::encode_lock_grant_preencoded(
+                7,
+                &s.vc,
+                &s.record_wires_not_covered_by(&other)
+            ),
+            reference
+        );
+        // Repeated encodes reuse the buffer and stay byte-identical.
+        for _ in 0..3 {
+            assert_eq!(s.encode_sync_not_covered_by(7, &other), reference);
+        }
+        // The barrier-arrival entry point covers against last_barrier_vc
+        // (all zeros here), i.e. every record travels.
+        let all = crate::proto::encode_barrier(1, &s.vc, &s.records_not_covered_by(&VectorClock::new(2)));
+        assert_eq!(s.encode_barrier_arrival(1), all);
     }
 }

@@ -83,6 +83,10 @@ pub struct Tmk<'a> {
     gc_threshold: Cell<u64>,
     /// `vc.sum()` at the last garbage collection.
     last_gc_sum: Cell<u64>,
+    /// Reusable raw-byte staging buffer for the typed slice accessors
+    /// (see `heap.rs`), so a hot loop of `read_f64_slice` calls does not
+    /// allocate per call.
+    pub(crate) scratch: RefCell<Vec<u8>>,
     /// Happens-before race recorder (see [`crate::race`]); attached by
     /// [`Tmk::enable_racecheck`], absent in ordinary runs.
     race: RefCell<Option<race::Recorder>>,
@@ -132,6 +136,7 @@ impl<'a> Tmk<'a> {
             done_count: Cell::new(0),
             gc_threshold: Cell::new(DEFAULT_GC_INTERVAL_THRESHOLD),
             last_gc_sum: Cell::new(0),
+            scratch: RefCell::new(Vec::new()),
             race: RefCell::new(None),
             race_on: Cell::new(false),
         }
@@ -384,22 +389,17 @@ impl<'a> Tmk<'a> {
             self.race_hook(|r| r.on_barrier_manager(index, n - 1));
             for (src, src_vc) in arrived {
                 self.proc.compute(SYNC_OP_COST);
-                let payload = {
-                    let st = self.st.borrow();
-                    let wires = st.record_wires_not_covered_by(&src_vc);
-                    encode_barrier_preencoded(epoch, &st.vc, &wires)
-                };
+                let payload = self
+                    .st
+                    .borrow_mut()
+                    .encode_sync_not_covered_by(epoch, &src_vc);
                 self.proc.send(src, TAG_BARRIER_RELEASE, payload);
             }
             let mut st = self.st.borrow_mut();
             let vc = st.vc.clone();
             st.last_barrier_vc = vc;
         } else {
-            let payload = {
-                let st = self.st.borrow();
-                let wires = st.record_wires_not_covered_by(&st.last_barrier_vc);
-                encode_barrier_preencoded(epoch, &st.vc, &wires)
-            };
+            let payload = self.st.borrow_mut().encode_barrier_arrival(epoch);
             // Analysis arrival edge: publish before the arrival message so
             // the manager's merge (which runs only after receiving it) sees
             // this clock.
@@ -641,8 +641,7 @@ impl<'a> Tmk<'a> {
             let ls = st.lock_state_mut(lock);
             assert!(ls.have_token && !ls.in_cs, "granting a lock we cannot give");
             ls.have_token = false;
-            let wires = st.record_wires_not_covered_by(req_vc);
-            encode_lock_grant_preencoded(lock, &st.vc, &wires)
+            st.encode_sync_not_covered_by(lock, req_vc)
         };
         self.proc
             .send_at(requester, TAG_LOCK_GRANT, payload, depart);

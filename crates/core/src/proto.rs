@@ -56,6 +56,97 @@ pub const TAG_SC_INVAL: u32 = 126;
 /// SC invalidation acknowledgement, member → new owner.
 pub const TAG_SC_INVAL_ACK: u32 = 127;
 
+/// A reusable wire-encoding buffer for the hot send paths.
+///
+/// Every message used to be encoded into a fresh `BytesMut::new()`, which
+/// grew by doubling while records were appended — several reallocations and
+/// copies per message — before one more copy froze it into its final
+/// allocation.  A `WireBuf` instead computes the exact message size up
+/// front, stages the bytes in one long-lived `BytesMut` that is reused
+/// (and therefore stops growing) across messages, and copies once into an
+/// exactly-sized immutable [`Bytes`].
+#[derive(Debug, Default)]
+pub struct WireBuf {
+    buf: BytesMut,
+}
+
+impl WireBuf {
+    /// A fresh, empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Begin a message of exactly `size` bytes.
+    fn begin(&mut self, size: usize) -> &mut BytesMut {
+        debug_assert!(self.buf.is_empty(), "unfinished message in the wire buffer");
+        self.buf.reserve(size);
+        &mut self.buf
+    }
+
+    /// Freeze the written message out of the buffer, asserting its exact
+    /// size, and clear the buffer (retaining its allocation) for the next
+    /// message.
+    fn finish(&mut self, expect: usize) -> Bytes {
+        debug_assert_eq!(self.buf.len(), expect, "wire message mis-sized");
+        let out = Bytes::copy_from_slice(&self.buf);
+        self.buf.clear();
+        out
+    }
+}
+
+/// Encode a lock grant or barrier message — the two share the layout
+/// `(u32 head, vc, records)` — with the records spliced in by the caller
+/// from their pre-encoded wire buffers.  `nrecords`/`records_len` are the
+/// count and summed byte length the splice will write; the message is
+/// encoded into `wire` at exactly that pre-computed size.  Byte-identical
+/// to [`encode_lock_grant`] / [`encode_barrier`] over the same records.
+pub fn encode_sync_spliced(
+    wire: &mut WireBuf,
+    head: u32,
+    vc: &VectorClock,
+    nrecords: usize,
+    records_len: usize,
+    splice: impl FnOnce(&mut BytesMut),
+) -> Bytes {
+    let size = 8 + 4 * vc.len() + records_len;
+    let b = wire.begin(size);
+    b.put_u32_le(head);
+    put_vc(b, vc);
+    b.put_u32_le(nrecords as u32);
+    splice(b);
+    wire.finish(size)
+}
+
+/// Wire size of one encoded diff (what [`encode_diff_response_preencoded`]
+/// writes per diff after the `(creator, seq, vc)` prefix).
+fn diff_wire_len(diff: &Diff) -> usize {
+    4 + diff.runs.iter().map(|r| 4 + r.data.len()).sum::<usize>()
+}
+
+/// [`encode_diff_response_preencoded`] into a reusable, exactly pre-sized
+/// [`WireBuf`] — the serving path of the diff store.
+pub fn encode_diff_response_into(
+    wire: &mut WireBuf,
+    page: PageId,
+    parts: &[DiffResponsePart<'_>],
+) -> Bytes {
+    let size = 8
+        + parts
+            .iter()
+            .map(|(_, _, vcw, diff)| 8 + vcw.len() + diff_wire_len(diff))
+            .sum::<usize>();
+    let b = wire.begin(size);
+    b.put_u32_le(page);
+    b.put_u32_le(parts.len() as u32);
+    for (creator, seq, vc_wire, diff) in parts {
+        b.put_u32_le(*creator as u32);
+        b.put_u32_le(*seq);
+        b.put_slice(vc_wire);
+        put_diff(b, diff);
+    }
+    wire.finish(size)
+}
+
 /// True if `tag` is a request that must be served by the runtime's service
 /// loop even while the process is blocked waiting for something else.
 pub fn is_request_tag(tag: u32) -> bool {
@@ -739,6 +830,62 @@ mod tests {
         let dvcw = vc_wire(&dvc);
         assert_eq!(
             encode_diff_response_preencoded(12, &[(1, 3, &dvcw, &d)]),
+            encode_diff_response(12, &wire)
+        );
+    }
+
+    #[test]
+    fn wire_buf_messages_are_byte_identical_and_reusable() {
+        let records = vec![
+            IntervalRecord {
+                creator: 1,
+                seq: 5,
+                vc: vc(&[0, 5, 2]),
+                pages: vec![10, 11, 12],
+            },
+            IntervalRecord {
+                creator: 0,
+                seq: 2,
+                vc: vc(&[2, 0, 0]),
+                pages: vec![],
+            },
+        ];
+        let wires: Vec<Bytes> = records.iter().map(record_wire).collect();
+        let records_len: usize = wires.iter().map(Bytes::len).sum();
+        let clock = vc(&[2, 5, 0]);
+        let mut wb = WireBuf::new();
+        // The same buffer encodes message after message, each byte-identical
+        // to the single-shot reference encoder.
+        for _ in 0..3 {
+            let got = encode_sync_spliced(&mut wb, 3, &clock, records.len(), records_len, |b| {
+                for w in &wires {
+                    b.put_slice(w);
+                }
+            });
+            assert_eq!(got, encode_lock_grant(3, &clock, &records));
+            let got = encode_sync_spliced(&mut wb, 9, &clock, records.len(), records_len, |b| {
+                for w in &wires {
+                    b.put_slice(w);
+                }
+            });
+            assert_eq!(got, encode_barrier(9, &clock, &records));
+        }
+
+        let twin = new_page();
+        let mut page = new_page();
+        page[100] = 1;
+        page[2000] = 2;
+        let d = Diff::create(&twin, &page);
+        let dvc = vc(&[0, 3, 1]);
+        let dvcw = vc_wire(&dvc);
+        let wire = vec![WireDiff {
+            creator: 1,
+            seq: 3,
+            vc: dvc.clone(),
+            diff: d.clone(),
+        }];
+        assert_eq!(
+            encode_diff_response_into(&mut wb, 12, &[(1, 3, &dvcw, &d)]),
             encode_diff_response(12, &wire)
         );
     }

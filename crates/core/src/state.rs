@@ -14,9 +14,10 @@
 //! (The diff store half of the state lives in [`crate::diffs`].)
 
 use crate::diffs::StoredDiff;
-use crate::heap::PagePool;
+use crate::heap::{PagePool, Slab};
 use crate::intervals::LoggedInterval;
 use crate::page::{new_page, Diff, PageId};
+use crate::proto::WireBuf;
 use crate::protocol::{ConsistencyProtocol, ProtocolKind};
 use crate::stats::TmkStats;
 use crate::vc::VectorClock;
@@ -115,12 +116,20 @@ pub struct DsmState {
     /// Number of leading intervals of each creator already garbage
     /// collected from `intervals`.
     pub(crate) interval_base: Vec<u32>,
-    /// Diffs held locally (created or fetched), keyed by (page, creator,
-    /// seq).  Ordered so (a) iteration order can never silently depend on
-    /// hash order and (b) serving a request is a range scan over one page's
-    /// keys instead of a sweep over every diff held.  The operations live
-    /// in [`crate::diffs`].
-    pub(crate) diffs: BTreeMap<(PageId, usize, u32), StoredDiff>,
+    /// Ordered index of the diffs held locally (created or fetched), keyed
+    /// by (page, creator, seq).  Ordered so (a) iteration order can never
+    /// silently depend on hash order and (b) serving a request is a range
+    /// scan over one page's keys instead of a sweep over every diff held.
+    /// The values are handles into [`DsmState::diff_slab`]: the map nodes
+    /// carry four bytes each, not whole diffs.  The operations live in
+    /// [`crate::diffs`].
+    pub(crate) diffs: BTreeMap<(PageId, usize, u32), u32>,
+    /// The diffs themselves, slab-allocated so the insert/GC churn of a
+    /// long run recycles slots (see [`Slab`]).
+    pub(crate) diff_slab: Slab<StoredDiff>,
+    /// Reusable wire-encoding buffer for the hot send paths (lock grants,
+    /// barrier messages, diff responses).
+    pub(crate) wire: WireBuf,
     /// Shared pages (crate-visible so the protocol backends can maintain
     /// master copies and ownership modes).
     pub(crate) pages: Vec<PageSlot>,
@@ -172,6 +181,8 @@ impl DsmState {
             intervals: (0..nprocs).map(|_| Vec::new()).collect(),
             interval_base: vec![0; nprocs],
             diffs: BTreeMap::new(),
+            diff_slab: Slab::default(),
+            wire: WireBuf::new(),
             pages,
             dirty_pages: Vec::new(),
             heap_next: 0,

@@ -49,6 +49,16 @@ impl Bytes {
     pub fn as_slice(&self) -> &[u8] {
         &self.data[self.start..self.end]
     }
+
+    /// A buffer holding a copy of `data` (one allocation, one memcpy —
+    /// unlike `Bytes::from(vec)`, no intermediate `Vec` is built first).
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            data: Arc::from(data),
+            start: 0,
+            end: data.len(),
+        }
+    }
 }
 
 impl From<Vec<u8>> for Bytes {
@@ -204,6 +214,18 @@ impl BytesMut {
     /// Convert into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
+    }
+
+    /// Clear the written bytes, retaining the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
     }
 }
 

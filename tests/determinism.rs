@@ -190,6 +190,101 @@ fn island_scheduling_is_bit_identical_at_every_width() {
     }
 }
 
+/// The threaded-window battery: 3 workloads × every system × `islands`
+/// {1, 2, 4} × `island_threads` {1, 2, 4}, asserting the full report —
+/// every virtual time and counter, on every process — bit-identical to the
+/// flat serial engine at `(1, 1)`.  `plan` injects faults under the same
+/// grid; `ctx_plan` names it in failure messages.
+fn threaded_width_battery(plan: &netws::cluster::FaultPlan, ctx_plan: &str) {
+    use bench::{run_parallel_on, Preset};
+    let workloads = [Workload::Ep, Workload::SorZero, Workload::Tsp];
+    for w in workloads {
+        for sys in System::all() {
+            let at = |islands: usize, threads: usize| {
+                let mut cfg = ClusterConfig::calibrated_fddi(4);
+                cfg.islands = islands;
+                cfg.island_threads = threads;
+                cfg.fault = plan.clone();
+                run_parallel_on(w, sys, &cfg, Preset::Tiny)
+            };
+            let flat = at(1, 1);
+            for islands in [1usize, 2, 4] {
+                for threads in [1usize, 2, 4] {
+                    if (islands, threads) == (1, 1) {
+                        continue;
+                    }
+                    let wide = at(islands, threads);
+                    let ctx = format!(
+                        "{} under {sys} at 4 processes ({ctx_plan}; islands 1 vs {islands}, \
+                         island-threads 1 vs {threads})",
+                        w.name()
+                    );
+                    assert_runs_identical(&flat, &wide, &ctx);
+                }
+            }
+        }
+    }
+}
+
+/// Fault-free: the threaded windowed engine engages wherever it is
+/// eligible, and every `(islands, island_threads)` width reproduces the
+/// serial engine bit for bit.
+#[test]
+fn threaded_windows_are_bit_identical_at_every_width() {
+    threaded_width_battery(&netws::cluster::FaultPlan::default(), "no faults");
+}
+
+/// A lossy plan (drops, duplicates, reorders, delays): reorder slip is
+/// incompatible with staged window delivery, so the engine falls back to
+/// the serial island path — which must still be bit-identical at every
+/// requested width.
+#[test]
+fn threaded_windows_are_bit_identical_under_a_lossy_plan() {
+    threaded_width_battery(&netws::cluster::FaultPlan::lossy(1), "lossy plan");
+}
+
+/// A timed partition has no probabilistic reordering, so the threaded
+/// window path stays eligible and runs *with* fault injection: partition
+/// draws come from per-link PRNG streams, so thread interleaving cannot
+/// reach them.
+#[test]
+fn threaded_windows_are_bit_identical_under_a_timed_partition() {
+    threaded_width_battery(&netws::cluster::FaultPlan::partitioned(1, 4), "timed partition");
+}
+
+/// The full structured obs trace — every event token of every run, as the
+/// exported Chrome-trace bytes — is byte-identical across island-thread
+/// widths: virtual-time stamping means recording order never leaks.
+#[test]
+fn obs_traces_are_byte_identical_across_thread_widths() {
+    use bench::{obs, run_matrix_islands, Preset, RunKey, RunTuning};
+    use netws::cluster::{AnalysisLevel, ObsLevel};
+    let workloads = [Workload::Tsp];
+    let keys: Vec<RunKey> = System::all()
+        .into_iter()
+        .map(|sys| RunKey::fddi(Workload::Tsp, sys, 4))
+        .collect();
+    let traced = |threads: usize| {
+        run_matrix_islands(
+            Preset::Tiny,
+            &workloads,
+            &keys,
+            2,
+            ObsLevel::Trace,
+            AnalysisLevel::Off,
+            &RunTuning::default(),
+            4,
+            threads,
+        )
+    };
+    let a = obs::chrome_trace_json(&traced(1));
+    let b = obs::chrome_trace_json(&traced(4));
+    assert_eq!(
+        a, b,
+        "trace bytes differ between island-thread widths 1 and 4"
+    );
+}
+
 /// The raw transport is deterministic even under deliberate contention:
 /// many processes hammer one receiver through the shared medium, with
 /// interrupt-style service mixed in, and the full `ClusterReport` matches

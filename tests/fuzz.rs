@@ -38,6 +38,7 @@ fn spec(systems: Vec<System>, seeds: u64, plan: FaultPlan) -> FuzzSpec {
         until_failure: false,
         jobs: 2,
         islands: 1,
+        island_threads: 1,
     }
 }
 
@@ -97,9 +98,18 @@ fn a_fault_campaign_is_bit_identical_at_every_island_width() {
         plan,
     );
     let narrow = run_fuzz(&base);
-    let wide = run_fuzz(&FuzzSpec { islands: 4, ..base });
-    assert_eq!(narrow.report, wide.report);
-    assert_eq!(narrow.findings.len(), wide.findings.len());
+    for (islands, threads) in [(4usize, 1usize), (2, 2), (4, 4)] {
+        let wide = run_fuzz(&FuzzSpec {
+            islands,
+            island_threads: threads,
+            ..base.clone()
+        });
+        assert_eq!(
+            narrow.report, wide.report,
+            "campaign report differs at islands={islands} island_threads={threads}"
+        );
+        assert_eq!(narrow.findings.len(), wide.findings.len());
+    }
 }
 
 #[test]

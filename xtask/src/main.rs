@@ -34,6 +34,16 @@
 //! `lint:allow(unsync-read): <why the race is harmless>` marker at every
 //! call site in the host crates.
 //!
+//! **Thread confinement**: OS threads decide nothing in this engine — every
+//! simulated byte is fixed before any interleaving can observe it — and
+//! that only stays true while threading is confined to the executor layer:
+//! `crates/cluster/src/net.rs` (the per-island window workers),
+//! `crates/cluster/src/sched.rs` (the arbiter) and `crates/bench/src/exec.rs`
+//! (the host-side fan).  Spawn tokens (`std::thread`, `thread::spawn`,
+//! `thread::scope`, `rayon`) anywhere else in the linted crates need a
+//! `lint:allow(threads): <reason>` marker, so a future PR cannot quietly
+//! grow a thread that races the determinism discipline.
+//!
 //! **Hook discipline**: `impl ConsistencyProtocol for` is permitted only
 //! under `crates/core/src/protocol/` — backends live behind the trait, and
 //! nothing outside the protocol layer may reimplement the hook surface.
@@ -88,6 +98,19 @@ const HAZARDS: [(&str, Option<&str>); 6] = [
     ("thread_rng", None),
     ("rand::", None),
 ];
+
+/// The executor layer: the only files where spawning OS threads is
+/// legitimate without a marker.  Everywhere else a spawn token needs
+/// `lint:allow(threads): <reason>`.
+const THREAD_FILES: [&str; 3] = [
+    "crates/cluster/src/net.rs",
+    "crates/cluster/src/sched.rs",
+    "crates/bench/src/exec.rs",
+];
+
+/// Tokens that spawn (or name machinery that spawns) OS threads.  Ordered
+/// longest-prefix first so the reported token is the most specific match.
+const THREAD_TOKENS: [&str; 4] = ["std::thread", "thread::spawn", "thread::scope", "rayon"];
 
 fn is_under(rel: &Path, roots: &[&str]) -> bool {
     roots.iter().any(|r| rel.starts_with(r))
@@ -179,6 +202,23 @@ fn lint_source(rel: &Path, text: &str, findings: &mut Vec<Finding>) {
                      to the fault plan's split streams"
                         .to_string(),
                 );
+            }
+            if !THREAD_FILES.iter().any(|f| rel == Path::new(f)) {
+                // One finding per line even when several tokens overlap
+                // (`thread::spawn` is a substring of `std::thread::spawn`).
+                if let Some(token) = THREAD_TOKENS.iter().find(|t| code.contains(*t)) {
+                    if !has_marker(&lines, i, "threads") {
+                        push(
+                            i,
+                            format!(
+                                "`{token}` spawns OS threads outside the executor layer \
+                                 ({}); move the threading there or justify with a \
+                                 `lint:allow(threads): <reason>` marker",
+                                THREAD_FILES.join(", ")
+                            ),
+                        );
+                    }
+                }
             }
             if host && code.contains("_unsync(") && !has_marker(&lines, i, "unsync-read") {
                 push(
@@ -427,6 +467,62 @@ mod tests {
         assert_eq!(f.len(), 1, "{f:?}");
         assert!(f[0].file.ends_with("rogue.rs"));
         assert!(f[0].msg.contains("prng"));
+    }
+
+    #[test]
+    fn thread_spawns_are_confined_to_the_executor_layer() {
+        let t = Tree::new("threads");
+        // The executor layer itself: exempt, no marker needed.
+        t.write(
+            "crates/cluster/src/net.rs",
+            "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }\n",
+        );
+        t.write(
+            "crates/cluster/src/sched.rs",
+            "fn f() { let _ = std::thread::available_parallelism(); }\n",
+        );
+        t.write(
+            "crates/bench/src/exec.rs",
+            "fn f() { std::thread::spawn(|| {}); }\n",
+        );
+        // Rogue spawns elsewhere: findings, one per line, across every
+        // spawn token.
+        t.write(
+            "crates/cluster/src/rogue.rs",
+            "fn f() { std::thread::spawn(|| {}); }\nfn g() { rayon::join(|| {}, || {}); }\n",
+        );
+        t.write(
+            "crates/core/src/rogue.rs",
+            "use std::thread;\nfn f() { thread::scope(|s| { let _ = s; }); }\n",
+        );
+        // A marked site with a reason: honoured.
+        t.write(
+            "crates/cluster/src/justified.rs",
+            "// lint:allow(threads): the cluster's own per-process threads\n\
+             fn f() { std::thread::scope(|s| { let _ = s; }); }\n",
+        );
+        // An empty reason is itself a finding.
+        t.write(
+            "crates/cluster/src/bare.rs",
+            "fn f() { std::thread::spawn(|| {}); } // lint:allow(threads):\n",
+        );
+        let f = t.lint();
+        assert_eq!(f.len(), 5, "{f:#?}");
+        assert!(f.iter().all(|f| f.msg.contains("executor layer")), "{f:#?}");
+        assert!(f.iter().any(|f| f.file.ends_with("bare.rs")));
+        assert_eq!(
+            f.iter()
+                .filter(|f| f.file.ends_with("cluster/src/rogue.rs"))
+                .count(),
+            2
+        );
+        assert_eq!(
+            f.iter()
+                .filter(|f| f.file.ends_with("core/src/rogue.rs"))
+                .count(),
+            2,
+            "`use std::thread` and `thread::scope` are both spawn tokens"
+        );
     }
 
     #[test]
